@@ -1,0 +1,26 @@
+"""Fleet-building helper shared by the broadcast benchmark."""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads import EditProfile, TextGenerator, mutate
+
+
+def make_fleet(
+    client_count: int, nbytes: int = 30000, seed: int = 0
+) -> tuple[dict[str, bytes], bytes]:
+    """One current server file; each client holds a different stale copy."""
+    generator = TextGenerator(seed)
+    rng = random.Random(seed)
+    current = generator.generate(nbytes, rng)
+    clients = {}
+    for i in range(client_count):
+        clients[f"client{i:02d}"] = mutate(
+            current,
+            random.Random(seed * 1000 + i),
+            EditProfile(edit_count=4 + i % 3, cluster_count=2,
+                        min_size=8, max_size=100),
+            content=generator.snippet,
+        )
+    return clients, current

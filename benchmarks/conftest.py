@@ -1,0 +1,45 @@
+"""Shared fixtures and helpers for the paper-reproduction benchmarks.
+
+Each benchmark module regenerates one table or figure of the paper's §6
+(see DESIGN.md's per-experiment index).  Results are printed and also
+written to ``benchmarks/results/<name>.txt`` so the numbers survive
+pytest's output capturing; the ``benchmark`` fixture times a
+representative unit of work for each experiment.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.workloads import emacs_like, gcc_like, make_web_collection
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Collection scale for the tree workloads (~1 MB at 0.4).  The real
+#: data sets are ~27 MB; structure, not volume, drives the comparisons.
+TREE_SCALE = 0.4
+WEB_PAGES = 80
+
+
+def publish(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")
+
+
+@pytest.fixture(scope="session")
+def gcc_tree():
+    return gcc_like(scale=TREE_SCALE, seed=0)
+
+
+@pytest.fixture(scope="session")
+def emacs_tree():
+    return emacs_like(scale=TREE_SCALE, seed=1)
+
+
+@pytest.fixture(scope="session")
+def web_collection():
+    return make_web_collection(page_count=WEB_PAGES, days=(0, 1, 2, 7), seed=2)

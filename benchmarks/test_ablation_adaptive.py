@@ -1,0 +1,85 @@
+"""Extension ablation — adaptive parameter choice vs fixed defaults.
+
+The §7 "ideal tool" probes each file pair and picks parameters per
+similarity regime and link class.  The question the table answers: how
+close does one probe get to the best fixed configuration in each regime,
+and what does it save when the regime is hostile to the defaults?
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import publish
+
+from repro.bench import format_kb, render_table
+from repro.core import ProtocolConfig, adaptive_synchronize, synchronize
+from repro.workloads import EditProfile, TextGenerator, mutate
+
+
+def _regimes() -> dict[str, tuple[bytes, bytes]]:
+    generator = TextGenerator(seed=88)
+    rng = random.Random(88)
+    base = generator.generate(80_000, rng)
+    lightly = mutate(
+        base, rng,
+        EditProfile(edit_count=5, cluster_count=2, min_size=8, max_size=80),
+        content=generator.snippet,
+    )
+    heavily = mutate(
+        base, rng,
+        EditProfile(edit_count=200, cluster_count=None, min_size=30,
+                    max_size=500),
+        content=generator.snippet,
+    )
+    unrelated = TextGenerator(seed=77).generate(80_000, random.Random(77))
+    return {
+        "lightly edited": (base, lightly),
+        "heavily edited": (base, heavily),
+        "unrelated": (base, unrelated),
+    }
+
+
+def test_ablation_adaptive(benchmark):
+    rows = []
+    adaptive_totals = {}
+    default_totals = {}
+    for regime, (old, new) in _regimes().items():
+        adaptive_result, config = adaptive_synchronize(old, new)
+        assert adaptive_result.reconstructed == new
+        default_result = synchronize(old, new, ProtocolConfig())
+        adaptive_totals[regime] = adaptive_result.total_bytes
+        default_totals[regime] = default_result.total_bytes
+        rows.append(
+            [
+                regime,
+                config.min_block_size,
+                config.max_rounds or "-",
+                format_kb(adaptive_result.total_bytes),
+                format_kb(default_result.total_bytes),
+            ]
+        )
+
+    publish(
+        "ablation_adaptive",
+        render_table(
+            ["regime", "chosen min blk", "round cap", "adaptive KB",
+             "default KB"],
+            rows,
+            title="Ablation — adaptive parameter selection (80 KB files)",
+        ),
+    )
+
+    # Never catastrophically worse than the defaults (probe included)...
+    for regime in adaptive_totals:
+        assert adaptive_totals[regime] < 1.6 * default_totals[regime], regime
+    # ...and strictly better where the defaults waste effort.
+    assert adaptive_totals["unrelated"] < default_totals["unrelated"]
+
+    benchmark.extra_info.update(
+        {k: round(v / 1024, 1) for k, v in adaptive_totals.items()}
+    )
+    old, new = _regimes()["lightly edited"]
+    benchmark.pedantic(
+        adaptive_synchronize, args=(old, new), iterations=1, rounds=1
+    )

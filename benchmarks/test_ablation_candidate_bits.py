@@ -1,0 +1,75 @@
+"""Ablation 4 — candidate-hash bit budget.
+
+The paper: "decreasing the number of bits sent to the server ... results
+in some real matches being lost due to false positives taking their
+place, and ultimately a larger delta."  Sweeping the global hash width
+should show: too few bits → larger delta (lost matches); too many bits →
+larger map phase; a plateau in between.
+"""
+
+from __future__ import annotations
+
+from conftest import publish
+
+from repro.bench import (
+    OursMethod,
+    format_kb,
+    render_table,
+    run_method_on_collection,
+)
+from repro.core import ProtocolConfig
+
+BIT_WIDTHS = (8, 12, 16, 20, 24, 28)
+
+
+def test_ablation_candidate_bits(benchmark, gcc_tree):
+    rows = []
+    deltas = {}
+    maps = {}
+    totals = {}
+    for bits in BIT_WIDTHS:
+        config = ProtocolConfig(
+            min_block_size=64,
+            continuation_min_block_size=16,
+            global_hash_bits=bits,
+        )
+        run = run_method_on_collection(
+            OursMethod(config), gcc_tree.old, gcc_tree.new
+        )
+        deltas[bits] = run.breakdown.get("s2c/delta", 0)
+        maps[bits] = run.breakdown.get("s2c/map", 0) + run.breakdown.get(
+            "c2s/map", 0
+        )
+        totals[bits] = run.total_bytes
+        rows.append(
+            [
+                bits,
+                format_kb(maps[bits]),
+                format_kb(deltas[bits]),
+                format_kb(run.total_bytes),
+            ]
+        )
+
+    publish(
+        "ablation_candidate_bits",
+        render_table(
+            ["global hash bits", "map KB", "delta KB", "total KB"],
+            rows,
+            title="Ablation — candidate hash bit budget (gcc-like)",
+        ),
+    )
+
+    # Starved hashes lose real matches: the delta at 8 bits must exceed
+    # the delta at 20 bits.
+    assert deltas[8] > deltas[20]
+    # Starved hashes ALSO inflate the map phase: floods of false
+    # candidates burn verification bits and force deeper recursion.
+    assert maps[8] > maps[16]
+    # Fat hashes pay in map bytes within the sane regime.
+    assert maps[28] > maps[16]
+    # And the best total sits strictly inside the sweep.
+    best = min(totals, key=totals.get)
+    assert best not in (BIT_WIDTHS[0],)
+
+    benchmark.extra_info["best_bits"] = best
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)

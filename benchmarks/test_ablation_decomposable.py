@@ -1,0 +1,67 @@
+"""Ablation 1 — decomposable vs independent sibling hashes.
+
+The paper: "without decomposable hash functions, the amount of data sent
+from server to client in the map building phase would be about twice as
+high, and as a result the optimal minimum block size is also slightly
+larger."
+"""
+
+from __future__ import annotations
+
+from conftest import publish
+
+from repro.bench import (
+    OursMethod,
+    format_kb,
+    render_table,
+    run_method_on_collection,
+)
+from repro.core import ProtocolConfig
+
+
+def test_ablation_decomposable(benchmark, gcc_tree):
+    rows = []
+    map_s2c = {}
+    for min_block in (128, 64, 32):
+        for decomposable in (True, False):
+            config = ProtocolConfig(
+                min_block_size=min_block,
+                continuation_min_block_size=None,
+                continuation_first=False,
+                use_decomposable=decomposable,
+                verification="trivial",
+            )
+            run = run_method_on_collection(
+                OursMethod(config), gcc_tree.old, gcc_tree.new
+            )
+            map_s2c[(min_block, decomposable)] = run.breakdown.get("s2c/map", 0)
+            rows.append(
+                [
+                    min_block,
+                    "on" if decomposable else "off",
+                    format_kb(run.breakdown.get("s2c/map", 0)),
+                    format_kb(run.total_bytes),
+                ]
+            )
+
+    publish(
+        "ablation_decomposable",
+        render_table(
+            ["min block", "decomposable", "s2c map KB", "total KB"],
+            rows,
+            title="Ablation — decomposable hash suppression (gcc-like)",
+        ),
+    )
+
+    for min_block in (128, 64, 32):
+        with_it = map_s2c[(min_block, True)]
+        without = map_s2c[(min_block, False)]
+        # The suppression applies below the top level, so the saving is
+        # large but short of a strict 2x; require >= 25% and <= 2.2x.
+        assert with_it < 0.75 * without, min_block
+        assert without < 2.2 * with_it, min_block
+
+    benchmark.extra_info["s2c_map_ratio_min64"] = round(
+        map_s2c[(64, False)] / map_s2c[(64, True)], 2
+    )
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)

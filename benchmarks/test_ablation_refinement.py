@@ -1,0 +1,67 @@
+"""Extension ablation — boundary refinement vs deeper recursion.
+
+Refinement competes with simply recursing to smaller blocks: both shave
+the delta at the cost of map bytes.  The interesting regime is coarse
+minimum block sizes, where a handful of binary-search probes replaces
+whole extra rounds of hashes.
+"""
+
+from __future__ import annotations
+
+from conftest import publish
+
+from repro.bench import (
+    OursMethod,
+    format_kb,
+    render_table,
+    run_method_on_collection,
+)
+from repro.core import ProtocolConfig
+
+
+def test_ablation_refinement(benchmark, gcc_tree):
+    rows = []
+    totals = {}
+    for min_block in (256, 128, 64):
+        for refine in (False, True):
+            config = ProtocolConfig(
+                min_block_size=min_block,
+                continuation_min_block_size=None,
+                refine_boundaries=refine,
+            )
+            run = run_method_on_collection(
+                OursMethod(config), gcc_tree.old, gcc_tree.new
+            )
+            totals[(min_block, refine)] = run.total_bytes
+            rows.append(
+                [
+                    min_block,
+                    "on" if refine else "off",
+                    format_kb(
+                        run.breakdown.get("s2c/map", 0)
+                        + run.breakdown.get("c2s/map", 0)
+                    ),
+                    format_kb(run.breakdown.get("s2c/delta", 0)),
+                    format_kb(run.total_bytes),
+                ]
+            )
+
+    publish(
+        "ablation_refinement",
+        render_table(
+            ["min block", "refinement", "map KB", "delta KB", "total KB"],
+            rows,
+            title="Ablation — boundary refinement (gcc-like)",
+        ),
+    )
+
+    # Refinement must help at coarse granularity...
+    assert totals[(256, True)] < totals[(256, False)]
+    # ...and never hurt badly anywhere.
+    for min_block in (256, 128, 64):
+        assert totals[(min_block, True)] < 1.1 * totals[(min_block, False)]
+
+    benchmark.extra_info["gain_at_256"] = round(
+        (totals[(256, False)] - totals[(256, True)]) / 1024, 1
+    )
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)

@@ -1,0 +1,69 @@
+"""Extension ablation — direct vs chained catch-up in the web scenario.
+
+A client that skipped crawls can catch up either directly (old → day 7)
+or by replaying stored intermediate snapshots (old → day 1 → day 2 →
+day 7, the versions the crawler kept anyway).  Chaining gives each hop
+very similar files (cheap maps) but pays per-hop floors; direct pays one
+floor against a more-diverged file.  The sweep shows where each wins.
+"""
+
+from __future__ import annotations
+
+from conftest import publish
+
+from repro.bench import (
+    OursMethod,
+    format_kb,
+    render_table,
+    run_method_on_collection,
+)
+from repro.core import ProtocolConfig
+
+CONFIG = ProtocolConfig(min_block_size=32, continuation_min_block_size=8)
+
+
+def test_ablation_version_chaining(benchmark, web_collection):
+    base = web_collection.snapshot(0)
+    method = OursMethod(CONFIG)
+
+    direct = run_method_on_collection(
+        method, base, web_collection.snapshot(7)
+    )
+
+    chained_total = 0
+    state = dict(base)
+    hops = []
+    for day in (1, 2, 7):
+        run = run_method_on_collection(
+            method, state, web_collection.snapshot(day)
+        )
+        chained_total += run.total_bytes
+        hops.append((day, run.total_bytes))
+        state = dict(web_collection.snapshot(day))
+
+    rows = [["direct 0->7", format_kb(direct.total_bytes)]]
+    for day, cost in hops:
+        rows.append([f"hop ->{day}d", format_kb(cost)])
+    rows.append(["chained total", format_kb(chained_total)])
+
+    publish(
+        "ablation_version_chaining",
+        render_table(
+            ["path", "KB"],
+            rows,
+            title="Ablation — direct vs chained catch-up "
+                  f"({web_collection.page_count} pages, 7-day gap)",
+        ),
+    )
+
+    # Both must beat a full transfer by a wide margin (sanity).
+    full = sum(len(v) for v in web_collection.snapshot(7).values())
+    assert direct.total_bytes < full / 5
+    assert chained_total < full / 5
+    # Chaining costs extra per-hop floors (manifests, handshakes): it
+    # should not beat direct by much, and typically loses.
+    assert chained_total > 0.8 * direct.total_bytes
+
+    benchmark.extra_info["direct_kb"] = round(direct.total_bytes / 1024, 1)
+    benchmark.extra_info["chained_kb"] = round(chained_total / 1024, 1)
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)

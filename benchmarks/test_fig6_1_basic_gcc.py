@@ -1,0 +1,113 @@
+"""Figure 6.1 — basic protocol vs minimum block size on the gcc data set.
+
+The paper's basic configuration: recursive halving + decomposable hashes
++ one (trivial) verification hash per candidate, *no* continuation/local
+hashes or phase splitting.  Cost is plotted against the minimum block
+size, with bars split into map-phase server→client, map-phase
+client→server, and the final delta; rsync (default and per-file optimal)
+and zdelta are the reference lines.
+
+Expected shape (paper): a U-curve with the optimum around 32–128 bytes;
+the basic protocol already beats rsync but stays ~2x above zdelta.
+"""
+
+from __future__ import annotations
+
+from conftest import publish
+
+from repro.bench import (
+    OursMethod,
+    RsyncMethod,
+    RsyncOptimalMethod,
+    ZdeltaMethod,
+    format_kb,
+    render_grouped_bars,
+    render_table,
+    run_method_on_collection,
+)
+from repro.core import ProtocolConfig
+
+MIN_BLOCK_SIZES = (512, 256, 128, 64, 32, 16)
+
+
+def basic_config(min_block: int) -> ProtocolConfig:
+    """The Figure 6.1 configuration (techniques a + d only)."""
+    return ProtocolConfig(
+        min_block_size=min_block,
+        continuation_min_block_size=None,
+        continuation_first=False,
+        use_decomposable=True,
+        verification="trivial",
+    )
+
+
+def test_fig6_1_basic_gcc(benchmark, gcc_tree):
+    rows = []
+    series: dict[str, list[float]] = {"s2c map": [], "c2s map": [], "delta": []}
+    totals = {}
+    for min_block in MIN_BLOCK_SIZES:
+        run = run_method_on_collection(
+            OursMethod(basic_config(min_block), name=f"ours(min={min_block})"),
+            gcc_tree.old,
+            gcc_tree.new,
+        )
+        s2c_map = run.breakdown.get("s2c/map", 0)
+        c2s_map = run.breakdown.get("c2s/map", 0)
+        delta = run.breakdown.get("s2c/delta", 0)
+        series["s2c map"].append(s2c_map / 1024)
+        series["c2s map"].append(c2s_map / 1024)
+        series["delta"].append(delta / 1024)
+        totals[min_block] = run.total_bytes
+        rows.append(
+            [
+                min_block,
+                format_kb(s2c_map),
+                format_kb(c2s_map),
+                format_kb(delta),
+                format_kb(run.total_bytes),
+            ]
+        )
+
+    baselines = {}
+    for method in (RsyncMethod(), RsyncOptimalMethod(), ZdeltaMethod()):
+        run = run_method_on_collection(method, gcc_tree.old, gcc_tree.new)
+        baselines[method.name] = run.total_bytes
+        rows.append(
+            [method.name, "-", "-", "-", format_kb(run.total_bytes)]
+        )
+
+    table = render_table(
+        ["min block / method", "s2c map KB", "c2s map KB", "delta KB",
+         "total KB"],
+        rows,
+        title=(
+            "Figure 6.1 — basic protocol on gcc-like data set "
+            f"({len(gcc_tree.old)} files, {gcc_tree.old_bytes / 1e6:.2f} MB)"
+        ),
+    )
+    chart = render_grouped_bars(
+        [str(b) for b in MIN_BLOCK_SIZES], series,
+        title="cost split by phase (KB)",
+    )
+    publish("fig6_1_basic_gcc", table + "\n\n" + chart)
+
+    # Shape assertions from the paper.
+    best = min(totals.values())
+    assert best < baselines["rsync"], "basic protocol must beat rsync default"
+    assert best < baselines["rsync-opt"], "and the idealised rsync"
+    assert best < 4.0 * baselines["zdelta"], "within a small factor of zdelta"
+    # U-shape: the extremes are worse than the interior optimum.
+    interior_best = min(totals[b] for b in (128, 64, 32))
+    assert interior_best <= totals[512]
+    assert interior_best <= totals[16]
+
+    # Time one representative unit: a full collection pass at min block 64.
+    benchmark.extra_info["best_total_kb"] = round(best / 1024, 1)
+    benchmark.extra_info["rsync_kb"] = round(baselines["rsync"] / 1024, 1)
+    benchmark.extra_info["zdelta_kb"] = round(baselines["zdelta"] / 1024, 1)
+    benchmark.pedantic(
+        run_method_on_collection,
+        args=(OursMethod(basic_config(64)), gcc_tree.old, gcc_tree.new),
+        iterations=1,
+        rounds=1,
+    )

@@ -1,0 +1,78 @@
+"""Figure 6.2 — basic protocol vs minimum block size on the emacs data set.
+
+Same protocol configuration as Figure 6.1 on the emacs-like workload
+(closer releases: more unchanged files, lighter edits).  The paper finds
+the same U-shape with the optimum at a similar or slightly larger block
+size, and a bigger relative win over rsync because matches are longer.
+"""
+
+from __future__ import annotations
+
+from conftest import publish
+
+from repro.bench import (
+    OursMethod,
+    RsyncMethod,
+    RsyncOptimalMethod,
+    ZdeltaMethod,
+    format_kb,
+    render_table,
+    run_method_on_collection,
+)
+from test_fig6_1_basic_gcc import MIN_BLOCK_SIZES, basic_config
+
+
+def test_fig6_2_basic_emacs(benchmark, emacs_tree):
+    rows = []
+    totals = {}
+    for min_block in MIN_BLOCK_SIZES:
+        run = run_method_on_collection(
+            OursMethod(basic_config(min_block)),
+            emacs_tree.old,
+            emacs_tree.new,
+        )
+        totals[min_block] = run.total_bytes
+        rows.append(
+            [
+                min_block,
+                format_kb(run.breakdown.get("s2c/map", 0)),
+                format_kb(run.breakdown.get("c2s/map", 0)),
+                format_kb(run.breakdown.get("s2c/delta", 0)),
+                format_kb(run.total_bytes),
+            ]
+        )
+    baselines = {}
+    for method in (RsyncMethod(), RsyncOptimalMethod(), ZdeltaMethod()):
+        run = run_method_on_collection(method, emacs_tree.old, emacs_tree.new)
+        baselines[method.name] = run.total_bytes
+        rows.append([method.name, "-", "-", "-", format_kb(run.total_bytes)])
+
+    publish(
+        "fig6_2_basic_emacs",
+        render_table(
+            ["min block / method", "s2c map KB", "c2s map KB", "delta KB",
+             "total KB"],
+            rows,
+            title=(
+                "Figure 6.2 — basic protocol on emacs-like data set "
+                f"({len(emacs_tree.old)} files, "
+                f"{emacs_tree.old_bytes / 1e6:.2f} MB)"
+            ),
+        ),
+    )
+
+    best = min(totals.values())
+    assert best < baselines["rsync"]
+    assert best < baselines["rsync-opt"]
+    assert best < 4.0 * baselines["zdelta"]
+    interior_best = min(totals[b] for b in (128, 64, 32))
+    assert interior_best <= totals[512]
+    assert interior_best <= totals[16]
+
+    benchmark.extra_info["best_total_kb"] = round(best / 1024, 1)
+    benchmark.pedantic(
+        run_method_on_collection,
+        args=(OursMethod(basic_config(64)), emacs_tree.old, emacs_tree.new),
+        iterations=1,
+        rounds=1,
+    )

@@ -1,0 +1,88 @@
+"""Cost-model validation — predicted vs measured over the block-size sweep.
+
+The Bernoulli-edit predictor (`repro.core.estimate`) exists to pick
+parameters without running the protocol; this bench checks its curve
+against reality on a workload matching its own assumptions (dispersed
+single-byte edits on incompressible content) and records the error.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import publish
+
+from repro.bench import render_table
+from repro.core import ProtocolConfig, synchronize
+from repro.core.estimate import estimate_protocol_cost
+
+FILE_LENGTH = 80_000
+DIRTY_RATE = 0.0006
+MIN_BLOCKS = (32, 64, 128, 256)
+
+
+def _bernoulli_pair(seed: int) -> tuple[bytes, bytes]:
+    rng = random.Random(seed)
+    old = bytes(rng.randrange(256) for _ in range(FILE_LENGTH))
+    new = bytearray(old)
+    for i in range(FILE_LENGTH):
+        if rng.random() < DIRTY_RATE:
+            new[i] = (new[i] + 1) % 256
+    return old, bytes(new)
+
+
+def test_model_validation(benchmark):
+    old, new = _bernoulli_pair(seed=99)
+    rows = []
+    ratios = []
+    measured_curve = {}
+    predicted_curve = {}
+    for min_block in MIN_BLOCKS:
+        config = ProtocolConfig(
+            min_block_size=min_block,
+            continuation_min_block_size=max(4, min_block // 4),
+        )
+        result = synchronize(old, new, config)
+        assert result.reconstructed == new
+        predicted = estimate_protocol_cost(
+            FILE_LENGTH, DIRTY_RATE, config, literal_bits_per_byte=8.0
+        )
+        measured_curve[min_block] = result.total_bytes
+        predicted_curve[min_block] = predicted.total_bytes
+        ratio = predicted.total_bytes / result.total_bytes
+        ratios.append(ratio)
+        rows.append(
+            [
+                min_block,
+                result.total_bytes,
+                round(predicted.total_bytes),
+                f"{ratio:.2f}",
+            ]
+        )
+
+    publish(
+        "model_validation",
+        render_table(
+            ["min block", "measured B", "predicted B", "ratio"],
+            rows,
+            title=(
+                "Cost model vs measurement "
+                f"(Bernoulli edits, n={FILE_LENGTH}, p={DIRTY_RATE})"
+            ),
+        ),
+    )
+
+    # Point estimates within a small constant factor...
+    assert all(0.4 < r < 2.5 for r in ratios), ratios
+    # ...and the curves agree on the *direction* between extremes, which
+    # is what parameter selection needs.
+    measured_slope = measured_curve[256] - measured_curve[32]
+    predicted_slope = predicted_curve[256] - predicted_curve[32]
+    assert (measured_slope > 0) == (predicted_slope > 0)
+
+    benchmark.pedantic(
+        estimate_protocol_cost,
+        args=(FILE_LENGTH, DIRTY_RATE),
+        iterations=10,
+        rounds=3,
+    )

@@ -1,0 +1,68 @@
+"""CPU throughput of the substrates (the paper's §6.2 closing note).
+
+"The prototype currently runs at a speed of up to a few MB of raw data
+per second" — these microbenchmarks record what our Python/numpy
+substrates manage, so EXPERIMENTS.md can report the honest CPU story
+alongside the bandwidth results.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import ProtocolConfig, synchronize
+from repro.delta import zdelta_encode
+from repro.hashing import DecomposableAdler, HashIndex, window_hashes
+from repro.rsync import compute_signatures, match_tokens
+from tests_data import make_pair  # local helper module
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return make_pair(seed=1, nbytes=1_000_000, edits=60)
+
+
+def test_window_hash_scan_throughput(benchmark, payload):
+    """Vectorised all-position hashing of a 1 MB buffer."""
+    old, _new = payload
+    hasher = DecomposableAdler(seed=1)
+    result = benchmark(window_hashes, old, 64, hasher)
+    assert result.size == len(old) - 63
+
+
+def test_hash_index_build_throughput(benchmark, payload):
+    old, _new = payload
+    hasher = DecomposableAdler(seed=1)
+
+    def build():
+        index = HashIndex(old, 64, hasher)
+        index.lookup(index.packed_hash_at(1000, 20), 20)
+        return index
+
+    benchmark(build)
+
+
+def test_zdelta_encode_throughput(benchmark, payload):
+    old, new = payload
+    delta = benchmark(zdelta_encode, old, new)
+    assert len(delta) < len(new)
+
+
+def test_rsync_match_throughput(benchmark, payload):
+    old, new = payload
+    signatures = compute_signatures(old, 700)
+    tokens = benchmark(match_tokens, new, signatures, 2)
+    assert tokens
+
+
+def test_full_protocol_throughput(benchmark, payload):
+    """End-to-end protocol speed on a 1 MB file (the paper's 'few MB of
+    raw data per second' claim, in Python)."""
+    old, new = payload
+    result = benchmark.pedantic(
+        synchronize, args=(old, new, ProtocolConfig()),
+        iterations=1, rounds=3,
+    )
+    assert result.reconstructed == new

@@ -1,0 +1,83 @@
+"""Technique progression: rsync → multiround splitting → the paper.
+
+The paper's contribution is the delta between plain recursive splitting
+(Langford [25], which it builds on) and the refined protocol (group
+verification + continuation hashes + decomposable hashes + map/delta
+framework).  This table makes each step of the lineage visible, ending
+at the zdelta lower bound.
+"""
+
+from __future__ import annotations
+
+from conftest import publish
+
+from repro.bench import (
+    MultiroundRsyncMethod,
+    OursMethod,
+    RsyncMethod,
+    RsyncOptimalMethod,
+    ZdeltaMethod,
+    format_kb,
+    render_table,
+    run_method_on_collection,
+)
+from repro.core import ProtocolConfig
+
+LINEUP = [
+    ("rsync (1996)", RsyncMethod()),
+    ("rsync optimal-b (oracle)", RsyncOptimalMethod()),
+    ("multiround splitting [25]", MultiroundRsyncMethod()),
+    (
+        "this paper (all techniques)",
+        OursMethod(
+            ProtocolConfig(min_block_size=32, continuation_min_block_size=8)
+        ),
+    ),
+    ("zdelta (local lower bound)", ZdeltaMethod()),
+]
+
+
+def test_technique_progression(benchmark, gcc_tree):
+    rows = []
+    totals = {}
+    for label, method in LINEUP:
+        run = run_method_on_collection(method, gcc_tree.old, gcc_tree.new)
+        totals[label] = run.total_bytes
+        rows.append(
+            [
+                label,
+                format_kb(run.total_bytes),
+                f"{run.total_bytes / totals[LINEUP[0][0]]:.2f}"
+                if LINEUP[0][0] in totals
+                else "1.00",
+            ]
+        )
+
+    publish(
+        "technique_progression",
+        render_table(
+            ["method", "total KB", "vs rsync"],
+            rows,
+            title="Technique progression on the gcc-like data set",
+        ),
+    )
+
+    # Strict ordering of the lineage.
+    assert totals["rsync optimal-b (oracle)"] <= totals["rsync (1996)"]
+    assert (
+        totals["multiround splitting [25]"]
+        < totals["rsync optimal-b (oracle)"]
+    )
+    assert (
+        totals["this paper (all techniques)"]
+        < totals["multiround splitting [25]"]
+    )
+    assert (
+        totals["zdelta (local lower bound)"]
+        < totals["this paper (all techniques)"]
+    )
+
+    benchmark.extra_info.update(
+        {label: round(total / 1024, 1) for label, total in totals.items()}
+    )
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)

@@ -1,0 +1,27 @@
+"""Deterministic test-pair helper shared by the throughput benchmarks."""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads import EditProfile, TextGenerator, mutate
+
+
+def make_pair(seed: int, nbytes: int, edits: int) -> tuple[bytes, bytes]:
+    """A (old, new) pair with clustered edits, sized for throughput runs."""
+    generator = TextGenerator(seed)
+    rng = random.Random(seed ^ 0x7777)
+    old = generator.generate(nbytes, rng)
+    new = mutate(
+        old,
+        rng,
+        EditProfile(
+            edit_count=edits,
+            cluster_count=max(2, edits // 8),
+            cluster_spread=500.0,
+            min_size=8,
+            max_size=400,
+        ),
+        content=generator.snippet,
+    )
+    return old, new

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""In-place updates for space-constrained clients.
+
+A mobile client (the In-place rsync scenario, reference [40] of the
+paper) cannot afford a second copy of the file while applying the delta:
+the update must happen inside the old file's buffer.  Copies are then
+ordered so nothing reads a region that was already overwritten, and
+dependency *cycles* are broken by fetching those blocks as literals.
+
+This example shows the machinery on a pathological layout (a block
+rotation, which is one giant cycle) and on a realistic edited document.
+
+Run with::
+
+    python examples/inplace_mobile.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.rsync import (
+    apply_tokens_in_place,
+    compute_signatures,
+    match_tokens,
+)
+from repro.rsync.matcher import Reference
+from repro.workloads import EditProfile, TextGenerator, mutate
+
+
+def show(title: str, old: bytes, new: bytes, block_size: int) -> None:
+    signatures = compute_signatures(old, block_size)
+    tokens = match_tokens(new, signatures, strong_bytes=2)
+    result = apply_tokens_in_place(old, tokens, block_size)
+    assert result.data == new
+    copies = sum(1 for t in tokens if isinstance(t, Reference))
+    print(f"{title}")
+    print(f"  file {len(old):,} -> {len(new):,} B, block size {block_size}")
+    print(f"  {result.operations} operations ({copies} block copies)")
+    print(
+        f"  cycle-breaking literals: {result.converted_literal_bytes:,} B "
+        f"({result.converted_literal_bytes / max(len(new), 1):.1%} of the file)"
+    )
+    print()
+
+
+def main() -> None:
+    rng = random.Random(5)
+
+    # Pathological: rotate all blocks one slot left -> one big cycle.
+    blocks = [bytes(rng.randrange(256) for _ in range(1024)) for _ in range(8)]
+    old = b"".join(blocks)
+    rotated = b"".join(blocks[1:] + blocks[:1])
+    show("block rotation (one 8-cycle)", old, rotated, 1024)
+
+    # Realistic: an edited document. Forward copies dominate; the
+    # ordering alone resolves almost everything.
+    generator = TextGenerator(seed=5)
+    base = generator.generate(80_000, rng)
+    edited = mutate(
+        base,
+        rng,
+        EditProfile(edit_count=15, cluster_count=4, min_size=10,
+                    max_size=300),
+        content=generator.snippet,
+    )
+    show("edited document", base, edited, 700)
+
+    print("The rotation needs exactly one converted block (breaking the\n"
+          "cycle); ordinary edits reorder cleanly with zero extra bytes.")
+
+
+if __name__ == "__main__":
+    main()

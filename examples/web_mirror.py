@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Maintain a mirrored web-page collection over a slow link.
+
+The paper's motivating application (§1.1): a client keeps a local copy of
+a crawled page collection fresh by synchronising against the crawler's
+current snapshot.  This example simulates a week of crawls and compares
+the cost of updating daily, every two days, or weekly — the Table 6.2
+scenario — then estimates wall-clock time on a DSL-class link.
+
+Run with::
+
+    python examples/web_mirror.py
+"""
+
+from __future__ import annotations
+
+from repro import LinkModel
+from repro.bench import (
+    OursMethod,
+    RsyncMethod,
+    ZdeltaMethod,
+    render_table,
+    run_method_on_collection,
+)
+from repro.workloads import make_web_collection
+
+
+def main() -> None:
+    collection = make_web_collection(page_count=80, days=(0, 1, 2, 7), seed=3)
+    base = collection.snapshot(0)
+    print(
+        f"collection: {collection.page_count} pages, "
+        f"{collection.snapshot_bytes(0) / 1e6:.1f} MB per snapshot"
+    )
+
+    link = LinkModel(bandwidth_bps=1_000_000, latency_s=0.05)  # ~1 Mbit/s DSL
+    rows = []
+    for gap in (1, 2, 7):
+        target = collection.snapshot(gap)
+        changed = collection.changed_pages(0, gap)
+        for method in (OursMethod(), RsyncMethod(), ZdeltaMethod()):
+            run = run_method_on_collection(method, base, target)
+            rows.append(
+                [
+                    f"every {gap}d",
+                    method.name,
+                    changed,
+                    f"{run.total_kb:,.1f}",
+                    f"{link.transfer_time(run.total_bytes, 0):.1f}",
+                ]
+            )
+    print()
+    print(
+        render_table(
+            ["update", "method", "pages changed", "KB", "link seconds"],
+            rows,
+            title="Cost of keeping the mirror fresh",
+        )
+    )
+    print(
+        "\nNote: longer gaps accumulate more divergence but amortise the\n"
+        "manifest; per-update cost grows sublinearly with the gap."
+    )
+
+
+if __name__ == "__main__":
+    main()

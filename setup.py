@@ -1,0 +1,5 @@
+"""Setup shim so `pip install -e .` works without network/wheel."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,182 @@
+"""Uniform wrappers around every synchronization method under evaluation."""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.core import ProtocolConfig, synchronize
+from repro.delta import vcdiff_size, zdelta_size
+from repro.rsync import (
+    DEFAULT_BLOCK_SIZE,
+    DEFAULT_SEARCH_BLOCK_SIZES,
+    rsync_optimal,
+    rsync_sync,
+)
+from repro.syncmethod import MethodOutcome, SyncMethod
+
+__all__ = [
+    "AdaptiveMethod",
+    "FullTransferMethod",
+    "MethodOutcome",
+    "MultiroundRsyncMethod",
+    "OursMethod",
+    "RsyncMethod",
+    "RsyncOptimalMethod",
+    "SyncMethod",
+    "VcdiffMethod",
+    "ZdeltaMethod",
+    "standard_methods",
+]
+
+
+class OursMethod(SyncMethod):
+    """The paper's multi-round protocol."""
+
+    def __init__(self, config: ProtocolConfig | None = None, name: str = "ours") -> None:
+        self.config = config or ProtocolConfig()
+        self.name = name
+
+    def sync_file(self, old: bytes, new: bytes) -> MethodOutcome:
+        result = synchronize(old, new, self.config)
+        return MethodOutcome(
+            total_bytes=result.total_bytes,
+            client_to_server=result.stats.client_to_server_bytes,
+            server_to_client=result.stats.server_to_client_bytes,
+            breakdown=dict(result.stats.breakdown()),
+            correct=result.reconstructed == new,
+        )
+
+
+class RsyncMethod(SyncMethod):
+    """rsync with a fixed block size (the tool's default by default)."""
+
+    def __init__(self, block_size: int = DEFAULT_BLOCK_SIZE) -> None:
+        self.block_size = block_size
+        self.name = f"rsync(b={block_size})" if block_size != DEFAULT_BLOCK_SIZE else "rsync"
+
+    def sync_file(self, old: bytes, new: bytes) -> MethodOutcome:
+        result = rsync_sync(old, new, block_size=self.block_size)
+        return MethodOutcome(
+            total_bytes=result.total_bytes,
+            client_to_server=result.stats.client_to_server_bytes,
+            server_to_client=result.stats.server_to_client_bytes,
+            breakdown=dict(result.stats.breakdown()),
+            correct=result.reconstructed == new,
+        )
+
+
+class RsyncOptimalMethod(SyncMethod):
+    """Idealised rsync: per-file best block size (an oracle baseline)."""
+
+    name = "rsync-opt"
+
+    def __init__(self, block_sizes: tuple[int, ...] = DEFAULT_SEARCH_BLOCK_SIZES) -> None:
+        self.block_sizes = block_sizes
+
+    def sync_file(self, old: bytes, new: bytes) -> MethodOutcome:
+        result = rsync_optimal(old, new, block_sizes=self.block_sizes)
+        return MethodOutcome(
+            total_bytes=result.total_bytes,
+            client_to_server=result.stats.client_to_server_bytes,
+            server_to_client=result.stats.server_to_client_bytes,
+            breakdown=dict(result.stats.breakdown()),
+            correct=result.reconstructed == new,
+        )
+
+
+class MultiroundRsyncMethod(SyncMethod):
+    """Recursive splitting without the paper's refinements (Langford [25])."""
+
+    name = "multiround"
+
+    def __init__(self, config=None) -> None:
+        from repro.multiround import MultiroundConfig
+
+        self.config = config or MultiroundConfig()
+
+    def sync_file(self, old: bytes, new: bytes) -> MethodOutcome:
+        from repro.multiround import multiround_rsync_sync
+
+        result = multiround_rsync_sync(old, new, self.config)
+        return MethodOutcome(
+            total_bytes=result.total_bytes,
+            client_to_server=result.stats.client_to_server_bytes,
+            server_to_client=result.stats.server_to_client_bytes,
+            breakdown=dict(result.stats.breakdown()),
+            correct=result.reconstructed == new,
+        )
+
+
+class AdaptiveMethod(SyncMethod):
+    """The §7 adaptive tool: probe each file, then pick parameters."""
+
+    name = "ours-adaptive"
+
+    def __init__(self, link=None) -> None:
+        self.link = link
+
+    def sync_file(self, old: bytes, new: bytes) -> MethodOutcome:
+        from repro.core import adaptive_synchronize
+
+        result, _config = adaptive_synchronize(old, new, link=self.link)
+        return MethodOutcome(
+            total_bytes=result.total_bytes,
+            client_to_server=result.stats.client_to_server_bytes,
+            server_to_client=result.stats.server_to_client_bytes,
+            breakdown=dict(result.stats.breakdown()),
+            correct=result.reconstructed == new,
+        )
+
+
+class ZdeltaMethod(SyncMethod):
+    """Local delta compression — the paper's practical lower bound."""
+
+    name = "zdelta"
+
+    def sync_file(self, old: bytes, new: bytes) -> MethodOutcome:
+        size = zdelta_size(old, new)
+        return MethodOutcome(
+            total_bytes=size,
+            server_to_client=size,
+            breakdown={"s2c/delta": size},
+        )
+
+
+class VcdiffMethod(SyncMethod):
+    """The second delta-compressor baseline."""
+
+    name = "vcdiff"
+
+    def sync_file(self, old: bytes, new: bytes) -> MethodOutcome:
+        size = vcdiff_size(old, new)
+        return MethodOutcome(
+            total_bytes=size,
+            server_to_client=size,
+            breakdown={"s2c/delta": size},
+        )
+
+
+class FullTransferMethod(SyncMethod):
+    """Send the new file compressed — what non-delta tools do."""
+
+    name = "gzip-full"
+
+    def sync_file(self, old: bytes, new: bytes) -> MethodOutcome:
+        size = len(zlib.compress(new, 9))
+        return MethodOutcome(
+            total_bytes=size,
+            server_to_client=size,
+            breakdown={"s2c/full": size},
+        )
+
+
+def standard_methods(config: ProtocolConfig | None = None) -> list[SyncMethod]:
+    """The comparison set used by most tables: ours vs all baselines."""
+    return [
+        OursMethod(config),
+        RsyncMethod(),
+        RsyncOptimalMethod(),
+        ZdeltaMethod(),
+        VcdiffMethod(),
+        FullTransferMethod(),
+    ]

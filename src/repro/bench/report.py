@@ -1,0 +1,73 @@
+"""Plain-text tables and bar charts for the benchmark scripts.
+
+The paper's figures are grouped bar charts of KB transferred; a terminal
+rendering keeps the harness dependency-free while preserving the shape
+comparisons (who wins, by what factor, where the crossover sits).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_kb(nbytes: float) -> str:
+    """Bytes as a compact KB string."""
+    return f"{nbytes / 1024.0:,.1f}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width table with right-aligned numeric columns."""
+    rendered_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if i == 0:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        return "  ".join(parts)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def render_grouped_bars(
+    groups: Sequence[str],
+    series: dict[str, Sequence[float]],
+    unit: str = "KB",
+    width: int = 48,
+    title: str | None = None,
+) -> str:
+    """ASCII grouped bar chart: one group per x-tick, one bar per series."""
+    peak = max(
+        (value for values in series.values() for value in values), default=1.0
+    )
+    if peak <= 0:
+        peak = 1.0
+    label_width = max((len(name) for name in series), default=4)
+    lines = []
+    if title:
+        lines.append(title)
+    for group_index, group in enumerate(groups):
+        lines.append(f"{group}:")
+        for name, values in series.items():
+            value = values[group_index]
+            bar = "#" * max(1, round(width * value / peak)) if value > 0 else ""
+            lines.append(
+                f"  {name.ljust(label_width)} |{bar} {value:,.1f} {unit}"
+            )
+    return "\n".join(lines)

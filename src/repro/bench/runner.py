@@ -1,0 +1,57 @@
+"""Run methods over collection pairs and collect comparable rows."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.bench.methods import MethodOutcome, SyncMethod
+from repro.collection.sync import CollectionReport, sync_collection
+
+
+@dataclass
+class CollectionRun:
+    """One (method, collection-pair) measurement."""
+
+    method: str
+    total_bytes: int
+    manifest_bytes: int
+    changed_bytes: int
+    added_bytes: int
+    files_changed: int
+    files_unchanged: int
+    elapsed_seconds: float
+    breakdown: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_kb(self) -> float:
+        return self.total_bytes / 1024.0
+
+
+def run_method_on_collection(
+    method: SyncMethod,
+    old_files: dict[str, bytes],
+    new_files: dict[str, bytes],
+    verify: bool = True,
+) -> CollectionRun:
+    """Synchronise one collection pair and flatten the report to a row."""
+    started = time.perf_counter()
+    report: CollectionReport = sync_collection(
+        old_files, new_files, method, verify=verify
+    )
+    elapsed = time.perf_counter() - started
+
+    merged: MethodOutcome = MethodOutcome(total_bytes=0)
+    for outcome in report.per_file.values():
+        merged = merged + outcome
+    return CollectionRun(
+        method=method.name,
+        total_bytes=report.total_bytes,
+        manifest_bytes=report.manifest_bytes,
+        changed_bytes=report.changed_transfer_bytes,
+        added_bytes=report.added_bytes,
+        files_changed=report.files_changed,
+        files_unchanged=report.files_unchanged,
+        elapsed_seconds=elapsed,
+        breakdown=merged.breakdown,
+    )

@@ -1,0 +1,324 @@
+"""Command-line interface: synchronise files or directories, run demos.
+
+Installed as ``repro-sync`` (or ``python -m repro.cli``)::
+
+    repro-sync sync OLD NEW             # one file or one directory pair
+    repro-sync sync OLD NEW --method rsync
+    repro-sync bench --workload gcc     # quick method comparison table
+
+Both endpoints are local paths — the tool reports the bytes the protocol
+*would* move over a network, which is the quantity the paper studies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.bench import run_method_on_collection, render_table
+from repro.bench.methods import (
+    FullTransferMethod,
+    OursMethod,
+    RsyncMethod,
+    RsyncOptimalMethod,
+    SyncMethod,
+    VcdiffMethod,
+    ZdeltaMethod,
+    standard_methods,
+)
+from repro.core import ProtocolConfig
+from repro.exceptions import ReproError
+from repro.grouptesting import strategy_names
+from repro.workloads import emacs_like, gcc_like, make_web_collection
+
+_METHOD_FACTORIES = {
+    "ours": lambda args: OursMethod(_config_from_args(args)),
+    "rsync": lambda args: RsyncMethod(block_size=args.rsync_block),
+    "rsync-opt": lambda args: RsyncOptimalMethod(),
+    "zdelta": lambda args: ZdeltaMethod(),
+    "vcdiff": lambda args: VcdiffMethod(),
+    "full": lambda args: FullTransferMethod(),
+}
+
+
+def _config_from_args(args: argparse.Namespace) -> ProtocolConfig:
+    return ProtocolConfig(
+        min_block_size=args.min_block,
+        continuation_min_block_size=args.continuation_min,
+        verification=args.verification,
+    )
+
+
+def _load_side(path: Path) -> dict[str, bytes]:
+    """A file becomes a single-entry collection; a directory is walked."""
+    if path.is_file():
+        return {path.name: path.read_bytes()}
+    if path.is_dir():
+        return {
+            str(p.relative_to(path)): p.read_bytes()
+            for p in sorted(path.rglob("*"))
+            if p.is_file()
+        }
+    raise ReproError(f"{path} is neither a file nor a directory")
+
+
+def _cmd_sync(args: argparse.Namespace) -> int:
+    old_path, new_path = Path(args.old), Path(args.new)
+    if old_path.is_file() and new_path.is_file():
+        # A plain file pair is one logical file regardless of basenames.
+        old_side = {"file": old_path.read_bytes()}
+        new_side = {"file": new_path.read_bytes()}
+    else:
+        old_side = _load_side(old_path)
+        new_side = _load_side(new_path)
+
+    if args.batched:
+        if args.method != "ours":
+            print("error: --batched requires --method ours", file=sys.stderr)
+            return 2
+        return _sync_batched(args, old_side, new_side)
+    method: SyncMethod = _METHOD_FACTORIES[args.method](args)
+    run = run_method_on_collection(method, old_side, new_side)
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "method": run.method,
+                    "total_bytes": run.total_bytes,
+                    "manifest_bytes": run.manifest_bytes,
+                    "changed_bytes": run.changed_bytes,
+                    "added_bytes": run.added_bytes,
+                    "files_changed": run.files_changed,
+                    "files_unchanged": run.files_unchanged,
+                    "breakdown": run.breakdown,
+                },
+                indent=2,
+            )
+        )
+    else:
+        total_new = sum(len(v) for v in new_side.values())
+        print(f"method          : {run.method}")
+        print(f"files           : {run.files_changed} changed, "
+              f"{run.files_unchanged} unchanged")
+        print(f"bytes on wire   : {run.total_bytes:,} "
+              f"({run.total_bytes / max(total_new, 1):.1%} of target size)")
+        print(f"  manifest      : {run.manifest_bytes:,}")
+        print(f"  changed files : {run.changed_bytes:,}")
+        print(f"  added files   : {run.added_bytes:,}")
+    return 0
+
+
+def _sync_batched(
+    args: argparse.Namespace,
+    old_side: dict[str, bytes],
+    new_side: dict[str, bytes],
+) -> int:
+    from repro.collection import sync_collection_batched
+
+    report = sync_collection_batched(
+        old_side, new_side, _config_from_args(args)
+    )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "method": report.method,
+                    "total_bytes": report.total_bytes,
+                    "manifest_bytes": report.manifest_bytes,
+                    "changed_bytes": report.changed_transfer_bytes,
+                    "added_bytes": report.added_bytes,
+                    "files_changed": report.files_changed,
+                    "files_unchanged": report.files_unchanged,
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(f"method          : {report.method}")
+        print(f"files           : {report.files_changed} changed, "
+              f"{report.files_unchanged} unchanged")
+        print(f"bytes on wire   : {report.total_bytes:,}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Round-by-round trace of one file pair."""
+    from repro.core import synchronize
+    from repro.core.trace import summarize_trace
+
+    old_data = Path(args.old).read_bytes()
+    new_data = Path(args.new).read_bytes()
+    config = _config_from_args(args).with_overrides(collect_trace=True)
+    result = synchronize(old_data, new_data, config)
+    for trace in result.trace:
+        print(trace.describe())
+    summary = summarize_trace(result.trace)
+    print(
+        f"\ntotal {result.total_bytes:,} B "
+        f"({result.map_bytes:,} map + {result.delta_bytes:,} delta), "
+        f"{summary['hashes_sent']} hashes "
+        f"({summary['derived_hashes']} derived free), "
+        f"coverage {result.known_fraction:.1%}"
+    )
+    return 0
+
+
+def _cmd_manifest(args: argparse.Namespace) -> int:
+    """Create or diff on-disk fingerprint manifests."""
+    from repro.collection import (
+        Manifest,
+        diff_manifests,
+        load_manifest,
+        save_manifest,
+    )
+
+    if args.action == "create":
+        files = _load_side(Path(args.path))
+        manifest = Manifest.of_collection(files)
+        save_manifest(manifest, args.output)
+        print(f"wrote {len(manifest)} entries to {args.output}")
+        return 0
+    # action == "diff": stored manifest (the past) vs a directory (now).
+    stored = load_manifest(args.manifest_file)
+    current = Manifest.of_collection(_load_side(Path(args.path)))
+    diff = diff_manifests(stored, current)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "changed": diff.changed,
+                    "added": diff.added,
+                    "removed": diff.removed,
+                    "unchanged": len(diff.unchanged),
+                },
+                indent=2,
+            )
+        )
+    else:
+        for name in diff.changed:
+            print(f"M {name}")
+        for name in diff.added:
+            print(f"A {name}")
+        for name in diff.removed:
+            print(f"D {name}")
+        print(
+            f"{len(diff.changed)} changed, {len(diff.added)} added, "
+            f"{len(diff.removed)} removed, {len(diff.unchanged)} unchanged"
+        )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.workload == "gcc":
+        tree = gcc_like(scale=args.scale, seed=args.seed)
+        old_side, new_side = tree.old, tree.new
+    elif args.workload == "emacs":
+        tree = emacs_like(scale=args.scale, seed=args.seed)
+        old_side, new_side = tree.old, tree.new
+    else:
+        collection = make_web_collection(
+            page_count=max(10, int(100 * args.scale)),
+            days=(0, 1),
+            seed=args.seed,
+        )
+        old_side, new_side = collection.snapshot(0), collection.snapshot(1)
+
+    rows = []
+    for method in standard_methods():
+        run = run_method_on_collection(method, old_side, new_side)
+        rows.append(
+            [method.name, f"{run.total_kb:,.1f}", f"{run.elapsed_seconds:.1f}"]
+        )
+    print(
+        render_table(
+            ["method", "KB", "cpu s"],
+            rows,
+            title=f"workload={args.workload} scale={args.scale}",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sync",
+        description="Bandwidth-efficient file synchronization (ICDE 2004 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sync = sub.add_parser("sync", help="synchronise a file or directory pair")
+    sync.add_argument("old", help="outdated file or directory (the client)")
+    sync.add_argument("new", help="current file or directory (the server)")
+    sync.add_argument(
+        "--method", choices=sorted(_METHOD_FACTORIES), default="ours"
+    )
+    sync.add_argument("--min-block", type=int, default=64,
+                      help="minimum block size for global hashes")
+    sync.add_argument("--continuation-min", type=int, default=16,
+                      help="minimum block size for continuation hashes")
+    sync.add_argument("--verification", choices=strategy_names(),
+                      default="group2")
+    sync.add_argument("--rsync-block", type=int, default=700,
+                      help="block size for --method rsync")
+    sync.add_argument("--json", action="store_true",
+                      help="machine-readable output")
+    sync.add_argument("--batched", action="store_true",
+                      help="share roundtrips across all changed files "
+                           "(only with --method ours)")
+    sync.set_defaults(handler=_cmd_sync)
+
+    trace = sub.add_parser(
+        "trace", help="print the round-by-round protocol trace for a "
+                      "file pair"
+    )
+    trace.add_argument("old")
+    trace.add_argument("new")
+    trace.add_argument("--min-block", type=int, default=64)
+    trace.add_argument("--continuation-min", type=int, default=16)
+    trace.add_argument("--verification", choices=strategy_names(),
+                       default="group2")
+    trace.set_defaults(handler=_cmd_trace)
+
+    manifest = sub.add_parser(
+        "manifest", help="create or diff fingerprint manifests"
+    )
+    manifest_sub = manifest.add_subparsers(dest="action", required=True)
+    manifest_create = manifest_sub.add_parser(
+        "create", help="fingerprint a directory into a manifest file"
+    )
+    manifest_create.add_argument("path")
+    manifest_create.add_argument("-o", "--output", required=True)
+    manifest_create.set_defaults(handler=_cmd_manifest)
+    manifest_diff = manifest_sub.add_parser(
+        "diff", help="what changed in a directory since a stored manifest"
+    )
+    manifest_diff.add_argument("manifest_file")
+    manifest_diff.add_argument("path")
+    manifest_diff.add_argument("--json", action="store_true")
+    manifest_diff.set_defaults(handler=_cmd_manifest)
+
+    bench = sub.add_parser("bench", help="quick method comparison on a "
+                                         "synthetic workload")
+    bench.add_argument("--workload", choices=("gcc", "emacs", "web"),
+                       default="gcc")
+    bench.add_argument("--scale", type=float, default=0.1)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.set_defaults(handler=_cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,64 @@
+"""On-disk manifest store: stateful change detection for the CLI.
+
+A real mirror keeps yesterday's fingerprints so the next update can
+detect changes without re-reading (or even still having) yesterday's
+bytes.  The format is deliberately boring: a versioned header line, then
+one ``<hex fingerprint> <name>`` line per file, sorted — diff-able,
+greppable, append-friendly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.collection.manifest import Manifest
+from repro.exceptions import ReproError
+
+_HEADER = "repro-manifest v1"
+
+
+class ManifestFormatError(ReproError):
+    """A manifest file could not be parsed."""
+
+
+def save_manifest(manifest: Manifest, path: str | Path) -> Path:
+    """Write a manifest to ``path`` (overwrites)."""
+    path = Path(path)
+    lines = [_HEADER]
+    for name in sorted(manifest.entries):
+        if "\n" in name:
+            raise ManifestFormatError(f"file name contains newline: {name!r}")
+        lines.append(f"{manifest.entries[name].hex()} {name}")
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def load_manifest(path: str | Path) -> Manifest:
+    """Read a manifest written by :func:`save_manifest`."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as error:
+        raise ManifestFormatError(f"cannot read {path}: {error}") from error
+    lines = text.splitlines()
+    if not lines or lines[0] != _HEADER:
+        raise ManifestFormatError(f"{path} is not a repro manifest")
+    entries: dict[str, bytes] = {}
+    for lineno, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            fingerprint_hex, name = line.split(" ", 1)
+            fingerprint = bytes.fromhex(fingerprint_hex)
+        except ValueError as error:
+            raise ManifestFormatError(
+                f"{path}:{lineno}: malformed entry {line!r}"
+            ) from error
+        if len(fingerprint) != 16:
+            raise ManifestFormatError(
+                f"{path}:{lineno}: fingerprint must be 16 bytes"
+            )
+        if name in entries:
+            raise ManifestFormatError(f"{path}:{lineno}: duplicate {name!r}")
+        entries[name] = fingerprint
+    return Manifest(entries)

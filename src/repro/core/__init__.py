@@ -1,0 +1,45 @@
+"""The paper's contribution: multi-round map construction + delta.
+
+Public entry point: :func:`synchronize`, configured by
+:class:`ProtocolConfig`.  See DESIGN.md for the technique inventory
+(recursive splitting, optimized group-testing verification, continuation
+and local hashes, decomposable hash suppression).
+"""
+
+from repro.core.adaptive import (
+    ProbeResult,
+    adaptive_synchronize,
+    choose_config,
+    probe_similarity,
+)
+from repro.core.batch import BatchReport, synchronize_batch
+from repro.core.broadcast import BroadcastReport, synchronize_broadcast
+from repro.core.blocks import Block, BlockStatus, BlockTracker, HashKind
+from repro.core.client import Candidate, ClientSession
+from repro.core.config import ProtocolConfig
+from repro.core.filemap import FileMap, MatchEntry
+from repro.core.protocol import SyncResult, synchronize
+from repro.core.server import ServerSession
+
+__all__ = [
+    "BatchReport",
+    "synchronize_batch",
+    "BroadcastReport",
+    "synchronize_broadcast",
+    "Block",
+    "ProbeResult",
+    "adaptive_synchronize",
+    "choose_config",
+    "probe_similarity",
+    "BlockStatus",
+    "BlockTracker",
+    "Candidate",
+    "ClientSession",
+    "FileMap",
+    "HashKind",
+    "MatchEntry",
+    "ProtocolConfig",
+    "ServerSession",
+    "SyncResult",
+    "synchronize",
+]

@@ -1,0 +1,375 @@
+"""Batched synchronization: many files share every roundtrip.
+
+The paper's protocols are practical *because* "many files can be
+processed simultaneously", so the extra roundtrips of recursive splitting
+cost latency once per collection, not once per file.  This module runs
+the per-file state machines in lockstep: each round sends ONE combined
+hash message for every active file, one combined candidate bitmap, one
+combined message per verification batch, and finally one combined delta
+message.  Per-file sessions, planning and verification pools are exactly
+the single-file ones — only the framing is shared.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+from repro.core.blocks import Block, HashAssignment, HashKind
+from repro.core.client import Candidate, ClientSession
+from repro.core.config import ProtocolConfig
+from repro.core.planning import (
+    apply_known_hashes,
+    plan_continuation,
+    plan_global,
+    plan_mixed,
+)
+from repro.core.protocol import (
+    PHASE_DELTA,
+    PHASE_FALLBACK,
+    PHASE_HANDSHAKE,
+    PHASE_MAP,
+)
+from repro.core.server import ServerSession
+from repro.core.verification import VerificationPools, make_units
+from repro.exceptions import ProtocolError
+from repro.hashing.strong import file_fingerprint
+from repro.io.bitstream import BitReader, BitWriter
+from repro.net.channel import SimulatedChannel
+from repro.net.metrics import Direction, TransferStats
+
+
+@dataclass
+class _FileState:
+    """Lockstep state for one file pair."""
+
+    name: str
+    client: ClientSession
+    server: ServerSession
+    unchanged: bool = False
+    reconstructed: bytes | None = None
+    used_fallback: bool = False
+
+
+@dataclass
+class BatchReport:
+    """Outcome of one batched collection synchronization."""
+
+    stats: TransferStats
+    reconstructed: dict[str, bytes] = field(default_factory=dict)
+    unchanged_files: list[str] = field(default_factory=list)
+    fallback_files: list[str] = field(default_factory=list)
+    rounds: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.stats.total_bytes
+
+    @property
+    def roundtrips(self) -> int:
+        return self.stats.roundtrips
+
+
+def _planners(config: ProtocolConfig):
+    if config.continuation_first and config.continuation_enabled:
+        return (plan_continuation, None), (plan_global, "bits")
+    return ((plan_mixed, "bits"),)
+
+
+def _make_plans(
+    states: list[_FileState], planner, needs_bits: bool, endpoint: str
+) -> list[tuple[_FileState, list[HashAssignment]]]:
+    plans = []
+    for state in states:
+        if endpoint == "server":
+            tracker = state.server.tracker
+            bits = state.server.global_bits
+        else:
+            tracker = state.client.tracker
+            bits = state.client.global_bits
+        assert tracker is not None
+        plan = planner(tracker, bits) if needs_bits else planner(tracker)
+        plans.append((state, plan))
+    return plans
+
+
+def synchronize_batch(
+    client_files: dict[str, bytes],
+    server_files: dict[str, bytes],
+    config: ProtocolConfig | None = None,
+    channel: SimulatedChannel | None = None,
+) -> BatchReport:
+    """Synchronise every common file, sharing each roundtrip.
+
+    Files present only on one side are ignored here (the collection layer
+    handles adds/removes); both dictionaries must cover the names being
+    synchronised.
+    """
+    if config is None:
+        config = ProtocolConfig()
+    if channel is None:
+        channel = SimulatedChannel()
+
+    names = sorted(set(client_files) & set(server_files))
+    states = [
+        _FileState(
+            name=name,
+            client=ClientSession(client_files[name], config),
+            server=ServerSession(server_files[name], config),
+        )
+        for name in names
+    ]
+    report = BatchReport(stats=channel.stats)
+
+    # --- Combined handshake -------------------------------------------
+    request = BitWriter()
+    for state in states:
+        request.write_uvarint(len(client_files[state.name]))
+    channel.send(
+        Direction.CLIENT_TO_SERVER, request.getvalue(), PHASE_HANDSHAKE,
+        bits=request.bit_length,
+    )
+    request_reader = BitReader(channel.receive(Direction.CLIENT_TO_SERVER))
+    for state in states:
+        state.server.set_client_length(request_reader.read_uvarint())
+
+    hello = BitWriter()
+    for state in states:
+        hello.write_bytes(state.server.fingerprint())
+        hello.write_uvarint(len(server_files[state.name]))
+    channel.send(
+        Direction.SERVER_TO_CLIENT, hello.getvalue(), PHASE_HANDSHAKE,
+        bits=hello.bit_length,
+    )
+    hello_reader = BitReader(channel.receive(Direction.SERVER_TO_CLIENT))
+    proceed = BitWriter()
+    for state in states:
+        state.unchanged = state.client.process_handshake(
+            hello_reader.read_bytes(16), hello_reader.read_uvarint()
+        )
+        proceed.write_bit(not state.unchanged)
+        if state.unchanged:
+            state.reconstructed = client_files[state.name]
+            report.unchanged_files.append(state.name)
+    channel.send(
+        Direction.CLIENT_TO_SERVER, proceed.getvalue(), PHASE_HANDSHAKE,
+        bits=proceed.bit_length,
+    )
+    channel.receive(Direction.CLIENT_TO_SERVER)
+
+    active = [s for s in states if not s.unchanged]
+
+    # --- Lockstep map construction --------------------------------------
+    while any(
+        s.server.tracker.has_active() for s in active
+    ):
+        report.rounds += 1
+        for planner_spec in _planners(config):
+            planner, flag = planner_spec
+            needs_bits = flag == "bits"
+            server_plans = _make_plans(active, planner, needs_bits, "server")
+            client_plans = _make_plans(active, planner, needs_bits, "client")
+            _run_combined_subphase(
+                channel, config, server_plans, client_plans
+            )
+        for state in active:
+            more_server = state.server.tracker.advance_level()
+            client_tracker = state.client.tracker
+            assert client_tracker is not None
+            more_client = client_tracker.advance_level()
+            if more_server != more_client:
+                raise ProtocolError("endpoint trees diverged in batch mode")
+        if config.max_rounds is not None and report.rounds >= config.max_rounds:
+            break
+
+    # --- Boundary refinement (optional; sequential per file) ------------
+    if config.refine_boundaries:
+        from repro.core.refine import run_boundary_refinement
+
+        for state in active:
+            run_boundary_refinement(channel, state.client, state.server)
+
+    # --- Combined delta --------------------------------------------------
+    delta_message = BitWriter()
+    for state in active:
+        delta = state.server.emit_delta()
+        delta_message.write_uvarint(len(delta))
+        delta_message.write_bytes(delta)
+    channel.send(
+        Direction.SERVER_TO_CLIENT, delta_message.getvalue(), PHASE_DELTA,
+        bits=delta_message.bit_length,
+    )
+    delta_reader = BitReader(channel.receive(Direction.SERVER_TO_CLIENT))
+    nack = BitWriter()
+    failed: list[_FileState] = []
+    for state in active:
+        delta = delta_reader.read_bytes(delta_reader.read_uvarint())
+        state.reconstructed = state.client.apply_delta(delta)
+        bad = state.reconstructed is None
+        nack.write_bit(bad)
+        if bad:
+            failed.append(state)
+    channel.send(
+        Direction.CLIENT_TO_SERVER, nack.getvalue(), PHASE_FALLBACK,
+        bits=nack.bit_length,
+    )
+    channel.receive(Direction.CLIENT_TO_SERVER)
+    if failed:
+        fallback = BitWriter()
+        for state in failed:
+            payload = zlib.compress(server_files[state.name], 9)
+            fallback.write_uvarint(len(payload))
+            fallback.write_bytes(payload)
+        channel.send(
+            Direction.SERVER_TO_CLIENT, fallback.getvalue(), PHASE_FALLBACK,
+            bits=fallback.bit_length,
+        )
+        fallback_reader = BitReader(channel.receive(Direction.SERVER_TO_CLIENT))
+        for state in failed:
+            payload = fallback_reader.read_bytes(fallback_reader.read_uvarint())
+            state.reconstructed = zlib.decompress(payload)
+            state.used_fallback = True
+            report.fallback_files.append(state.name)
+
+    for state in states:
+        assert state.reconstructed is not None
+        report.reconstructed[state.name] = state.reconstructed
+    return report
+
+
+def _run_combined_subphase(
+    channel: SimulatedChannel,
+    config: ProtocolConfig,
+    server_plans: list[tuple[_FileState, list[HashAssignment]]],
+    client_plans: list[tuple[_FileState, list[HashAssignment]]],
+) -> None:
+    """One sub-phase across every file, one message per direction step."""
+    total_assignments = sum(len(plan) for _s, plan in server_plans)
+    if total_assignments == 0:
+        return
+
+    # Server -> client: concatenated hash sections in file order.
+    hashes = BitWriter()
+    for state, plan in server_plans:
+        section = state.server.emit_hashes(plan)
+        section_bits = sum(a.transmitted_bits for a in plan)
+        reader = BitReader(section)
+        for _ in range(section_bits):
+            hashes.write_bit(reader.read_bit())
+    channel.send(
+        Direction.SERVER_TO_CLIENT, hashes.getvalue(), PHASE_MAP,
+        bits=hashes.bit_length,
+    )
+
+    # Client: parse each file's section, find candidates, reply bitmap.
+    combined_reader = BitReader(channel.receive(Direction.SERVER_TO_CLIENT))
+    per_file_candidates: list[tuple[_FileState, list[Candidate | None]]] = []
+    bitmap = BitWriter()
+    for state, plan in client_plans:
+        section_bits = sum(a.transmitted_bits for a in plan)
+        section_writer = BitWriter()
+        for _ in range(section_bits):
+            section_writer.write_bit(combined_reader.read_bit())
+        candidates = state.client.process_hashes(
+            plan, section_writer.getvalue()
+        )
+        per_file_candidates.append((state, candidates))
+        for candidate in candidates:
+            bitmap.write_bit(candidate is not None)
+    channel.send(
+        Direction.CLIENT_TO_SERVER, bitmap.getvalue(), PHASE_MAP,
+        bits=bitmap.bit_length,
+    )
+
+    bitmap_reader = BitReader(channel.receive(Direction.CLIENT_TO_SERVER))
+    client_pools: list[tuple[_FileState, VerificationPools[Candidate]]] = []
+    server_pools: list[tuple[_FileState, VerificationPools[Block]]] = []
+    for (state, s_plan), (_c_state, candidates) in zip(
+        server_plans, per_file_candidates
+    ):
+        flags = [bool(bitmap_reader.read_bit()) for _ in s_plan]
+        server_blocks = [
+            a.block for a, flagged in zip(s_plan, flags) if flagged
+        ]
+        server_pools.append(
+            (state, VerificationPools(main=server_blocks))
+        )
+        client_pools.append(
+            (state, VerificationPools(main=[c for c in candidates if c]))
+        )
+
+    # Verification batches, combined across files per batch index.
+    strategy = config.strategy()
+    for batch in strategy.batches:
+        client_selections = [
+            (state, pools, pools.select(batch)) for state, pools in client_pools
+        ]
+        server_selections = [
+            (state, pools, pools.select(batch)) for state, pools in server_pools
+        ]
+        if not any(selection for _s, _p, selection in client_selections):
+            continue
+        writer = BitWriter()
+        client_units_by_file = []
+        for state, _pools, selection in client_selections:
+            units = make_units(selection, batch)
+            client_units_by_file.append(units)
+            for unit in units:
+                writer.write(
+                    state.client.verification_value(unit, batch), batch.bits
+                )
+        channel.send(
+            Direction.CLIENT_TO_SERVER, writer.getvalue(), PHASE_MAP,
+            bits=writer.bit_length,
+        )
+
+        verify_reader = BitReader(channel.receive(Direction.CLIENT_TO_SERVER))
+        confirm = BitWriter()
+        server_results_by_file = []
+        for state, _pools, selection in server_selections:
+            units = make_units(selection, batch)
+            passed = []
+            for unit in units:
+                received = verify_reader.read(batch.bits)
+                passed.append(
+                    received == state.server.verification_value(unit, batch)
+                )
+                confirm.write_bit(passed[-1])
+            server_results_by_file.append((units, passed))
+        channel.send(
+            Direction.SERVER_TO_CLIENT, confirm.getvalue(), PHASE_MAP,
+            bits=confirm.bit_length,
+        )
+
+        confirm_reader = BitReader(channel.receive(Direction.SERVER_TO_CLIENT))
+        for index, (state, pools, _selection) in enumerate(client_selections):
+            units = client_units_by_file[index]
+            passed = [bool(confirm_reader.read_bit()) for _ in units]
+            pools.apply(batch, units, passed)
+        for (state, pools, _selection), (units, passed) in zip(
+            server_selections, server_results_by_file
+        ):
+            pools.apply(batch, units, passed)
+
+    # Finish: record matches and continuation failures on both endpoints.
+    for file_index, (state, c_pools) in enumerate(client_pools):
+        _same_state, s_pools = server_pools[file_index]
+        _plan_state, server_plan = server_plans[file_index]
+        _plan_state_c, client_plan = client_plans[file_index]
+
+        accepted_candidates = c_pools.finish()
+        accepted_blocks = s_pools.finish()
+        state.client.record_accepted(accepted_candidates)
+        for block in accepted_blocks:
+            state.server.tracker.record_match(block)
+
+        accepted_client_ids = {id(c.block) for c in accepted_candidates}
+        accepted_server_ids = {id(b) for b in accepted_blocks}
+        for s_assignment, c_assignment in zip(server_plan, client_plan):
+            if s_assignment.kind is HashKind.CONTINUATION:
+                if id(s_assignment.block) not in accepted_server_ids:
+                    s_assignment.block.continuation_failed = True
+                if id(c_assignment.block) not in accepted_client_ids:
+                    c_assignment.block.continuation_failed = True
+        apply_known_hashes(server_plan)
+        apply_known_hashes(client_plan)

@@ -1,0 +1,201 @@
+"""Recursive block tree shared (and mirrored) by client and server.
+
+Both endpoints construct the same initial partition of the server file
+into top-level blocks and evolve it through identical state transitions
+(driven only by information that crossed the wire: candidate bitmaps and
+confirmation bitmaps).  Because the evolution is deterministic, the server
+never has to transmit block identifiers — hashes are sent in canonical
+(target-offset) order and the client knows exactly which block each one
+belongs to.  This mirroring is what makes the tiny hash widths of the
+paper possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.config import ProtocolConfig
+
+
+class BlockStatus(Enum):
+    ACTIVE = "active"  # candidate for hashing at the current level
+    MATCHED = "matched"  # confirmed equal to some client region
+    SPLIT = "split"  # unmatched; replaced by its two children
+    EXHAUSTED = "exhausted"  # unmatched and too small to recurse further
+
+
+class HashKind(Enum):
+    """How a block's hash reaches the client in a sub-phase."""
+
+    GLOBAL = "global"  # compared against every client position
+    CONTINUATION = "continuation"  # compared at 1–2 expected positions
+    LOCAL = "local"  # compared within a neighborhood of a match
+    DERIVED = "derived"  # not transmitted; client decomposes it
+
+
+@dataclass
+class Block:
+    """One node of the recursive splitting tree over the server file."""
+
+    start: int
+    length: int
+    level: int
+    parent: "Block | None" = None
+    is_left: bool = True
+    status: BlockStatus = BlockStatus.ACTIVE
+    #: Width of a global/derived hash value the *client* holds for this
+    #: block (0 if none); enables decomposable suppression for children.
+    known_width: int = 0
+    #: The packed hash value itself — populated on the client endpoint
+    #: only (parsed from the wire or derived by decomposition).
+    known_value: int = 0
+    #: Continuation hash sent this round without finding a match.
+    continuation_failed: bool = False
+    children: "tuple[Block, Block] | None" = None
+
+    @property
+    def end(self) -> int:
+        return self.start + self.length
+
+    @property
+    def sibling(self) -> "Block | None":
+        if self.parent is None or self.parent.children is None:
+            return None
+        left, right = self.parent.children
+        return right if self is left else left
+
+    def split(self) -> "tuple[Block, Block]":
+        """Create the two children (left gets the extra byte if odd)."""
+        left_length = (self.length + 1) // 2
+        left = Block(
+            start=self.start,
+            length=left_length,
+            level=self.level + 1,
+            parent=self,
+            is_left=True,
+        )
+        right = Block(
+            start=self.start + left_length,
+            length=self.length - left_length,
+            level=self.level + 1,
+            parent=self,
+            is_left=False,
+        )
+        self.children = (left, right)
+        self.status = BlockStatus.SPLIT
+        return left, right
+
+
+@dataclass(frozen=True)
+class HashAssignment:
+    """One planned hash in a sub-phase."""
+
+    block: Block
+    kind: HashKind
+    width: int  # width of the hash *value* the client ends up holding
+
+    @property
+    def transmitted_bits(self) -> int:
+        """Bits actually sent for this assignment (0 when derived)."""
+        return 0 if self.kind is HashKind.DERIVED else self.width
+
+
+class BlockTracker:
+    """Deterministic per-endpoint mirror of the block tree.
+
+    Only target-space facts live here (block geometry, match adjacency);
+    the client keeps the source-position map separately.
+    """
+
+    def __init__(self, target_length: int, config: ProtocolConfig) -> None:
+        self.config = config
+        self.target_length = target_length
+        self.level = 0
+        start_size = config.resolve_start_block_size(target_length)
+        self.current: list[Block] = []
+        offset = 0
+        while offset < target_length:
+            length = min(start_size, target_length - offset)
+            self.current.append(Block(start=offset, length=length, level=0))
+            offset += length
+        #: Target end offsets of confirmed matches (for left-adjacency).
+        self.confirmed_ends: set[int] = set()
+        #: Target start offsets of confirmed matches (for right-adjacency).
+        self.confirmed_starts: set[int] = set()
+        #: All confirmed (start, length) pairs, for local-hash anchoring
+        #: and the server's reference construction.
+        self.confirmed_regions: list[tuple[int, int]] = []
+
+    # ------------------------------------------------------------------
+    # State transitions (identical on both endpoints)
+    # ------------------------------------------------------------------
+    def record_match(self, block: Block) -> None:
+        """Mark a block as confirmed-matched."""
+        block.status = BlockStatus.MATCHED
+        self.confirmed_ends.add(block.end)
+        self.confirmed_starts.add(block.start)
+        self.confirmed_regions.append((block.start, block.length))
+
+    def active_blocks(self) -> list[Block]:
+        """Unmatched blocks of the current level in canonical order."""
+        return [b for b in self.current if b.status is BlockStatus.ACTIVE]
+
+    def has_active(self) -> bool:
+        return any(b.status is BlockStatus.ACTIVE for b in self.current)
+
+    def advance_level(self) -> bool:
+        """Split what can recurse, retire what cannot; return True if more.
+
+        A block recurses while its smaller child is still at least the
+        floor block size (the continuation minimum when continuation
+        hashes are enabled, else the global minimum).
+        """
+        floor = self.config.floor_block_size
+        next_level: list[Block] = []
+        for block in self.current:
+            if block.status is not BlockStatus.ACTIVE:
+                continue
+            if block.length // 2 >= floor:
+                next_level.extend(block.split())
+            else:
+                block.status = BlockStatus.EXHAUSTED
+        self.current = next_level
+        self.level += 1
+        return bool(next_level)
+
+    # ------------------------------------------------------------------
+    # Adjacency / neighborhood queries
+    # ------------------------------------------------------------------
+    def left_adjacent_match(self, block: Block) -> bool:
+        """A confirmed match ends exactly where ``block`` starts."""
+        return block.start in self.confirmed_ends
+
+    def right_adjacent_match(self, block: Block) -> bool:
+        """A confirmed match starts exactly where ``block`` ends."""
+        return block.end in self.confirmed_starts
+
+    def continuation_eligible(self, block: Block) -> bool:
+        return self.left_adjacent_match(block) or self.right_adjacent_match(block)
+
+    def local_anchor(self, block: Block) -> tuple[int, int] | None:
+        """Nearest confirmed region within the local-hash neighborhood.
+
+        Returns the ``(start, length)`` of the anchoring match, preferring
+        one that ends at or before the block (changes are local, so a
+        preceding match is the best predictor).  ``None`` if nothing is
+        close enough.
+        """
+        radius = self.config.local_neighborhood
+        best: tuple[int, tuple[int, int]] | None = None
+        for start, length in self.confirmed_regions:
+            end = start + length
+            if end <= block.start:
+                distance = block.start - end
+            elif start >= block.end:
+                distance = start - block.end
+            else:
+                continue  # overlapping region cannot anchor (tree-disjoint)
+            if distance <= radius and (best is None or distance < best[0]):
+                best = (distance, (start, length))
+        return best[1] if best else None

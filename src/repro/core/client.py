@@ -1,0 +1,218 @@
+"""The client endpoint: owns the outdated file ``F_old`` and builds the map."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.blocks import Block, BlockTracker, HashAssignment, HashKind
+from repro.core.config import ProtocolConfig
+from repro.core.filemap import FileMap
+from repro.delta import vcdiff_decode, zdelta_decode
+from repro.exceptions import DeltaFormatError, ProtocolError
+from repro.grouptesting.strategies import BatchMode, BatchSpec
+from repro.hashing.decomposable import DecomposableAdler
+from repro.hashing.scan import HashIndex, PrefixHasher
+from repro.hashing.strong import StrongHasher, file_fingerprint
+from repro.io.bitstream import BitReader
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """A client-side candidate match: this block ≙ my bytes at ``position``."""
+
+    block: Block
+    position: int
+
+
+class ClientSession:
+    """Client-side protocol state for one file synchronization."""
+
+    def __init__(self, data: bytes, config: ProtocolConfig) -> None:
+        self.data = data
+        self.config = config
+        self.hasher = DecomposableAdler(seed=config.hash_seed)
+        self.strong = StrongHasher(salt=config.hash_seed.to_bytes(8, "big"))
+        self.prefix = PrefixHasher(data, self.hasher)
+        self.global_bits = config.resolve_global_hash_bits(len(data))
+        self.server_fingerprint: bytes | None = None
+        self.tracker: BlockTracker | None = None
+        self.map: FileMap | None = None
+        # Source positions keyed by target offsets, for match extension.
+        self._source_after_end: dict[int, int] = {}
+        self._source_at_start: dict[int, int] = {}
+        self._indexes: dict[int, HashIndex] = {}
+
+    # ------------------------------------------------------------------
+    # Handshake
+    # ------------------------------------------------------------------
+    def process_handshake(self, fingerprint: bytes, server_length: int) -> bool:
+        """Learn the server file identity; returns True if already in sync."""
+        self.server_fingerprint = fingerprint
+        self.tracker = BlockTracker(server_length, self.config)
+        self.map = FileMap(server_length)
+        return file_fingerprint(self.data) == fingerprint
+
+    def _require_tracker(self) -> BlockTracker:
+        if self.tracker is None:
+            raise ProtocolError("handshake has not completed")
+        return self.tracker
+
+    def _require_map(self) -> FileMap:
+        if self.map is None:
+            raise ProtocolError("handshake has not completed")
+        return self.map
+
+    # ------------------------------------------------------------------
+    # Candidate search
+    # ------------------------------------------------------------------
+    def _index(self, length: int) -> HashIndex:
+        index = self._indexes.get(length)
+        if index is None:
+            index = HashIndex(self.data, length, self.hasher)
+            self._indexes[length] = index
+        return index
+
+    def _expected_positions(self, block: Block) -> list[int]:
+        """Source positions a match would occupy if it extends a neighbor."""
+        positions = []
+        source_after = self._source_after_end.get(block.start)
+        if source_after is not None:
+            positions.append(source_after)
+        source_at = self._source_at_start.get(block.end)
+        if source_at is not None:
+            positions.append(source_at - block.length)
+        return [
+            p for p in positions if 0 <= p <= len(self.data) - block.length
+        ]
+
+    def _hash_matches_at(self, block: Block, position: int, value: int, width: int) -> bool:
+        return self.prefix.packed(position, block.length, width) == value
+
+    def _find_candidate(
+        self, assignment: HashAssignment, value: int
+    ) -> int | None:
+        """Pick the client position to verify for this hash, if any."""
+        block = assignment.block
+        if block.length > len(self.data):
+            return None
+        expected = self._expected_positions(block)
+        if assignment.kind is HashKind.CONTINUATION:
+            for position in expected:
+                if self._hash_matches_at(block, position, value, assignment.width):
+                    return position
+            return None
+        # Extension positions are the most trustworthy — try them first.
+        for position in expected:
+            if self._hash_matches_at(block, position, value, assignment.width):
+                return position
+        if assignment.kind is HashKind.LOCAL:
+            anchor = self._require_tracker().local_anchor(block)
+            if anchor is None:
+                return None
+            anchor_start, _anchor_length = anchor
+            anchor_source = self._source_at_start.get(anchor_start)
+            if anchor_source is None:
+                return None
+            center = anchor_source + (block.start - anchor_start)
+            radius = self.config.local_neighborhood
+            positions = self._index(block.length).lookup_in_range(
+                value,
+                assignment.width,
+                center - radius,
+                center + radius,
+                max_results=self.config.max_candidate_positions,
+            )
+            return positions[0] if positions else None
+        positions = self._index(block.length).lookup(
+            value,
+            assignment.width,
+            max_results=self.config.max_candidate_positions,
+        )
+        return positions[0] if positions else None
+
+    def process_hashes(
+        self, plan: list[HashAssignment], payload: bytes
+    ) -> list[Candidate | None]:
+        """Parse a hash message; return one entry per plan item.
+
+        Derived hashes are reconstructed from the parent's stored value and
+        the left sibling's value seen earlier in the same message.
+        """
+        reader = BitReader(payload)
+        parsed: dict[int, int] = {}  # id(block) -> packed value
+        results: list[Candidate | None] = []
+        for assignment in plan:
+            block = assignment.block
+            if assignment.kind is HashKind.DERIVED:
+                parent = block.parent
+                sibling = block.sibling
+                if parent is None or sibling is None:
+                    raise ProtocolError("derived hash without parent/sibling")
+                if parent.known_width < assignment.width:
+                    raise ProtocolError("derived hash without parent value")
+                parent_value = DecomposableAdler.truncate(
+                    parent.known_value, parent.known_width, assignment.width
+                )
+                left_value = parsed.get(id(sibling), sibling.known_value)
+                value = DecomposableAdler.decompose_right_packed(
+                    parent_value, left_value, assignment.width, block.length
+                )
+            else:
+                value = reader.read(assignment.width)
+            parsed[id(block)] = value
+            if assignment.kind in (HashKind.GLOBAL, HashKind.DERIVED):
+                block.known_value = value
+            position = self._find_candidate(assignment, value)
+            results.append(
+                Candidate(block, position) if position is not None else None
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+    def window_bytes(self, candidate: Candidate) -> bytes:
+        return self.data[
+            candidate.position : candidate.position + candidate.block.length
+        ]
+
+    def verification_value(
+        self, unit: list[Candidate], batch: BatchSpec
+    ) -> int:
+        """The hash value sent to the server for this unit."""
+        if batch.mode is BatchMode.INDIVIDUAL:
+            return self.strong.bits(self.window_bytes(unit[0]), batch.bits)
+        return self.strong.group_bits(
+            (self.window_bytes(candidate) for candidate in unit), batch.bits
+        )
+
+    def record_accepted(self, accepted: list[Candidate]) -> None:
+        """Fold confirmed matches into the map and adjacency dictionaries."""
+        tracker = self._require_tracker()
+        file_map = self._require_map()
+        for candidate in accepted:
+            block = candidate.block
+            tracker.record_match(block)
+            file_map.add(block.start, block.length, candidate.position)
+            self._source_after_end[block.end] = candidate.position + block.length
+            self._source_at_start[block.start] = candidate.position
+
+    # ------------------------------------------------------------------
+    # Delta phase
+    # ------------------------------------------------------------------
+    def apply_delta(self, delta: bytes) -> bytes | None:
+        """Decode the final delta; ``None`` signals a failed reconstruction."""
+        reference = self._require_map().reference_from_source(self.data)
+        try:
+            if self.config.delta_coder == "vcdiff":
+                reconstructed = vcdiff_decode(reference, delta)
+            else:
+                reconstructed = zdelta_decode(reference, delta)
+        except DeltaFormatError:
+            return None
+        if (
+            self.server_fingerprint is not None
+            and file_fingerprint(reconstructed) != self.server_fingerprint
+        ):
+            return None
+        return reconstructed

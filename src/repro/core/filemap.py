@@ -1,0 +1,119 @@
+"""The client's map of the server file.
+
+During map construction the client learns, region by region, that
+``F_new[start : start + length]`` equals ``F_old[source : source + length]``.
+The :class:`FileMap` collects these facts; the regions it does not cover
+are the paper's "?" areas.  Both parties derive the same *reference
+string* from the map — the server from ``F_new``, the client from
+``F_old`` — which phase two uses as the delta-compression reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ProtocolError
+
+
+@dataclass(frozen=True)
+class MatchEntry:
+    """One confirmed common region."""
+
+    start: int  # offset in the server's file F_new
+    length: int
+    source: int  # offset in the client's file F_old
+
+    @property
+    def end(self) -> int:
+        return self.start + self.length
+
+
+class FileMap:
+    """Confirmed common regions of a target (server) file.
+
+    Entries are disjoint in target space (they come from a disjoint block
+    partition); they may overlap arbitrarily in source space.
+    """
+
+    def __init__(self, target_length: int) -> None:
+        if target_length < 0:
+            raise ValueError("target_length must be non-negative")
+        self._target_length = target_length
+        self._entries: dict[int, MatchEntry] = {}
+
+    @property
+    def target_length(self) -> int:
+        return self._target_length
+
+    def add(self, start: int, length: int, source: int) -> None:
+        """Record that target ``[start, start+length)`` = source region."""
+        if length <= 0:
+            raise ProtocolError(f"match length must be positive, got {length}")
+        if start < 0 or start + length > self._target_length:
+            raise ProtocolError(
+                f"match [{start}, {start + length}) outside target of "
+                f"length {self._target_length}"
+            )
+        if start in self._entries:
+            raise ProtocolError(f"duplicate match at target offset {start}")
+        self._entries[start] = MatchEntry(start, length, source)
+
+    def entries(self) -> list[MatchEntry]:
+        """Entries sorted by target offset."""
+        return [self._entries[start] for start in sorted(self._entries)]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def known_bytes(self) -> int:
+        return sum(entry.length for entry in self._entries.values())
+
+    @property
+    def known_fraction(self) -> float:
+        if self._target_length == 0:
+            return 1.0
+        return self.known_bytes / self._target_length
+
+    def unknown_intervals(self) -> list[tuple[int, int]]:
+        """The "?" areas as ``(start, end)`` pairs, sorted."""
+        gaps = []
+        cursor = 0
+        for entry in self.entries():
+            if entry.start > cursor:
+                gaps.append((cursor, entry.start))
+            cursor = entry.end
+        if cursor < self._target_length:
+            gaps.append((cursor, self._target_length))
+        return gaps
+
+    def validate_disjoint(self) -> None:
+        """Raise if any two entries overlap in target space."""
+        cursor = -1
+        for entry in self.entries():
+            if entry.start < cursor:
+                raise ProtocolError(
+                    f"overlapping match at target offset {entry.start}"
+                )
+            cursor = entry.end
+
+    def reference_from_target(self, target: bytes) -> bytes:
+        """The server's reference string (built from ``F_new``)."""
+        return b"".join(target[e.start : e.end] for e in self.entries())
+
+    def reference_from_source(self, source: bytes) -> bytes:
+        """The client's reference string (built from ``F_old``).
+
+        Equal to :meth:`reference_from_target` whenever every confirmed
+        match is genuine; the whole-file checksum catches the exception.
+        """
+        parts = []
+        for entry in self.entries():
+            chunk = source[entry.source : entry.source + entry.length]
+            if len(chunk) != entry.length:
+                raise ProtocolError(
+                    f"match source [{entry.source}, "
+                    f"{entry.source + entry.length}) outside client file"
+                )
+            parts.append(chunk)
+        return b"".join(parts)

@@ -1,0 +1,128 @@
+"""Sub-phase hash planning — pure functions of mirrored state.
+
+Both endpoints call these with their own (identically evolving)
+:class:`~repro.core.blocks.BlockTracker`; the resulting plans are equal on
+both sides, which is what lets hashes travel without block identifiers.
+"""
+
+from __future__ import annotations
+
+from repro.core.blocks import (
+    Block,
+    BlockStatus,
+    BlockTracker,
+    HashAssignment,
+    HashKind,
+)
+from repro.core.config import ProtocolConfig
+
+
+def plan_continuation(tracker: BlockTracker) -> list[HashAssignment]:
+    """Continuation hashes for this level's adjacency-eligible blocks."""
+    config = tracker.config
+    if not config.continuation_enabled:
+        return []
+    assert config.continuation_min_block_size is not None
+    plan = []
+    for block in tracker.active_blocks():
+        if block.length < config.continuation_min_block_size:
+            continue
+        if tracker.continuation_eligible(block):
+            plan.append(
+                HashAssignment(
+                    block, HashKind.CONTINUATION, config.continuation_hash_bits
+                )
+            )
+    return plan
+
+
+def _global_skip(block: Block, tracker: BlockTracker) -> bool:
+    """The paper's omission rules for the global sub-phase.
+
+    When rounds are split into continuation-then-global, a block needs no
+    global hash if its sibling was just confirmed (the match would almost
+    certainly have extended into this block and been found by the parent
+    or by continuation) or if its own continuation hash just failed.
+    """
+    if not tracker.config.continuation_first:
+        return False
+    if block.continuation_failed:
+        return True
+    sibling = block.sibling
+    return sibling is not None and sibling.status is BlockStatus.MATCHED
+
+
+def plan_global(
+    tracker: BlockTracker,
+    global_bits: int,
+    exclude: frozenset[int] = frozenset(),
+) -> list[HashAssignment]:
+    """Global (and optional local) hashes, with decomposable suppression.
+
+    Blocks at or above the global minimum block size get a global hash;
+    when local hashes are enabled, smaller blocks anchored near a
+    confirmed match get a local hash instead of nothing.  The right
+    sibling of a transmitted global pair whose parent hash the client
+    already holds is marked DERIVED and costs no bits.  ``exclude`` holds
+    ``id()``s of blocks already covered by another sub-phase.
+    """
+    config = tracker.config
+    selected: list[HashAssignment] = []
+    chosen_global: dict[int, Block] = {}  # id(block) -> block
+    for block in tracker.active_blocks():
+        if id(block) in exclude:
+            continue
+        if _global_skip(block, tracker):
+            continue
+        if block.length >= config.min_block_size:
+            selected.append(HashAssignment(block, HashKind.GLOBAL, global_bits))
+            chosen_global[id(block)] = block
+        elif (
+            config.use_local_hashes
+            and block.length >= config.floor_block_size
+            and tracker.local_anchor(block) is not None
+        ):
+            selected.append(
+                HashAssignment(block, HashKind.LOCAL, config.local_hash_bits)
+            )
+
+    if not config.use_decomposable:
+        return selected
+
+    plan: list[HashAssignment] = []
+    for assignment in selected:
+        block = assignment.block
+        if (
+            assignment.kind is HashKind.GLOBAL
+            and not block.is_left
+            and block.parent is not None
+            and block.parent.known_width >= global_bits
+        ):
+            sibling = block.sibling
+            if sibling is not None and id(sibling) in chosen_global:
+                plan.append(HashAssignment(block, HashKind.DERIVED, global_bits))
+                continue
+        plan.append(assignment)
+    return plan
+
+
+def plan_mixed(
+    tracker: BlockTracker, global_bits: int
+) -> list[HashAssignment]:
+    """Single-phase rounds (``continuation_first=False``).
+
+    Adjacency-eligible blocks get continuation hashes; the rest get global
+    (or local) hashes.  Used to measure the benefit of phase splitting.
+    """
+    continuation = plan_continuation(tracker)
+    covered = frozenset(id(a.block) for a in continuation)
+    plan = continuation + plan_global(tracker, global_bits, exclude=covered)
+    plan.sort(key=lambda a: a.block.start)
+    return plan
+
+
+def apply_known_hashes(plan: list[HashAssignment]) -> None:
+    """Record which blocks' hash values the client now holds."""
+    for assignment in plan:
+        if assignment.kind in (HashKind.GLOBAL, HashKind.DERIVED):
+            assignment.block.known_width = assignment.width

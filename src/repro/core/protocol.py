@@ -1,0 +1,413 @@
+"""Orchestration of one file synchronization over the simulated channel.
+
+:func:`synchronize` drives both endpoints through the full exchange:
+
+1. handshake (client file length →; server fingerprint + file length ←);
+2. rounds of map construction — per block size, an optional continuation
+   sub-phase followed by a global sub-phase, each consisting of a hash
+   message, a candidate bitmap, and the verification batches of the
+   configured group-testing strategy;
+3. the final delta, checked against the whole-file fingerprint, with a
+   compressed full transfer as the (accounted) fallback.
+
+Both sessions evolve mirrored block trees; any divergence is a bug and
+raises :class:`~repro.exceptions.ProtocolError` immediately.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+from repro.core.blocks import Block, HashAssignment, HashKind
+from repro.core.client import Candidate, ClientSession
+from repro.core.config import ProtocolConfig
+from repro.core.planning import (
+    apply_known_hashes,
+    plan_continuation,
+    plan_global,
+    plan_mixed,
+)
+from repro.core.server import ServerSession
+from repro.core.trace import SubphaseTrace
+from repro.core.verification import VerificationPools, make_units
+from repro.exceptions import ProtocolError
+from repro.io.bitstream import BitReader, BitWriter
+from repro.net.channel import SimulatedChannel
+from repro.net.metrics import Direction, TransferStats
+
+PHASE_HANDSHAKE = "handshake"
+PHASE_MAP = "map"
+PHASE_DELTA = "delta"
+PHASE_FALLBACK = "fallback"
+
+
+@dataclass
+class SyncResult:
+    """Outcome of one synchronization run."""
+
+    reconstructed: bytes
+    stats: TransferStats
+    unchanged: bool
+    used_fallback: bool
+    matched_blocks: int
+    known_fraction: float
+    rounds: int
+    #: Continuation-hash bookkeeping: how many continuation hashes found
+    #: a candidate, and how many of those were confirmed.  Their ratio is
+    #: the paper's "harvest rate" (high for continuation hashes, which is
+    #: why they remain profitable at tiny block sizes).
+    continuation_candidates: int = 0
+    continuation_accepted: int = 0
+    #: Per-sub-phase instrumentation; populated when the config sets
+    #: ``collect_trace=True``.
+    trace: "list[SubphaseTrace]" = field(default_factory=list)
+
+    @property
+    def continuation_harvest_rate(self) -> float:
+        """Confirmed fraction of continuation candidates (1.0 if none)."""
+        if self.continuation_candidates == 0:
+            return 1.0
+        return self.continuation_accepted / self.continuation_candidates
+
+    @property
+    def total_bytes(self) -> int:
+        return self.stats.total_bytes
+
+    @property
+    def map_bytes(self) -> int:
+        return self.stats.bytes_in_phase(PHASE_MAP)
+
+    @property
+    def delta_bytes(self) -> int:
+        return self.stats.bytes_in_phase(PHASE_DELTA)
+
+
+def _check_plans_match(
+    server_plan: list[HashAssignment], client_plan: list[HashAssignment]
+) -> None:
+    """Defensive mirror check (free in-process; a real deployment relies
+    on determinism alone)."""
+    if len(server_plan) != len(client_plan):
+        raise ProtocolError(
+            f"endpoint plans diverged: {len(server_plan)} vs {len(client_plan)}"
+        )
+    for ours, theirs in zip(server_plan, client_plan):
+        if (
+            ours.kind is not theirs.kind
+            or ours.width != theirs.width
+            or ours.block.start != theirs.block.start
+            or ours.block.length != theirs.block.length
+        ):
+            raise ProtocolError(
+                f"endpoint plans diverged at block {ours.block.start}"
+            )
+
+
+def _run_verification(
+    channel: SimulatedChannel,
+    client: ClientSession,
+    server: ServerSession,
+    candidates: list[Candidate],
+    server_blocks: list[Block],
+) -> tuple[list[Candidate], list[Block], int]:
+    """Execute the configured verification strategy for one sub-phase.
+
+    Returns the accepted candidates/blocks plus the client->server
+    verification bits spent (for tracing).
+    """
+    strategy = client.config.strategy()
+    client_pools: VerificationPools[Candidate] = VerificationPools(
+        main=list(candidates)
+    )
+    server_pools: VerificationPools[Block] = VerificationPools(
+        main=list(server_blocks)
+    )
+    verification_bits = 0
+    for batch in strategy.batches:
+        client_selection = client_pools.select(batch)
+        server_selection = server_pools.select(batch)
+        if len(client_selection) != len(server_selection):
+            raise ProtocolError("verification pools diverged")
+        if not client_selection:
+            continue
+        client_units = make_units(client_selection, batch)
+        server_units = make_units(server_selection, batch)
+
+        writer = BitWriter()
+        for unit in client_units:
+            writer.write(client.verification_value(unit, batch), batch.bits)
+        verification_bits += writer.bit_length
+        channel.send(
+            Direction.CLIENT_TO_SERVER,
+            writer.getvalue(),
+            PHASE_MAP,
+            bits=writer.bit_length,
+        )
+
+        reader = BitReader(channel.receive(Direction.CLIENT_TO_SERVER))
+        passed = []
+        for unit in server_units:
+            received = reader.read(batch.bits)
+            passed.append(received == server.verification_value(unit, batch))
+
+        bitmap = BitWriter()
+        for ok in passed:
+            bitmap.write_bit(ok)
+        channel.send(
+            Direction.SERVER_TO_CLIENT,
+            bitmap.getvalue(),
+            PHASE_MAP,
+            bits=bitmap.bit_length,
+        )
+        confirm = BitReader(channel.receive(Direction.SERVER_TO_CLIENT))
+        client_passed = [bool(confirm.read_bit()) for _ in client_units]
+
+        client_pools.apply(batch, client_units, client_passed)
+        server_pools.apply(batch, server_units, passed)
+    return client_pools.finish(), server_pools.finish(), verification_bits
+
+
+def _run_subphase(
+    channel: SimulatedChannel,
+    client: ClientSession,
+    server: ServerSession,
+    server_plan: list[HashAssignment],
+    client_plan: list[HashAssignment],
+    round_index: int = 0,
+) -> tuple[int, int, "SubphaseTrace | None"]:
+    """One hash message + candidate bitmap + verification exchange.
+
+    Returns ``(continuation_candidates, continuation_accepted, trace)``.
+    """
+    _check_plans_match(server_plan, client_plan)
+    if not server_plan:
+        return (0, 0, None)
+
+    payload = server.emit_hashes(server_plan)
+    payload_bits = sum(a.transmitted_bits for a in server_plan)
+    channel.send(
+        Direction.SERVER_TO_CLIENT, payload, PHASE_MAP, bits=payload_bits
+    )
+    candidates_by_plan = client.process_hashes(
+        client_plan, channel.receive(Direction.SERVER_TO_CLIENT)
+    )
+
+    bitmap = BitWriter()
+    for candidate in candidates_by_plan:
+        bitmap.write_bit(candidate is not None)
+    channel.send(
+        Direction.CLIENT_TO_SERVER,
+        bitmap.getvalue(),
+        PHASE_MAP,
+        bits=bitmap.bit_length,
+    )
+    reader = BitReader(channel.receive(Direction.CLIENT_TO_SERVER))
+    server_flags = [bool(reader.read_bit()) for _ in server_plan]
+
+    candidates = [c for c in candidates_by_plan if c is not None]
+    server_blocks = [
+        assignment.block
+        for assignment, flagged in zip(server_plan, server_flags)
+        if flagged
+    ]
+
+    accepted_candidates, accepted_blocks, verification_bits = (
+        _run_verification(channel, client, server, candidates, server_blocks)
+    )
+
+    client.record_accepted(accepted_candidates)
+    for block in accepted_blocks:
+        server.tracker.record_match(block)
+
+    # Both endpoints now mark failed continuation attempts identically.
+    accepted_client_ids = {id(c.block) for c in accepted_candidates}
+    accepted_server_ids = {id(b) for b in accepted_blocks}
+    continuation_candidates = 0
+    continuation_accepted = 0
+    for (s_assignment, c_assignment), candidate in zip(
+        zip(server_plan, client_plan), candidates_by_plan
+    ):
+        if s_assignment.kind is HashKind.CONTINUATION:
+            if candidate is not None:
+                continuation_candidates += 1
+                if id(c_assignment.block) in accepted_client_ids:
+                    continuation_accepted += 1
+            if id(s_assignment.block) not in accepted_server_ids:
+                s_assignment.block.continuation_failed = True
+            if id(c_assignment.block) not in accepted_client_ids:
+                c_assignment.block.continuation_failed = True
+
+    apply_known_hashes(server_plan)
+    apply_known_hashes(client_plan)
+
+    trace = None
+    if client.config.collect_trace:
+        hash_counts: dict[HashKind, int] = {}
+        for assignment in server_plan:
+            hash_counts[assignment.kind] = hash_counts.get(assignment.kind, 0) + 1
+        trace = SubphaseTrace(
+            round_index=round_index,
+            block_length=max(a.block.length for a in server_plan),
+            hash_counts=hash_counts,
+            hash_bits_sent=payload_bits,
+            candidates=len(candidates),
+            accepted=len(accepted_candidates),
+            verification_bits=verification_bits,
+        )
+    return (continuation_candidates, continuation_accepted, trace)
+
+
+def synchronize(
+    client_data: bytes,
+    server_data: bytes,
+    config: ProtocolConfig | None = None,
+    channel: SimulatedChannel | None = None,
+) -> SyncResult:
+    """Synchronise the client's file to the server's current version.
+
+    Always returns a reconstruction equal to ``server_data``; the
+    whole-file fingerprint plus the full-transfer fallback guarantee it
+    even under (engineered) hash collisions.
+    """
+    if config is None:
+        config = ProtocolConfig()
+    if channel is None:
+        channel = SimulatedChannel()
+
+    server = ServerSession(server_data, config)
+    client = ClientSession(client_data, config)
+
+    # --- Handshake -----------------------------------------------------
+    request = BitWriter()
+    request.write_uvarint(len(client_data))
+    channel.send(
+        Direction.CLIENT_TO_SERVER,
+        request.getvalue(),
+        PHASE_HANDSHAKE,
+        bits=request.bit_length,
+    )
+    server.set_client_length(
+        BitReader(channel.receive(Direction.CLIENT_TO_SERVER)).read_uvarint()
+    )
+
+    hello = BitWriter()
+    hello.write_bytes(server.fingerprint())
+    hello.write_uvarint(len(server_data))
+    channel.send(Direction.SERVER_TO_CLIENT, hello.getvalue(), PHASE_HANDSHAKE)
+    hello_reader = BitReader(channel.receive(Direction.SERVER_TO_CLIENT))
+    unchanged = client.process_handshake(
+        hello_reader.read_bytes(16), hello_reader.read_uvarint()
+    )
+
+    channel.send(
+        Direction.CLIENT_TO_SERVER,
+        b"\x00" if unchanged else b"\x01",
+        PHASE_HANDSHAKE,
+        bits=1,
+    )
+    channel.receive(Direction.CLIENT_TO_SERVER)
+    if unchanged:
+        return SyncResult(
+            reconstructed=client_data,
+            stats=channel.stats,
+            unchanged=True,
+            used_fallback=False,
+            matched_blocks=0,
+            known_fraction=1.0,
+            rounds=0,
+            trace=[],
+        )
+
+    # --- Map construction ----------------------------------------------
+    assert server.global_bits is not None
+    rounds = 0
+    continuation_candidates = 0
+    continuation_accepted = 0
+    trace: list[SubphaseTrace] = []
+    while server.tracker.has_active() or client._require_tracker().has_active():
+        rounds += 1
+        client_tracker = client._require_tracker()
+        if config.continuation_first and config.continuation_enabled:
+            planners = [
+                lambda tracker, bits: plan_continuation(tracker),
+                plan_global,
+            ]
+        else:
+            planners = [plan_mixed]
+        for planner in planners:
+            # Plans must be derived immediately before each sub-phase:
+            # the continuation sub-phase's confirmations feed the global
+            # sub-phase's skip rules.
+            found, accepted, subphase_trace = _run_subphase(
+                channel,
+                client,
+                server,
+                planner(server.tracker, server.global_bits),
+                planner(client_tracker, client.global_bits),
+                round_index=rounds,
+            )
+            continuation_candidates += found
+            continuation_accepted += accepted
+            if subphase_trace is not None:
+                trace.append(subphase_trace)
+        more_server = server.tracker.advance_level()
+        more_client = client_tracker.advance_level()
+        if more_server != more_client:
+            raise ProtocolError("endpoint trees diverged while splitting")
+        if not more_server:
+            break
+        if config.max_rounds is not None and rounds >= config.max_rounds:
+            break
+
+    # --- Boundary refinement (optional, §5.4) ----------------------------
+    if config.refine_boundaries:
+        from repro.core.refine import run_boundary_refinement
+
+        run_boundary_refinement(channel, client, server)
+
+    # --- Delta phase -----------------------------------------------------
+    delta = server.emit_delta()
+    channel.send(Direction.SERVER_TO_CLIENT, delta, PHASE_DELTA)
+    reconstructed = client.apply_delta(channel.receive(Direction.SERVER_TO_CLIENT))
+
+    used_fallback = False
+    if reconstructed is None:
+        used_fallback = True
+        channel.send(Direction.CLIENT_TO_SERVER, b"\x01", PHASE_FALLBACK, bits=1)
+        channel.receive(Direction.CLIENT_TO_SERVER)
+        if config.collision_retries > 0:
+            # Repeat with an independent hash function (different
+            # substitution table); all bytes land on the same channel.
+            retry_config = config.with_overrides(
+                hash_seed=config.hash_seed + 1,
+                collision_retries=config.collision_retries - 1,
+            )
+            retry = synchronize(client_data, server_data, retry_config, channel)
+            retry.used_fallback = True
+            return retry
+        channel.send(
+            Direction.SERVER_TO_CLIENT,
+            zlib.compress(server_data, 9),
+            PHASE_FALLBACK,
+        )
+        reconstructed = zlib.decompress(
+            channel.receive(Direction.SERVER_TO_CLIENT)
+        )
+    else:
+        channel.send(Direction.CLIENT_TO_SERVER, b"\x00", PHASE_FALLBACK, bits=1)
+        channel.receive(Direction.CLIENT_TO_SERVER)
+
+    file_map = client._require_map()
+    return SyncResult(
+        reconstructed=reconstructed,
+        stats=channel.stats,
+        unchanged=False,
+        used_fallback=used_fallback,
+        matched_blocks=len(file_map),
+        known_fraction=file_map.known_fraction,
+        rounds=rounds,
+        continuation_candidates=continuation_candidates,
+        continuation_accepted=continuation_accepted,
+        trace=trace,
+    )

@@ -1,0 +1,283 @@
+"""Boundary refinement: searching-with-liars at the match edges.
+
+Map construction stops at the floor block size, so every confirmed match
+ends on a block boundary even though the true common region usually
+extends a little further.  §5.4 models exactly this as Ulam's
+searching-with-liars game: "does the match extend at least ``d`` bytes
+into the gap?" is answered by a tiny continuation hash that can *lie*
+(collide) with probability ``2**-bits`` when the answer is no.
+
+This phase runs one binary search per gap edge, all gaps in parallel
+(one query per search per roundtrip), then verifies each tentative
+boundary with a stronger confirmation hash — overshoot from a lie is
+caught there (and in the worst case by the whole-file checksum).  The
+bytes it confirms are bytes the final delta no longer has to carry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.client import ClientSession
+from repro.core.server import ServerSession
+from repro.hashing.decomposable import DecomposableAdler
+from repro.io.bitstream import BitReader, BitWriter
+from repro.net.channel import SimulatedChannel
+from repro.net.metrics import Direction
+
+PHASE_MAP = "map"
+
+
+@dataclass
+class _Search:
+    """One binary search along a gap edge.
+
+    ``anchor`` is the gap edge offset in the server file; extension by
+    ``d`` bytes claims target region ``[anchor, anchor + d)`` for LEFT
+    searches (growing rightward from a match that *ends* at ``anchor``)
+    and ``[anchor - d, anchor)`` for RIGHT searches (growing leftward
+    from a match that *starts* at ``anchor``).
+    """
+
+    anchor: int
+    limit: int
+    is_left: bool
+    #: Client-side only: the source position the extension would occupy.
+    source: int | None = None
+    low: int = 0
+    high: int = 0
+    done: bool = False
+
+    def __post_init__(self) -> None:
+        self.high = self.limit
+
+    @property
+    def active(self) -> bool:
+        return not self.done and self.low < self.high
+
+    def target_range(self, distance: int) -> tuple[int, int]:
+        if self.is_left:
+            return self.anchor, self.anchor + distance
+        return self.anchor - distance, self.anchor
+
+
+def _gap_searches(
+    confirmed: list[tuple[int, int]], target_length: int
+) -> list[_Search]:
+    """Derive the per-gap searches from the confirmed-region set.
+
+    Pure function of mirrored state: both endpoints produce the same
+    list.  Each gap gets a LEFT search (if a match ends at its start) and
+    a RIGHT search (if a match starts at its end); their limits split the
+    gap so the two cannot claim the same byte.
+    """
+    regions = sorted(confirmed)
+    # Gaps between confirmed regions (regions are disjoint in target
+    # space by construction).
+    gaps: list[tuple[int, int, bool, bool]] = []  # start, end, has_l, has_r
+    cursor = 0
+    for start, length in regions:
+        if start > cursor:
+            gaps.append((cursor, start, cursor > 0, True))
+        cursor = start + length
+    if cursor < target_length:
+        gaps.append((cursor, target_length, cursor > 0, False))
+
+    searches: list[_Search] = []
+    for gap_start, gap_end, has_left, has_right in gaps:
+        gap_length = gap_end - gap_start
+        if has_left and has_right:
+            left_limit = gap_length // 2
+            right_limit = gap_length - left_limit
+        elif has_left:
+            left_limit, right_limit = gap_length, 0
+        elif has_right:
+            left_limit, right_limit = 0, gap_length
+        else:
+            continue
+        if left_limit > 0:
+            searches.append(
+                _Search(anchor=gap_start, limit=left_limit, is_left=True)
+            )
+        if right_limit > 0:
+            searches.append(
+                _Search(anchor=gap_end, limit=right_limit, is_left=False)
+            )
+    return searches
+
+
+def run_boundary_refinement(
+    channel: SimulatedChannel,
+    client: ClientSession,
+    server: ServerSession,
+) -> int:
+    """Execute the refinement phase; returns the number of bytes gained.
+
+    Both endpoints derive identical search lists from their mirrored
+    confirmed regions; the client additionally resolves each search's
+    candidate source position (or opts out via the participation bitmap
+    when it has none).
+    """
+    config = client.config
+    query_bits = config.refinement_hash_bits
+    confirm_bits = config.refinement_confirm_bits
+
+    server_searches = _gap_searches(
+        server.tracker.confirmed_regions, len(server.data)
+    )
+    client_map = client._require_map()
+    client_regions = [(e.start, e.length) for e in client_map.entries()]
+    client_searches = _gap_searches(client_regions, client_map.target_length)
+    if len(server_searches) != len(client_searches):
+        from repro.exceptions import ProtocolError
+
+        raise ProtocolError("refinement search lists diverged")
+    if not server_searches:
+        return 0
+
+    # Client resolves source positions and announces participation.
+    participation = BitWriter()
+    for search in client_searches:
+        if search.is_left:
+            source = client._source_after_end.get(search.anchor)
+        else:
+            source = client._source_at_start.get(search.anchor)
+        if source is None:
+            search.done = True
+        else:
+            search.source = source
+            if search.is_left:
+                search.high = min(search.limit, len(client.data) - source)
+            else:
+                search.high = min(search.limit, source)
+            if search.high <= 0:
+                search.done = True
+        participation.write_bit(not search.done)
+    channel.send(
+        Direction.CLIENT_TO_SERVER, participation.getvalue(), PHASE_MAP,
+        bits=participation.bit_length,
+    )
+    reader = BitReader(channel.receive(Direction.CLIENT_TO_SERVER))
+    for search in server_searches:
+        if not reader.read_bit():
+            search.done = True
+
+    # The client's bound-clamping must be mirrored; the server cannot see
+    # it, so the first reply round communicates implicitly through the
+    # normal bitmaps: the client simply answers "no" beyond its clamp.
+    # To keep both searches numerically identical we instead transmit the
+    # clamped high (varint) for participating searches once.
+    clamp = BitWriter()
+    for search in client_searches:
+        if not search.done:
+            clamp.write_uvarint(search.high)
+    channel.send(
+        Direction.CLIENT_TO_SERVER, clamp.getvalue(), PHASE_MAP,
+        bits=clamp.bit_length,
+    )
+    clamp_reader = BitReader(channel.receive(Direction.CLIENT_TO_SERVER))
+    for search in server_searches:
+        if not search.done:
+            search.high = min(search.high, clamp_reader.read_uvarint())
+
+    # --- Parallel binary search ----------------------------------------
+    while any(s.active for s in server_searches):
+        probes = BitWriter()
+        for search in server_searches:
+            if not search.active:
+                continue
+            mid = (search.low + search.high + 1) // 2
+            lo_offset, hi_offset = search.target_range(mid)
+            pair = server.prefix.block_pair(lo_offset, hi_offset - lo_offset)
+            probes.write(DecomposableAdler.pack(pair, query_bits), query_bits)
+        channel.send(
+            Direction.SERVER_TO_CLIENT, probes.getvalue(), PHASE_MAP,
+            bits=probes.bit_length,
+        )
+
+        probe_reader = BitReader(channel.receive(Direction.SERVER_TO_CLIENT))
+        answers = BitWriter()
+        for search in client_searches:
+            if not search.active:
+                continue
+            mid = (search.low + search.high + 1) // 2
+            value = probe_reader.read(query_bits)
+            assert search.source is not None
+            if search.is_left:
+                position = search.source
+            else:
+                position = search.source - mid
+            matched = (
+                client.prefix.packed(position, mid, query_bits) == value
+            )
+            answers.write_bit(matched)
+            if matched:
+                search.low = mid
+            else:
+                search.high = mid - 1
+        channel.send(
+            Direction.CLIENT_TO_SERVER, answers.getvalue(), PHASE_MAP,
+            bits=answers.bit_length,
+        )
+        answer_reader = BitReader(channel.receive(Direction.CLIENT_TO_SERVER))
+        for search in server_searches:
+            if not search.active:
+                continue
+            if answer_reader.read_bit():
+                search.low = (search.low + search.high + 1) // 2
+            else:
+                search.high = (search.low + search.high + 1) // 2 - 1
+
+    # --- Confirmation of tentative boundaries ---------------------------
+    confirm = BitWriter()
+    for search in server_searches:
+        if search.done or search.low <= 0:
+            continue
+        lo_offset, hi_offset = search.target_range(search.low)
+        confirm.write(
+            server.strong.bits(
+                server.data[lo_offset:hi_offset], confirm_bits
+            ),
+            confirm_bits,
+        )
+    channel.send(
+        Direction.SERVER_TO_CLIENT, confirm.getvalue(), PHASE_MAP,
+        bits=confirm.bit_length,
+    )
+    confirm_reader = BitReader(channel.receive(Direction.SERVER_TO_CLIENT))
+    verdicts = BitWriter()
+    gained = 0
+    for search in client_searches:
+        if search.done or search.low <= 0:
+            continue
+        assert search.source is not None
+        expected = confirm_reader.read(confirm_bits)
+        if search.is_left:
+            position = search.source
+        else:
+            position = search.source - search.low
+        window = client.data[position : position + search.low]
+        accepted = client.strong.bits(window, confirm_bits) == expected
+        verdicts.write_bit(accepted)
+        if accepted:
+            target_start, _target_end = search.target_range(search.low)
+            client_map.add(target_start, search.low, position)
+            client._source_after_end[target_start + search.low] = (
+                position + search.low
+            )
+            client._source_at_start[target_start] = position
+            gained += search.low
+    channel.send(
+        Direction.CLIENT_TO_SERVER, verdicts.getvalue(), PHASE_MAP,
+        bits=verdicts.bit_length,
+    )
+    verdict_reader = BitReader(channel.receive(Direction.CLIENT_TO_SERVER))
+    for search in server_searches:
+        if search.done or search.low <= 0:
+            continue
+        if verdict_reader.read_bit():
+            target_start, _target_end = search.target_range(search.low)
+            server.tracker.confirmed_regions.append(
+                (target_start, search.low)
+            )
+    return gained

@@ -1,0 +1,82 @@
+"""The server endpoint: owns the current file ``F_new``."""
+
+from __future__ import annotations
+
+from repro.core.blocks import Block, BlockTracker, HashAssignment, HashKind
+from repro.core.config import ProtocolConfig
+from repro.delta import vcdiff_encode, zdelta_encode
+from repro.exceptions import ProtocolError
+from repro.grouptesting.strategies import BatchMode, BatchSpec
+from repro.hashing.decomposable import DecomposableAdler
+from repro.hashing.scan import PrefixHasher
+from repro.hashing.strong import StrongHasher, file_fingerprint
+from repro.io.bitstream import BitWriter
+
+
+class ServerSession:
+    """Server-side protocol state for one file synchronization."""
+
+    def __init__(self, data: bytes, config: ProtocolConfig) -> None:
+        self.data = data
+        self.config = config
+        self.hasher = DecomposableAdler(seed=config.hash_seed)
+        self.strong = StrongHasher(salt=config.hash_seed.to_bytes(8, "big"))
+        self.prefix = PrefixHasher(data, self.hasher)
+        self.tracker = BlockTracker(len(data), config)
+        self.global_bits: int | None = None
+
+    # ------------------------------------------------------------------
+    # Handshake
+    # ------------------------------------------------------------------
+    def set_client_length(self, client_length: int) -> None:
+        """Learn the client file length (fixes the global hash width)."""
+        if client_length < 0:
+            raise ProtocolError(f"bad client length {client_length}")
+        self.global_bits = self.config.resolve_global_hash_bits(client_length)
+
+    def fingerprint(self) -> bytes:
+        """16-byte whole-file checksum, sent first."""
+        return file_fingerprint(self.data)
+
+    # ------------------------------------------------------------------
+    # Map construction
+    # ------------------------------------------------------------------
+    def block_bytes(self, block: Block) -> bytes:
+        return self.data[block.start : block.end]
+
+    def emit_hashes(self, plan: list[HashAssignment]) -> bytes:
+        """Serialise one sub-phase's hash message."""
+        writer = BitWriter()
+        for assignment in plan:
+            if assignment.kind is HashKind.DERIVED:
+                continue  # the client computes this one itself
+            block = assignment.block
+            packed = DecomposableAdler.pack(
+                self.prefix.block_pair(block.start, block.length),
+                assignment.width,
+            )
+            writer.write(packed, assignment.width)
+        return writer.getvalue()
+
+    def verification_value(self, unit: list[Block], batch: BatchSpec) -> int:
+        """The hash value the client *should* send for this unit."""
+        if batch.mode is BatchMode.INDIVIDUAL:
+            return self.strong.bits(self.block_bytes(unit[0]), batch.bits)
+        return self.strong.group_bits(
+            (self.block_bytes(block) for block in unit), batch.bits
+        )
+
+    # ------------------------------------------------------------------
+    # Delta phase
+    # ------------------------------------------------------------------
+    def reference(self) -> bytes:
+        """Reference string: confirmed regions in target order."""
+        regions = sorted(self.tracker.confirmed_regions)
+        return b"".join(self.data[start : start + length] for start, length in regions)
+
+    def emit_delta(self) -> bytes:
+        """Encode ``F_new`` against the common reference."""
+        reference = self.reference()
+        if self.config.delta_coder == "vcdiff":
+            return vcdiff_encode(reference, self.data)
+        return zdelta_encode(reference, self.data)

@@ -1,0 +1,85 @@
+"""Per-round protocol instrumentation.
+
+With ``ProtocolConfig(collect_trace=True)`` every sub-phase records what
+was sent and what it achieved — the data behind the paper's per-technique
+discussion (how many hashes of each kind, how many candidates, how many
+bits of verification, what was confirmed).  Traces power the
+``examples/protocol_trace.py`` walkthrough and several regression tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.blocks import HashKind
+
+
+@dataclass
+class SubphaseTrace:
+    """Everything one sub-phase did."""
+
+    round_index: int
+    #: Dominant block length of this level (tail blocks may differ by ±1
+    #: per split generation).
+    block_length: int
+    hash_counts: dict[HashKind, int] = field(default_factory=dict)
+    hash_bits_sent: int = 0
+    candidates: int = 0
+    accepted: int = 0
+    verification_bits: int = 0
+
+    @property
+    def harvest_rate(self) -> float:
+        """Accepted fraction of candidates (1.0 when none were found)."""
+        if self.candidates == 0:
+            return 1.0
+        return self.accepted / self.candidates
+
+    @property
+    def total_hashes(self) -> int:
+        return sum(self.hash_counts.values())
+
+    def describe(self) -> str:
+        """One human-readable line for trace listings."""
+        kinds = ", ".join(
+            f"{count} {kind.value}"
+            for kind, count in sorted(
+                self.hash_counts.items(), key=lambda item: item[0].value
+            )
+            if count
+        )
+        return (
+            f"round {self.round_index:2d}  b={self.block_length:<6d} "
+            f"[{kinds or 'nothing'}]  {self.hash_bits_sent:5d}b hashes, "
+            f"{self.verification_bits:5d}b verify -> "
+            f"{self.accepted}/{self.candidates} confirmed"
+        )
+
+
+def summarize_trace(traces: list[SubphaseTrace]) -> dict[str, int]:
+    """Aggregate counters over a whole run."""
+    summary = {
+        "subphases": len(traces),
+        "hashes_sent": 0,
+        "derived_hashes": 0,
+        "continuation_hashes": 0,
+        "global_hashes": 0,
+        "local_hashes": 0,
+        "candidates": 0,
+        "accepted": 0,
+        "hash_bits": 0,
+        "verification_bits": 0,
+    }
+    for trace in traces:
+        summary["hashes_sent"] += trace.total_hashes
+        summary["derived_hashes"] += trace.hash_counts.get(HashKind.DERIVED, 0)
+        summary["continuation_hashes"] += trace.hash_counts.get(
+            HashKind.CONTINUATION, 0
+        )
+        summary["global_hashes"] += trace.hash_counts.get(HashKind.GLOBAL, 0)
+        summary["local_hashes"] += trace.hash_counts.get(HashKind.LOCAL, 0)
+        summary["candidates"] += trace.candidates
+        summary["accepted"] += trace.accepted
+        summary["hash_bits"] += trace.hash_bits_sent
+        summary["verification_bits"] += trace.verification_bits
+    return summary

@@ -1,0 +1,125 @@
+"""zdelta-style delta coder: separate op/literal streams, zlib entropy pass.
+
+Format (after the 1-byte magic):
+
+* varint: uncompressed op-stream length, then zlib(op stream)
+* varint: uncompressed literal-stream length, then zlib(literal stream)
+
+Op stream: ``0x00 len`` for ADD (literal bytes live in the literal stream)
+and ``0x01 offset len`` for COPY, all varints.  Keeping literals separate
+lets zlib model them independently of the instruction bytes — the same
+trick that makes real zdelta beat single-stream coders.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.delta.instructions import Add, Copy, Instruction, apply_instructions
+from repro.delta.matcher import (
+    DEFAULT_SEED_LENGTH,
+    ReferenceMatcher,
+    compute_instructions,
+)
+from repro.exceptions import DeltaFormatError
+from repro.io.varint import decode_uvarint, encode_uvarint
+
+_MAGIC = 0x5A  # 'Z'
+_OP_ADD = 0x00
+_OP_COPY = 0x01
+
+
+def _encode_streams(instructions: list[Instruction]) -> tuple[bytes, bytes]:
+    ops = bytearray()
+    literals = bytearray()
+    for instruction in instructions:
+        if isinstance(instruction, Copy):
+            ops.append(_OP_COPY)
+            ops += encode_uvarint(instruction.offset)
+            ops += encode_uvarint(instruction.length)
+        else:
+            ops.append(_OP_ADD)
+            ops += encode_uvarint(len(instruction.data))
+            literals += instruction.data
+    return bytes(ops), bytes(literals)
+
+
+def _decode_streams(ops: bytes, literals: bytes) -> list[Instruction]:
+    instructions: list[Instruction] = []
+    position = 0
+    literal_position = 0
+    while position < len(ops):
+        opcode = ops[position]
+        position += 1
+        if opcode == _OP_COPY:
+            offset, position = decode_uvarint(ops, position)
+            length, position = decode_uvarint(ops, position)
+            instructions.append(Copy(offset, length))
+        elif opcode == _OP_ADD:
+            length, position = decode_uvarint(ops, position)
+            data = literals[literal_position : literal_position + length]
+            if len(data) != length:
+                raise DeltaFormatError("literal stream truncated")
+            literal_position += length
+            instructions.append(Add(data))
+        else:
+            raise DeltaFormatError(f"unknown opcode {opcode:#x}")
+    if literal_position != len(literals):
+        raise DeltaFormatError("trailing bytes in literal stream")
+    return instructions
+
+
+def zdelta_encode(
+    reference: bytes,
+    target: bytes,
+    seed_length: int = DEFAULT_SEED_LENGTH,
+    matcher: ReferenceMatcher | None = None,
+) -> bytes:
+    """Encode ``target`` relative to ``reference``."""
+    instructions = compute_instructions(
+        reference, target, seed_length=seed_length, matcher=matcher
+    )
+    ops, literals = _encode_streams(instructions)
+    compressed_ops = zlib.compress(ops, 9)
+    compressed_literals = zlib.compress(literals, 9)
+    out = bytearray([_MAGIC])
+    out += encode_uvarint(len(compressed_ops))
+    out += compressed_ops
+    out += encode_uvarint(len(compressed_literals))
+    out += compressed_literals
+    return bytes(out)
+
+
+def zdelta_decode(reference: bytes, delta: bytes) -> bytes:
+    """Reconstruct the target from ``reference`` and a zdelta payload."""
+    if not delta or delta[0] != _MAGIC:
+        raise DeltaFormatError("bad zdelta magic")
+    ops_length, position = decode_uvarint(delta, 1)
+    ops_end = position + ops_length
+    if ops_end > len(delta):
+        raise DeltaFormatError("op stream truncated")
+    try:
+        ops = zlib.decompress(delta[position:ops_end])
+    except zlib.error as error:
+        raise DeltaFormatError(f"op stream corrupt: {error}") from error
+    literals_length, position = decode_uvarint(delta, ops_end)
+    literals_end = position + literals_length
+    if literals_end > len(delta):
+        raise DeltaFormatError("literal stream truncated")
+    try:
+        literals = zlib.decompress(delta[position:literals_end])
+    except zlib.error as error:
+        raise DeltaFormatError(f"literal stream corrupt: {error}") from error
+    return apply_instructions(reference, _decode_streams(ops, literals))
+
+
+def zdelta_size(
+    reference: bytes,
+    target: bytes,
+    seed_length: int = DEFAULT_SEED_LENGTH,
+    matcher: ReferenceMatcher | None = None,
+) -> int:
+    """Size in bytes of the zdelta encoding (the paper's lower bound)."""
+    return len(
+        zdelta_encode(reference, target, seed_length=seed_length, matcher=matcher)
+    )

@@ -1,0 +1,138 @@
+"""Greedy hash-chain matching of a target against a reference file.
+
+This is the algorithmic core shared by the zdelta- and vcdiff-style coders:
+index the reference by seed-length windows, then scan the target greedily,
+extending candidate matches forward (and backward into pending literals)
+and emitting COPY/ADD instructions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.delta.instructions import Add, Copy, Instruction
+from repro.hashing.decomposable import DecomposableAdler
+from repro.hashing.scan import window_hashes
+
+#: Hash function used for seed indexing only (never transmitted).
+_SEED_HASHER = DecomposableAdler(seed=0x5EED)
+
+DEFAULT_SEED_LENGTH = 16
+DEFAULT_MAX_CANDIDATES = 8
+
+
+def _common_prefix_length(a: memoryview, b: memoryview) -> int:
+    """Length of the common prefix of two byte views, chunk-accelerated."""
+    limit = min(len(a), len(b))
+    matched = 0
+    chunk = 64
+    while matched < limit:
+        take = min(chunk, limit - matched)
+        if a[matched : matched + take] == b[matched : matched + take]:
+            matched += take
+            chunk = min(chunk * 2, 1 << 16)
+            continue
+        # Narrow down inside the differing chunk byte by byte.
+        for offset in range(take):
+            if a[matched + offset] != b[matched + offset]:
+                return matched + offset
+        return matched + take
+    return matched
+
+
+class ReferenceMatcher:
+    """Seed index over a reference file.
+
+    Window hashes of every reference position are computed once with
+    numpy; lookups return candidate positions for a target seed hash.
+    """
+
+    def __init__(
+        self, reference: bytes, seed_length: int = DEFAULT_SEED_LENGTH
+    ) -> None:
+        if seed_length <= 0:
+            raise ValueError(f"seed_length must be positive, got {seed_length}")
+        self.reference = reference
+        self.seed_length = seed_length
+        full = window_hashes(reference, seed_length, _SEED_HASHER)
+        self._order = np.argsort(full, kind="stable")
+        self._sorted = full[self._order]
+
+    def candidates(
+        self, seed_hash: int, cap: int = DEFAULT_MAX_CANDIDATES
+    ) -> list[int]:
+        """Reference positions whose seed window hashes to ``seed_hash``."""
+        if self._sorted.size == 0:
+            return []
+        lo = int(np.searchsorted(self._sorted, seed_hash, side="left"))
+        hi = int(np.searchsorted(self._sorted, seed_hash, side="right"))
+        if hi - lo > cap:
+            hi = lo + cap
+        return [int(p) for p in self._order[lo:hi]]
+
+
+def compute_instructions(
+    reference: bytes,
+    target: bytes,
+    seed_length: int = DEFAULT_SEED_LENGTH,
+    min_match: int | None = None,
+    matcher: ReferenceMatcher | None = None,
+) -> list[Instruction]:
+    """Greedy COPY/ADD instruction list producing ``target`` from ``reference``.
+
+    A prebuilt ``matcher`` for the same reference may be passed to amortise
+    index construction across several targets.
+    """
+    if min_match is None:
+        min_match = seed_length
+    if matcher is None:
+        matcher = ReferenceMatcher(reference, seed_length)
+    elif matcher.reference is not reference and matcher.reference != reference:
+        raise ValueError("matcher was built for a different reference")
+
+    target_view = memoryview(target)
+    reference_view = memoryview(reference)
+    target_hashes = window_hashes(target, matcher.seed_length, _SEED_HASHER)
+
+    instructions: list[Instruction] = []
+    literals = bytearray()
+    position = 0
+    scan_limit = len(target) - matcher.seed_length
+
+    def flush_literals() -> None:
+        if literals:
+            instructions.append(Add(bytes(literals)))
+            literals.clear()
+
+    while position < len(target):
+        best_length = 0
+        best_offset = -1
+        if position <= scan_limit:
+            seed_hash = int(target_hashes[position])
+            for candidate in matcher.candidates(seed_hash):
+                length = _common_prefix_length(
+                    reference_view[candidate:], target_view[position:]
+                )
+                if length > best_length:
+                    best_length = length
+                    best_offset = candidate
+        if best_length >= min_match:
+            # Extend backward into pending literals.
+            back = 0
+            while (
+                back < len(literals)
+                and best_offset - back > 0
+                and reference[best_offset - back - 1]
+                == target[position - back - 1]
+            ):
+                back += 1
+            if back:
+                del literals[len(literals) - back :]
+            flush_literals()
+            instructions.append(Copy(best_offset - back, best_length + back))
+            position += best_length
+        else:
+            literals.append(target[position])
+            position += 1
+    flush_literals()
+    return instructions

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ProtocolError(ReproError):
+    """A synchronization protocol received a malformed or unexpected message."""
+
+
+class ChannelClosedError(ReproError):
+    """An endpoint attempted to use a channel that has been closed."""
+
+
+class DeltaFormatError(ReproError):
+    """A delta stream could not be decoded."""
+
+
+class IntegrityError(ReproError):
+    """A reconstructed file failed its whole-file checksum.
+
+    The protocols detect (extremely unlikely) hash-collision failures with a
+    strong whole-file checksum; this error signals that the fallback path
+    (full transfer) had to be taken or that decoding produced bad data.
+    """
+
+
+class ConfigError(ReproError):
+    """A protocol or workload configuration is invalid."""
+
+
+class WorkloadError(ReproError):
+    """A synthetic workload could not be generated as requested."""

@@ -1,0 +1,133 @@
+"""Expected-cost analysis for verification strategies.
+
+These closed-form estimates drive the ablation benchmark that compares
+verification schemes and provide test oracles for the protocol's measured
+behaviour.  The model: each candidate is a true match with probability
+``1 - false_rate``; a ``b``-bit hash of a false candidate *passes* with
+probability ``2**-b`` (collision); true candidates always pass.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.grouptesting.strategies import (
+    BatchMode,
+    BatchScope,
+    VerificationStrategy,
+)
+
+
+def optimal_dorfman_group_size(false_rate: float) -> int:
+    """Classic Dorfman group-size rule ``~ 1/sqrt(p)`` for defect rate p.
+
+    Returns at least 2 (group testing degenerates below that).
+    """
+    if not 0.0 < false_rate < 1.0:
+        raise ValueError(f"false_rate must be in (0, 1), got {false_rate}")
+    return max(2, round(1.0 / math.sqrt(false_rate)))
+
+
+def expected_strategy_bits(
+    strategy: VerificationStrategy,
+    candidates: int,
+    false_rate: float,
+) -> float:
+    """Expected client→server verification bits for ``candidates`` items.
+
+    Tracks the expected number of undecided true/false candidates through
+    the batch sequence.  Group batches assume candidates are grouped
+    arbitrarily, so a group fails if it contains any false candidate that
+    did not collide.
+    """
+    if candidates < 0:
+        raise ValueError("candidates must be non-negative")
+    if not 0.0 <= false_rate <= 1.0:
+        raise ValueError(f"false_rate must be in [0, 1], got {false_rate}")
+    if candidates == 0:
+        return 0.0
+
+    true_pool = candidates * (1.0 - false_rate)
+    false_pool = candidates * false_rate
+    failed_members_true = 0.0
+    failed_members_false = 0.0
+    total_bits = 0.0
+
+    for batch in strategy.batches:
+        if batch.scope is BatchScope.FAILED_GROUP_MEMBERS:
+            pool_true, pool_false = failed_members_true, failed_members_false
+        else:  # ALL on the first batch, SURVIVORS afterwards
+            pool_true, pool_false = true_pool, false_pool
+        pool = pool_true + pool_false
+        if pool <= 0:
+            continue
+        collide = 2.0 ** (-batch.bits)
+        if batch.mode is BatchMode.INDIVIDUAL:
+            total_bits += pool * batch.bits
+            survivors_true = pool_true
+            survivors_false = pool_false * collide
+            failed_members_true = 0.0
+            failed_members_false = 0.0
+        else:
+            groups = math.ceil(pool / batch.group_size)
+            total_bits += groups * batch.bits
+            # Probability a random member's group contains no effective
+            # false member among the *other* slots.
+            fraction_false = pool_false / pool
+            effective_false = fraction_false * (1.0 - collide)
+            clean_others = (1.0 - effective_false) ** (batch.group_size - 1)
+            survivors_true = pool_true * clean_others
+            survivors_false = pool_false * collide * clean_others
+            failed_members_true = pool_true - survivors_true
+            failed_members_false = pool_false - survivors_false
+        true_pool, false_pool = survivors_true, survivors_false
+    return total_bits
+
+
+def expected_true_match_yield(
+    strategy: VerificationStrategy,
+    candidates: int,
+    false_rate: float,
+) -> float:
+    """Expected number of *true* matches the strategy ultimately accepts.
+
+    Group strategies without salvage lose true matches that share a group
+    with a false candidate ("one bad apple"), which is why the paper grows
+    group sizes only as confidence grows.
+    """
+    if candidates == 0:
+        return 0.0
+    main_true = candidates * (1.0 - false_rate)
+    main_false = candidates * false_rate
+    failed_true = 0.0
+    failed_false = 0.0
+    salvaged_true = 0.0
+
+    for batch in strategy.batches:
+        if batch.scope is BatchScope.FAILED_GROUP_MEMBERS:
+            pool_true, pool_false = failed_true, failed_false
+            failed_true = failed_false = 0.0
+        else:
+            pool_true, pool_false = main_true, main_false
+        pool = pool_true + pool_false
+        if pool <= 0:
+            continue
+        collide = 2.0 ** (-batch.bits)
+        if batch.mode is BatchMode.INDIVIDUAL:
+            survivors_true = pool_true
+            survivors_false = pool_false * collide
+        else:
+            fraction_false = pool_false / pool
+            effective_false = fraction_false * (1.0 - collide)
+            clean_others = (1.0 - effective_false) ** (batch.group_size - 1)
+            survivors_true = pool_true * clean_others
+            survivors_false = pool_false * collide * clean_others
+        if batch.scope is BatchScope.FAILED_GROUP_MEMBERS:
+            # Salvaged candidates are accepted immediately.
+            salvaged_true += survivors_true
+        else:
+            if batch.mode is BatchMode.GROUP:
+                failed_true += pool_true - survivors_true
+                failed_false += pool_false - survivors_false
+            main_true, main_false = survivors_true, survivors_false
+    return main_true + salvaged_true

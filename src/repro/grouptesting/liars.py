@@ -1,0 +1,96 @@
+"""Searching with liars (Ulam's problem) for match extension.
+
+Extending a confirmed match to its exact boundary is a binary search whose
+comparisons are continuation-hash tests: if the true answer is "the match
+extends at least this far" the test always agrees, but if it does not, a
+``bits``-wide hash still collides (lies) with probability ``2**-bits``.
+The searcher repeats queries until the posterior confidence target is met,
+mirroring the paper's observation that it is *not* optimal to fully verify
+each level before descending.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass
+class UnreliableOracle:
+    """Wraps a ground-truth predicate with one-sided hash-collision lies.
+
+    ``truth(k)`` answers "does the match extend to at least ``k`` bytes?".
+    A *true* answer is always reported truthfully; a *false* answer is
+    misreported as true with probability ``2**-bits`` (a hash collision).
+    """
+
+    truth: Callable[[int], bool]
+    bits: int
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+    queries: int = 0
+
+    @property
+    def lie_probability(self) -> float:
+        return 2.0 ** (-self.bits)
+
+    def ask(self, value: int) -> bool:
+        """One continuation-hash test; costs ``bits`` transmitted bits."""
+        self.queries += 1
+        if self.truth(value):
+            return True
+        return self.rng.random() < self.lie_probability
+
+    @property
+    def bits_spent(self) -> int:
+        return self.queries * self.bits
+
+
+class UlamSearcher:
+    """Finds the largest ``k`` in ``[lo, hi]`` with ``truth(k)`` true.
+
+    The predicate must be monotone (true up to the boundary, false after),
+    which holds for "the match extends at least k bytes".  Because lies
+    are one-sided (only false→true), a lie can only overshoot; the search
+    re-verifies a tentative boundary with ``confirmations`` extra queries
+    and backtracks when one fails.
+    """
+
+    def __init__(self, oracle: UnreliableOracle, confirmations: int = 1) -> None:
+        if confirmations < 0:
+            raise ValueError("confirmations must be non-negative")
+        self._oracle = oracle
+        self._confirmations = confirmations
+
+    def search(self, lo: int, hi: int) -> int:
+        """Largest value in ``[lo, hi]`` the (lying) oracle supports.
+
+        Returns ``lo - 1`` if even ``lo`` fails.
+        """
+        if lo > hi:
+            raise ValueError(f"empty range [{lo}, {hi}]")
+        low, high = lo, hi
+        best = lo - 1
+        while low <= high:
+            mid = (low + high) // 2
+            if self._oracle.ask(mid):
+                best = mid
+                low = mid + 1
+            else:
+                high = mid - 1
+        # Re-confirm the tentative boundary; on failure, resume below it.
+        for _ in range(self._confirmations):
+            if best < lo:
+                break
+            if not self._oracle.ask(best):
+                high = best - 1
+                low = lo
+                best = lo - 1
+                while low <= high:
+                    mid = (low + high) // 2
+                    if self._oracle.ask(mid):
+                        best = mid
+                        low = mid + 1
+                    else:
+                        high = mid - 1
+        return best

@@ -1,0 +1,98 @@
+"""Monte Carlo simulation of verification strategies.
+
+Cross-validates the closed-form model in
+:mod:`repro.grouptesting.analysis` and lets the ablation benchmarks
+explore strategies the model does not cover (adaptive group sizes, the
+Dorfman rule applied online, ...).  Candidates are Bernoulli
+true-or-false; a ``b``-bit hash of a false candidate passes with
+probability ``2**-b``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.grouptesting.strategies import (
+    BatchMode,
+    BatchScope,
+    VerificationStrategy,
+)
+
+
+@dataclass
+class SimulationOutcome:
+    """Aggregate results over all simulation trials."""
+
+    trials: int
+    mean_bits: float
+    mean_true_accepted: float
+    mean_false_accepted: float
+
+    def bits_per_true_match(self) -> float:
+        if self.mean_true_accepted == 0:
+            return float("inf")
+        return self.mean_bits / self.mean_true_accepted
+
+
+def simulate_strategy(
+    strategy: VerificationStrategy,
+    candidates: int,
+    false_rate: float,
+    trials: int = 200,
+    seed: int = 0,
+) -> SimulationOutcome:
+    """Run ``trials`` independent verification exchanges."""
+    if candidates < 0:
+        raise ValueError("candidates must be non-negative")
+    if not 0.0 <= false_rate <= 1.0:
+        raise ValueError("false_rate must be in [0, 1]")
+    rng = random.Random(seed)
+    total_bits = 0
+    total_true = 0
+    total_false = 0
+
+    for _ in range(trials):
+        truth = [rng.random() >= false_rate for _ in range(candidates)]
+        main = list(range(candidates))
+        salvage: list[int] = []
+        accepted: list[int] = []
+        for batch in strategy.batches:
+            if batch.scope is BatchScope.FAILED_GROUP_MEMBERS:
+                selection, salvage = salvage, []
+            else:
+                selection = main
+            if not selection:
+                continue
+            if batch.mode is BatchMode.INDIVIDUAL:
+                units = [[i] for i in selection]
+            else:
+                units = [
+                    selection[i : i + batch.group_size]
+                    for i in range(0, len(selection), batch.group_size)
+                ]
+            total_bits += len(units) * batch.bits
+            passed_items: list[int] = []
+            failed_items: list[int] = []
+            collide = 2.0 ** (-batch.bits)
+            for unit in units:
+                ok = all(
+                    truth[i] or rng.random() < collide for i in unit
+                )
+                (passed_items if ok else failed_items).extend(unit)
+            if batch.scope is BatchScope.FAILED_GROUP_MEMBERS:
+                accepted.extend(passed_items)
+            else:
+                if batch.mode is BatchMode.GROUP:
+                    salvage.extend(failed_items)
+                main = passed_items
+        accepted.extend(main)
+        total_true += sum(1 for i in accepted if truth[i])
+        total_false += sum(1 for i in accepted if not truth[i])
+
+    return SimulationOutcome(
+        trials=trials,
+        mean_bits=total_bits / trials,
+        mean_true_accepted=total_true / trials,
+        mean_false_accepted=total_false / trials,
+    )

@@ -1,0 +1,46 @@
+"""Hash functions for remote file synchronization.
+
+The paper's protocol relies on three families of hashes:
+
+* **Rolling hashes** (:mod:`repro.hashing.rolling`) that slide a window by
+  one byte in constant time — used by rsync and by the map-construction
+  phase to compare a transmitted block hash against *every* position of the
+  local file.
+* A **decomposable** rolling hash (:mod:`repro.hashing.decomposable`), the
+  paper's modified Adler checksum: the hash of a parent block can be
+  combined from its two children and, crucially, a child's hash can be
+  recovered from the parent's and the sibling's.  This halves the number of
+  hashes the server must transmit during recursive splitting.
+* **Strong hashes** (:mod:`repro.hashing.strong`) used for match
+  verification and whole-file integrity checks.
+
+:mod:`repro.hashing.scan` provides numpy-vectorised computation of the
+decomposable hash over all windows of a file plus a position index for
+candidate lookup; this is what makes a pure-Python reproduction fast enough
+to benchmark honestly.
+"""
+
+from repro.hashing.decomposable import DecomposableAdler, HashPair
+from repro.hashing.rolling import AdlerRolling, KarpRabinRolling, RollingHash
+from repro.hashing.scan import HashIndex, PrefixHasher, window_hashes
+from repro.hashing.strong import (
+    StrongHasher,
+    file_fingerprint,
+    group_digest,
+    strong_digest,
+)
+
+__all__ = [
+    "AdlerRolling",
+    "DecomposableAdler",
+    "HashIndex",
+    "HashPair",
+    "PrefixHasher",
+    "KarpRabinRolling",
+    "RollingHash",
+    "StrongHasher",
+    "file_fingerprint",
+    "group_digest",
+    "strong_digest",
+    "window_hashes",
+]

@@ -1,0 +1,125 @@
+"""Classic rolling checksums: rsync's Adler variant and Karp–Rabin.
+
+A rolling hash over a window of fixed length ``L`` can be slid one byte to
+the right in constant time.  rsync uses a two-component Adler-style
+checksum; Karp–Rabin fingerprints use polynomial evaluation modulo a prime.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+_MOD16 = 1 << 16
+
+
+class RollingHash(ABC):
+    """Interface shared by all rolling hashes.
+
+    Subclasses are initialised over a window and then slid with
+    :meth:`roll`.  :attr:`value` is the current hash as a non-negative int.
+    """
+
+    @abstractmethod
+    def roll(self, out_byte: int, in_byte: int) -> int:
+        """Slide the window one byte: drop ``out_byte``, append ``in_byte``.
+
+        Returns the new hash value.
+        """
+
+    @property
+    @abstractmethod
+    def value(self) -> int:
+        """Current hash value."""
+
+    @classmethod
+    @abstractmethod
+    def of(cls, window: bytes) -> int:
+        """Hash of ``window`` computed directly (non-rolling reference)."""
+
+
+class AdlerRolling(RollingHash):
+    """rsync's 32-bit rolling checksum.
+
+    Components (both mod ``2**16``) over window ``x[0..L-1]``::
+
+        a = sum(x[j])
+        b = sum((L - j) * x[j])
+
+    packed as ``a | (b << 16)``.
+    """
+
+    def __init__(self, window: bytes) -> None:
+        if not window:
+            raise ValueError("window must be non-empty")
+        self._length = len(window)
+        self._a = sum(window) % _MOD16
+        self._b = (
+            sum((self._length - j) * byte for j, byte in enumerate(window)) % _MOD16
+        )
+
+    @property
+    def value(self) -> int:
+        return self._a | (self._b << 16)
+
+    @property
+    def components(self) -> tuple[int, int]:
+        """The ``(a, b)`` component pair."""
+        return self._a, self._b
+
+    def roll(self, out_byte: int, in_byte: int) -> int:
+        self._a = (self._a - out_byte + in_byte) % _MOD16
+        self._b = (self._b - self._length * out_byte + self._a) % _MOD16
+        return self.value
+
+    @classmethod
+    def of(cls, window: bytes) -> int:
+        return cls(window).value
+
+
+class KarpRabinRolling(RollingHash):
+    """Karp–Rabin polynomial fingerprint modulo a prime.
+
+    ``h = sum(x[j] * r**(L-1-j)) mod p`` for a fixed radix ``r``.
+    """
+
+    #: A Mersenne prime keeps the modulus fast and collision behaviour good.
+    DEFAULT_MODULUS = (1 << 61) - 1
+    DEFAULT_RADIX = 256
+
+    def __init__(
+        self,
+        window: bytes,
+        radix: int = DEFAULT_RADIX,
+        modulus: int = DEFAULT_MODULUS,
+    ) -> None:
+        if not window:
+            raise ValueError("window must be non-empty")
+        if modulus <= 1:
+            raise ValueError(f"modulus must be > 1, got {modulus}")
+        self._radix = radix
+        self._modulus = modulus
+        self._length = len(window)
+        self._top_power = pow(radix, self._length - 1, modulus)
+        value = 0
+        for byte in window:
+            value = (value * radix + byte) % modulus
+        self._value = value
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def roll(self, out_byte: int, in_byte: int) -> int:
+        self._value = (
+            (self._value - out_byte * self._top_power) * self._radix + in_byte
+        ) % self._modulus
+        return self._value
+
+    @classmethod
+    def of(
+        cls,
+        window: bytes,
+        radix: int = DEFAULT_RADIX,
+        modulus: int = DEFAULT_MODULUS,
+    ) -> int:
+        return cls(window, radix=radix, modulus=modulus).value

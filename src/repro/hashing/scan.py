@@ -1,0 +1,191 @@
+"""Vectorised window-hash scans and the candidate position index.
+
+The client must compare each received block hash against *every* window of
+its own file.  Doing that with a per-byte Python rolling loop would make
+the benchmarks CPU-bound and meaningless, so this module computes the
+decomposable-Adler hash of all windows at once with numpy prefix sums:
+
+* ``a``-component of window ``[i, i+L)`` is a difference of prefix sums of
+  the substituted bytes;
+* ``b``-component is ``(L + i) * (S[i+L] - S[i]) - (W[i+L] - W[i])`` where
+  ``W`` is the prefix sum of ``j * m[j]``.
+
+All arithmetic uses uint64 wraparound, which is exact modulo ``2**64`` and
+therefore exact modulo ``2**16`` after masking.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashing.decomposable import DecomposableAdler, component_widths
+
+_MASK16 = np.uint64(0xFFFF)
+
+
+def window_hashes(
+    data: bytes, length: int, hasher: DecomposableAdler
+) -> np.ndarray:
+    """Packed 32-bit hashes ``a | (b << 16)`` of every window of ``length``.
+
+    Returns an array of ``len(data) - length + 1`` uint32 values (empty if
+    the file is shorter than one window).
+    """
+    if length <= 0:
+        raise ValueError(f"length must be positive, got {length}")
+    n = len(data)
+    if n < length:
+        return np.empty(0, dtype=np.uint32)
+    raw = np.frombuffer(data, dtype=np.uint8)
+    table = np.asarray(hasher.table, dtype=np.uint64)
+    mapped = table[raw]
+
+    prefix = np.zeros(n + 1, dtype=np.uint64)
+    np.cumsum(mapped, out=prefix[1:])
+    weighted = np.zeros(n + 1, dtype=np.uint64)
+    np.cumsum(mapped * np.arange(n, dtype=np.uint64), out=weighted[1:])
+
+    with np.errstate(over="ignore"):
+        window_sum = prefix[length:] - prefix[:-length]
+        starts = np.arange(n - length + 1, dtype=np.uint64)
+        b = (np.uint64(length) + starts) * window_sum - (
+            weighted[length:] - weighted[:-length]
+        )
+    a16 = (window_sum & _MASK16).astype(np.uint32)
+    b16 = (b & _MASK16).astype(np.uint32)
+    return a16 | (b16 << np.uint32(16))
+
+
+def pack_to_width(full: np.ndarray, width: int) -> np.ndarray:
+    """Vectorised :meth:`DecomposableAdler.pack` over packed 32-bit hashes."""
+    a_bits, b_bits = component_widths(width)
+    a = full & np.uint32((1 << a_bits) - 1)
+    if b_bits:
+        b = (full >> np.uint32(16)) & np.uint32((1 << b_bits) - 1)
+        return a | (b << np.uint32(a_bits))
+    return a
+
+
+class PrefixHasher:
+    """O(1) decomposable-hash evaluation of arbitrary file regions.
+
+    Precomputes the two prefix-sum arrays once; ``block_pair`` then
+    evaluates the hash of any ``[start, start + length)`` region in
+    constant time.  The server uses this to hash every block it transmits
+    without re-reading block bytes; the client uses it to check
+    continuation hashes at expected positions.
+    """
+
+    def __init__(self, data: bytes, hasher: DecomposableAdler) -> None:
+        self._length = len(data)
+        raw = np.frombuffer(data, dtype=np.uint8)
+        table = np.asarray(hasher.table, dtype=np.uint64)
+        mapped = table[raw]
+        self._prefix = np.zeros(len(data) + 1, dtype=np.uint64)
+        np.cumsum(mapped, out=self._prefix[1:])
+        self._weighted = np.zeros(len(data) + 1, dtype=np.uint64)
+        np.cumsum(
+            mapped * np.arange(len(data), dtype=np.uint64),
+            out=self._weighted[1:],
+        )
+
+    @property
+    def data_length(self) -> int:
+        return self._length
+
+    def block_pair(self, start: int, length: int):
+        """The ``(a, b)`` hash pair of ``data[start : start + length]``."""
+        from repro.hashing.decomposable import HashPair
+
+        if length <= 0:
+            raise ValueError(f"length must be positive, got {length}")
+        if start < 0 or start + length > self._length:
+            raise ValueError(
+                f"region [{start}, {start + length}) outside data of "
+                f"length {self._length}"
+            )
+        end = start + length
+        with np.errstate(over="ignore"):
+            window_sum = self._prefix[end] - self._prefix[start]
+            b = np.uint64(length + start) * window_sum - (
+                self._weighted[end] - self._weighted[start]
+            )
+        return HashPair(int(window_sum) & 0xFFFF, int(b) & 0xFFFF)
+
+    def packed(self, start: int, length: int, width: int) -> int:
+        """Packed ``width``-bit hash of the region."""
+        return DecomposableAdler.pack(self.block_pair(start, length), width)
+
+
+class _WidthIndex:
+    """Sorted lookup structure for one truncated hash width."""
+
+    def __init__(self, full_hashes: np.ndarray, width: int) -> None:
+        packed = pack_to_width(full_hashes, width)
+        self._order = np.argsort(packed, kind="stable")
+        self._sorted = packed[self._order]
+
+    def lookup(self, value: int, max_results: int) -> list[int]:
+        """Window start positions whose truncated hash equals ``value``."""
+        lo = int(np.searchsorted(self._sorted, value, side="left"))
+        hi = int(np.searchsorted(self._sorted, value, side="right"))
+        if hi - lo > max_results:
+            hi = lo + max_results
+        return [int(p) for p in self._order[lo:hi]]
+
+
+class HashIndex:
+    """All-position hash index of one file for a fixed window length.
+
+    Built once per protocol round; answers "which positions of my file have
+    this truncated hash?" queries in ``O(log n + k)``.
+    """
+
+    def __init__(
+        self, data: bytes, length: int, hasher: DecomposableAdler
+    ) -> None:
+        self._data = data
+        self._length = length
+        self._hasher = hasher
+        self._full = window_hashes(data, length, hasher)
+        self._by_width: dict[int, _WidthIndex] = {}
+
+    @property
+    def length(self) -> int:
+        """Window length this index covers."""
+        return self._length
+
+    @property
+    def position_count(self) -> int:
+        """Number of indexed window positions."""
+        return int(self._full.size)
+
+    def full_hash_at(self, position: int) -> int:
+        """Packed 32-bit hash of the window starting at ``position``."""
+        return int(self._full[position])
+
+    def packed_hash_at(self, position: int, width: int) -> int:
+        """Truncated ``width``-bit hash of the window at ``position``."""
+        return DecomposableAdler.truncate(int(self._full[position]), 32, width)
+
+    def lookup(self, value: int, width: int, max_results: int = 8) -> list[int]:
+        """Positions whose ``width``-bit truncated hash equals ``value``."""
+        if self._full.size == 0:
+            return []
+        index = self._by_width.get(width)
+        if index is None:
+            index = _WidthIndex(self._full, width)
+            self._by_width[width] = index
+        return index.lookup(value, max_results)
+
+    def lookup_in_range(
+        self, value: int, width: int, lo: int, hi: int, max_results: int = 8
+    ) -> list[int]:
+        """Matching positions restricted to ``[lo, hi)`` (local hashes)."""
+        lo = max(lo, 0)
+        hi = min(hi, int(self._full.size))
+        if lo >= hi:
+            return []
+        packed = pack_to_width(self._full[lo:hi], width)
+        positions = np.flatnonzero(packed == np.uint32(value))[:max_results]
+        return [int(p) + lo for p in positions]

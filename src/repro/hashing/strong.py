@@ -1,0 +1,85 @@
+"""Strong (cryptographic) hashes for verification and integrity.
+
+The paper uses MD4 inside rsync and MD5 for verification hashes; only the
+number of *transmitted* bytes matters for the bandwidth results, so we use
+``hashlib``'s MD5 throughout and truncate digests to the configured width.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Iterable
+
+
+def strong_digest(data: bytes, nbytes: int = 16, salt: bytes = b"") -> bytes:
+    """MD5 digest of ``salt + data`` truncated to ``nbytes`` bytes."""
+    if not 1 <= nbytes <= 16:
+        raise ValueError(f"nbytes must be in [1, 16], got {nbytes}")
+    return hashlib.md5(salt + data).digest()[:nbytes]
+
+
+def group_digest(digests: Iterable[bytes], nbytes: int = 16) -> bytes:
+    """Digest of a *group* of block digests.
+
+    Group verification sends one hash covering several candidate matches;
+    combining the members' full digests keeps the group hash sensitive to
+    every member.
+    """
+    if not 1 <= nbytes <= 16:
+        raise ValueError(f"nbytes must be in [1, 16], got {nbytes}")
+    combined = hashlib.md5()
+    for digest in digests:
+        combined.update(digest)
+    return combined.digest()[:nbytes]
+
+
+def file_fingerprint(data: bytes) -> bytes:
+    """The 16-byte whole-file fingerprint exchanged before synchronization.
+
+    Used both to detect unchanged files cheaply and to detect the (very
+    unlikely) failure of the block-hash protocol afterwards.
+    """
+    return hashlib.md5(data).digest()
+
+
+class StrongHasher:
+    """Truncated MD5 hashes with a per-session salt and bit-level widths.
+
+    Verification hashes in the protocol have widths expressed in *bits*
+    (e.g. a 24-bit hash for a single candidate, more for a group), so the
+    wire accounting needs bit-truncated values rather than whole bytes.
+    """
+
+    def __init__(self, salt: bytes = b"") -> None:
+        self._salt = salt
+
+    @property
+    def salt(self) -> bytes:
+        return self._salt
+
+    def digest(self, data: bytes, nbytes: int = 16) -> bytes:
+        """Byte-truncated digest of ``data``."""
+        return strong_digest(data, nbytes=nbytes, salt=self._salt)
+
+    def bits(self, data: bytes, width: int) -> int:
+        """The first ``width`` bits of the digest, as an unsigned int."""
+        if not 1 <= width <= 128:
+            raise ValueError(f"width must be in [1, 128], got {width}")
+        nbytes = (width + 7) // 8
+        value = int.from_bytes(self.digest(data, nbytes=nbytes), "big")
+        return value >> (8 * nbytes - width)
+
+    def group_bits(self, members: Iterable[bytes], width: int) -> int:
+        """A ``width``-bit hash covering several blocks.
+
+        Equal iff the member digests are equal (up to MD5 collisions), so a
+        single transmitted value verifies an entire group of candidates.
+        """
+        if not 1 <= width <= 128:
+            raise ValueError(f"width must be in [1, 128], got {width}")
+        combined = hashlib.md5(self._salt)
+        for member in members:
+            combined.update(hashlib.md5(self._salt + member).digest())
+        nbytes = (width + 7) // 8
+        value = int.from_bytes(combined.digest()[:nbytes], "big")
+        return value >> (8 * nbytes - width)

@@ -1,0 +1,18 @@
+"""Bit-level I/O primitives used to serialise protocol messages.
+
+The synchronization protocols transmit hashes of arbitrary bit widths
+(4-bit continuation hashes, 13-bit candidate hashes, ...) plus bitmaps, so
+honest bandwidth accounting requires genuinely bit-packed encodings rather
+than byte-aligned approximations.
+"""
+
+from repro.io.bitstream import BitReader, BitWriter
+from repro.io.varint import decode_uvarint, encode_uvarint, uvarint_size
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "decode_uvarint",
+    "encode_uvarint",
+    "uvarint_size",
+]

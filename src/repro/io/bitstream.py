@@ -1,0 +1,146 @@
+"""Bit-packed writer and reader.
+
+``BitWriter`` accumulates values of explicit bit widths (MSB-first within
+each value, bits packed LSB-first into bytes) and produces a ``bytes``
+payload.  ``BitReader`` decodes such a payload.  The pair is used by the
+protocol message codecs so transmitted message sizes reflect the exact
+number of bits the paper's protocol would put on the wire.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+
+class BitWriter:
+    """Accumulates unsigned integers with explicit bit widths.
+
+    Example::
+
+        w = BitWriter()
+        w.write(5, 3)        # three bits
+        w.write(1, 1)        # one bit
+        payload = w.getvalue()
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._accumulator = 0
+        self._pending_bits = 0
+
+    def __len__(self) -> int:
+        """Total number of bits written so far."""
+        return 8 * len(self._buffer) + self._pending_bits
+
+    @property
+    def bit_length(self) -> int:
+        """Total number of bits written so far."""
+        return len(self)
+
+    def write(self, value: int, width: int) -> None:
+        """Append ``value`` using exactly ``width`` bits.
+
+        Raises ``ValueError`` if ``value`` does not fit in ``width`` bits.
+        """
+        if width < 0:
+            raise ValueError(f"width must be non-negative, got {width}")
+        if value < 0 or value >> width:
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        self._accumulator |= value << self._pending_bits
+        self._pending_bits += width
+        while self._pending_bits >= 8:
+            self._buffer.append(self._accumulator & 0xFF)
+            self._accumulator >>= 8
+            self._pending_bits -= 8
+
+    def write_bit(self, bit: int | bool) -> None:
+        """Append a single bit."""
+        self.write(1 if bit else 0, 1)
+
+    def write_bits(self, values: Iterable[int], width: int) -> None:
+        """Append each value in ``values`` using ``width`` bits."""
+        for value in values:
+            self.write(value, width)
+
+    def write_bytes(self, data: bytes) -> None:
+        """Append raw bytes (8 bits each, in order)."""
+        for byte in data:
+            self.write(byte, 8)
+
+    def write_uvarint(self, value: int) -> None:
+        """Append ``value`` as a LEB128-style varint (7 data bits/byte)."""
+        if value < 0:
+            raise ValueError(f"uvarint value must be non-negative, got {value}")
+        while True:
+            chunk = value & 0x7F
+            value >>= 7
+            self.write(chunk | (0x80 if value else 0), 8)
+            if not value:
+                return
+
+    def getvalue(self) -> bytes:
+        """Return the accumulated payload, zero-padding the final byte."""
+        result = bytes(self._buffer)
+        if self._pending_bits:
+            result += bytes([self._accumulator & 0xFF])
+        return result
+
+
+class BitReader:
+    """Decodes a payload produced by :class:`BitWriter`."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._position = 0  # in bits
+
+    @property
+    def remaining_bits(self) -> int:
+        """Number of unread bits (including any final-byte padding)."""
+        return 8 * len(self._data) - self._position
+
+    def read(self, width: int) -> int:
+        """Read an unsigned integer of ``width`` bits.
+
+        Raises ``EOFError`` if fewer than ``width`` bits remain.
+        """
+        if width < 0:
+            raise ValueError(f"width must be non-negative, got {width}")
+        if width > self.remaining_bits:
+            raise EOFError(
+                f"requested {width} bits but only {self.remaining_bits} remain"
+            )
+        value = 0
+        produced = 0
+        while produced < width:
+            byte_index, bit_offset = divmod(self._position, 8)
+            take = min(8 - bit_offset, width - produced)
+            chunk = (self._data[byte_index] >> bit_offset) & ((1 << take) - 1)
+            value |= chunk << produced
+            produced += take
+            self._position += take
+        return value
+
+    def read_bit(self) -> int:
+        """Read a single bit."""
+        return self.read(1)
+
+    def read_bits(self, count: int, width: int) -> list[int]:
+        """Read ``count`` values of ``width`` bits each."""
+        return [self.read(width) for _ in range(count)]
+
+    def read_bytes(self, count: int) -> bytes:
+        """Read ``count`` raw bytes."""
+        return bytes(self.read(8) for _ in range(count))
+
+    def read_uvarint(self) -> int:
+        """Read a varint written by :meth:`BitWriter.write_uvarint`."""
+        value = 0
+        shift = 0
+        while True:
+            byte = self.read(8)
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return value
+            shift += 7
+            if shift > 63:
+                raise ValueError("uvarint too long")

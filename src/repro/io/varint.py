@@ -1,0 +1,48 @@
+"""Byte-oriented LEB128 varints for the delta instruction streams."""
+
+from __future__ import annotations
+
+
+def encode_uvarint(value: int) -> bytes:
+    """Encode a non-negative integer as a LEB128 varint."""
+    if value < 0:
+        raise ValueError(f"uvarint value must be non-negative, got {value}")
+    out = bytearray()
+    while True:
+        chunk = value & 0x7F
+        value >>= 7
+        out.append(chunk | (0x80 if value else 0))
+        if not value:
+            return bytes(out)
+
+
+def decode_uvarint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a varint from ``data`` starting at ``offset``.
+
+    Returns ``(value, next_offset)``.
+    """
+    value = 0
+    shift = 0
+    position = offset
+    while True:
+        if position >= len(data):
+            raise ValueError("truncated uvarint")
+        byte = data[position]
+        position += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, position
+        shift += 7
+        if shift > 63:
+            raise ValueError("uvarint too long")
+
+
+def uvarint_size(value: int) -> int:
+    """Number of bytes :func:`encode_uvarint` uses for ``value``."""
+    if value < 0:
+        raise ValueError(f"uvarint value must be non-negative, got {value}")
+    size = 1
+    while value >= 0x80:
+        value >>= 7
+        size += 1
+    return size

@@ -1,0 +1,27 @@
+"""Multiround rsync (Langford [25]) — the closest prior work.
+
+The recursive-splitting idea predates the paper: Langford's unpublished
+"Multiround rsync" (and the theoretical variants in [10, 34]) already
+halves unmatched blocks across rounds.  What it *lacks* are the paper's
+refinements — optimized group-testing verification, continuation hashes,
+decomposable hash functions, and the two-phase map/delta split.
+Implementing it makes the paper's contribution measurable: the gap
+between ``multiround_rsync_sync`` and ``repro.core.synchronize`` *is*
+the paper.
+
+Direction note: like rsync (and unlike the paper's protocol), the client
+hashes *its own* file and the server does the matching, replying at the
+end with a stream of block references and literals.
+"""
+
+from repro.multiround.protocol import (
+    MultiroundConfig,
+    MultiroundResult,
+    multiround_rsync_sync,
+)
+
+__all__ = [
+    "MultiroundConfig",
+    "MultiroundResult",
+    "multiround_rsync_sync",
+]

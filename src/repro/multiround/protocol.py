@@ -1,0 +1,250 @@
+"""The multiround-rsync exchange.
+
+Per round (block size ``b``, halving):
+
+1. client → server: one hash per *active* client block (a fixed-width
+   truncated hash; no separate verification pass — the width must carry
+   the full confidence, which is exactly the inefficiency the paper's
+   optimized verification removes);
+2. server: matches each hash against every position of ``F_new`` (numpy
+   index) and replies with a bitmap; matched blocks are pinned to their
+   server position, unmatched blocks split for the next round.
+
+After the final round the server covers ``F_new`` with pinned client
+blocks where possible and compressed literals elsewhere, and the client
+reconstructs.  A whole-file checksum plus full-transfer fallback handles
+hash collisions, as everywhere in this repository.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from repro.core.blocks import Block, BlockStatus
+from repro.exceptions import DeltaFormatError
+from repro.hashing.decomposable import DecomposableAdler
+from repro.hashing.scan import HashIndex, PrefixHasher
+from repro.hashing.strong import file_fingerprint
+from repro.io.bitstream import BitReader, BitWriter
+from repro.io.varint import decode_uvarint, encode_uvarint
+from repro.net.channel import SimulatedChannel
+from repro.net.metrics import Direction, TransferStats
+
+PHASE_HANDSHAKE = "handshake"
+PHASE_MAP = "map"
+PHASE_DELTA = "delta"
+PHASE_FALLBACK = "fallback"
+
+_TOKEN_LITERAL = 0x00
+_TOKEN_BLOCK = 0x01
+
+
+@dataclass(frozen=True)
+class MultiroundConfig:
+    """Tunables of the multiround baseline."""
+
+    start_block_size: int = 2048
+    min_block_size: int = 64
+    hash_bits: int = 30  # must carry all confidence: no verification pass
+    hash_seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.min_block_size < 2:
+            raise ValueError("min_block_size must be >= 2")
+        if self.start_block_size < self.min_block_size:
+            raise ValueError("start_block_size must be >= min_block_size")
+        if not 8 <= self.hash_bits <= 32:
+            raise ValueError("hash_bits must be in [8, 32]")
+
+
+@dataclass
+class MultiroundResult:
+    """Outcome of one multiround-rsync run."""
+
+    reconstructed: bytes
+    stats: TransferStats
+    rounds: int
+    used_fallback: bool
+
+    @property
+    def total_bytes(self) -> int:
+        return self.stats.total_bytes
+
+
+@dataclass
+class _Pinned:
+    """A client block confirmed to occur in the server file."""
+
+    client_start: int
+    length: int
+    server_start: int
+
+
+def _initial_blocks(length: int, block_size: int) -> list[Block]:
+    blocks = []
+    offset = 0
+    while offset < length:
+        size = min(block_size, length - offset)
+        blocks.append(Block(start=offset, length=size, level=0))
+        offset += size
+    return blocks
+
+
+def multiround_rsync_sync(
+    old_data: bytes,
+    new_data: bytes,
+    config: MultiroundConfig | None = None,
+    channel: SimulatedChannel | None = None,
+) -> MultiroundResult:
+    """Synchronise ``old_data`` to ``new_data`` with multiround rsync."""
+    if config is None:
+        config = MultiroundConfig()
+    if channel is None:
+        channel = SimulatedChannel()
+
+    hasher = DecomposableAdler(seed=config.hash_seed)
+    client_prefix = PrefixHasher(old_data, hasher)
+    server_index_cache: dict[int, HashIndex] = {}
+
+    # Handshake: fingerprint for the final integrity check.
+    hello = BitWriter()
+    hello.write_bytes(file_fingerprint(new_data))
+    channel.send(
+        Direction.SERVER_TO_CLIENT, hello.getvalue(), PHASE_HANDSHAKE,
+        bits=hello.bit_length,
+    )
+    expected_fingerprint = BitReader(
+        channel.receive(Direction.SERVER_TO_CLIENT)
+    ).read_bytes(16)
+
+    # --- Rounds ----------------------------------------------------------
+    blocks = _initial_blocks(len(old_data), config.start_block_size)
+    pinned: list[_Pinned] = []
+    rounds = 0
+    while blocks:
+        rounds += 1
+        message = BitWriter()
+        for block in blocks:
+            packed = DecomposableAdler.pack(
+                client_prefix.block_pair(block.start, block.length),
+                config.hash_bits,
+            )
+            message.write(packed, config.hash_bits)
+        channel.send(
+            Direction.CLIENT_TO_SERVER, message.getvalue(), PHASE_MAP,
+            bits=message.bit_length,
+        )
+
+        reader = BitReader(channel.receive(Direction.CLIENT_TO_SERVER))
+        bitmap = BitWriter()
+        matches_this_round: list[tuple[Block, int]] = []
+        for block in blocks:
+            value = reader.read(config.hash_bits)
+            index = server_index_cache.get(block.length)
+            if index is None:
+                index = HashIndex(new_data, block.length, hasher)
+                server_index_cache[block.length] = index
+            positions = index.lookup(value, config.hash_bits, max_results=1)
+            matched = bool(positions)
+            bitmap.write_bit(matched)
+            if matched:
+                matches_this_round.append((block, positions[0]))
+        channel.send(
+            Direction.SERVER_TO_CLIENT, bitmap.getvalue(), PHASE_MAP,
+            bits=bitmap.bit_length,
+        )
+
+        # Both sides advance identically from the bitmap.
+        confirm = BitReader(channel.receive(Direction.SERVER_TO_CLIENT))
+        next_blocks: list[Block] = []
+        match_cursor = 0
+        for block in blocks:
+            if confirm.read_bit():
+                matched_block, server_position = matches_this_round[match_cursor]
+                match_cursor += 1
+                pinned.append(
+                    _Pinned(block.start, block.length, server_position)
+                )
+                block.status = BlockStatus.MATCHED
+            elif block.length // 2 >= config.min_block_size:
+                next_blocks.extend(block.split())
+            else:
+                block.status = BlockStatus.EXHAUSTED
+        blocks = next_blocks
+
+    # --- Delta: cover F_new with pinned client blocks + literals ---------
+    by_server_position = sorted(
+        pinned, key=lambda p: (p.server_start, -p.length)
+    )
+    tokens = bytearray()
+    literals_pending = bytearray()
+    cursor = 0
+
+    def flush_literals() -> None:
+        nonlocal literals_pending
+        if literals_pending:
+            tokens.append(_TOKEN_LITERAL)
+            tokens.extend(encode_uvarint(len(literals_pending)))
+            tokens.extend(literals_pending)
+            literals_pending = bytearray()
+
+    for pin in by_server_position:
+        if pin.server_start < cursor:
+            continue  # overlaps something already covered
+        if pin.server_start > cursor:
+            literals_pending.extend(new_data[cursor : pin.server_start])
+        flush_literals()
+        tokens.append(_TOKEN_BLOCK)
+        tokens.extend(encode_uvarint(pin.client_start))
+        tokens.extend(encode_uvarint(pin.length))
+        cursor = pin.server_start + pin.length
+    if cursor < len(new_data):
+        literals_pending.extend(new_data[cursor:])
+    flush_literals()
+    delta_payload = zlib.compress(bytes(tokens), 9)
+    channel.send(Direction.SERVER_TO_CLIENT, delta_payload, PHASE_DELTA)
+
+    # --- Client reconstruction -------------------------------------------
+    raw = zlib.decompress(channel.receive(Direction.SERVER_TO_CLIENT))
+    out = bytearray()
+    position = 0
+    try:
+        while position < len(raw):
+            kind = raw[position]
+            position += 1
+            if kind == _TOKEN_LITERAL:
+                length, position = decode_uvarint(raw, position)
+                out += raw[position : position + length]
+                position += length
+            elif kind == _TOKEN_BLOCK:
+                client_start, position = decode_uvarint(raw, position)
+                length, position = decode_uvarint(raw, position)
+                out += old_data[client_start : client_start + length]
+            else:
+                raise DeltaFormatError(f"unknown token {kind:#x}")
+    except DeltaFormatError:
+        out = bytearray()  # force the fallback below
+
+    reconstructed = bytes(out)
+    used_fallback = False
+    if file_fingerprint(reconstructed) != expected_fingerprint:
+        used_fallback = True
+        channel.send(Direction.CLIENT_TO_SERVER, b"\x01", PHASE_FALLBACK, bits=1)
+        channel.receive(Direction.CLIENT_TO_SERVER)
+        channel.send(
+            Direction.SERVER_TO_CLIENT, zlib.compress(new_data, 9),
+            PHASE_FALLBACK,
+        )
+        reconstructed = zlib.decompress(
+            channel.receive(Direction.SERVER_TO_CLIENT)
+        )
+    else:
+        channel.send(Direction.CLIENT_TO_SERVER, b"\x00", PHASE_FALLBACK, bits=1)
+        channel.receive(Direction.CLIENT_TO_SERVER)
+    return MultiroundResult(
+        reconstructed=reconstructed,
+        stats=channel.stats,
+        rounds=rounds,
+        used_fallback=used_fallback,
+    )

@@ -1,0 +1,14 @@
+"""Simulated network substrate.
+
+The paper's evaluation measures *bytes on the wire*, split by direction
+(client→server vs server→client) and by phase (map construction vs final
+delta).  :class:`~repro.net.channel.SimulatedChannel` performs exact
+accounting of framed messages, counts roundtrips, and can estimate
+wall-clock transfer time for a configured latency/bandwidth — the honest
+stand-in for the authors' slow-network testbed.
+"""
+
+from repro.net.channel import Direction, LinkModel, SimulatedChannel
+from repro.net.metrics import TransferStats
+
+__all__ = ["Direction", "LinkModel", "SimulatedChannel", "TransferStats"]

@@ -1,0 +1,111 @@
+"""Transfer statistics: bytes by direction and phase, messages, roundtrips."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class Direction(Enum):
+    """Who is sending."""
+
+    CLIENT_TO_SERVER = "c2s"
+    SERVER_TO_CLIENT = "s2c"
+
+    @property
+    def opposite(self) -> "Direction":
+        if self is Direction.CLIENT_TO_SERVER:
+            return Direction.SERVER_TO_CLIENT
+        return Direction.CLIENT_TO_SERVER
+
+
+def _bits_to_bytes(bits: int) -> int:
+    return (bits + 7) // 8
+
+
+@dataclass
+class TransferStats:
+    """Bit-exact transfer accounting for one synchronization run.
+
+    ``bits_by`` is keyed by ``(direction, phase)``; phases are free-form
+    strings chosen by the protocols (``"map"``, ``"delta"``,
+    ``"fingerprint"``, ...).  Sizes are recorded in *bits* because the
+    map-construction protocol sends sub-byte hashes and, as in the paper,
+    many files share each roundtrip — so byte boundaries amortise across
+    a whole batch rather than being paid per tiny message.  All byte
+    queries round up once per (direction, phase) bucket, which keeps
+    per-phase, per-direction and total figures mutually consistent.
+    """
+
+    bits_by: Counter = field(default_factory=Counter)
+    messages: int = 0
+    roundtrips: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(_bits_to_bytes(bits) for bits in self.bits_by.values())
+
+    def bytes_in_direction(self, direction: Direction) -> int:
+        return sum(
+            _bits_to_bytes(bits)
+            for (message_direction, _phase), bits in self.bits_by.items()
+            if message_direction is direction
+        )
+
+    def bytes_in_phase(self, phase: str) -> int:
+        return sum(
+            _bits_to_bytes(bits)
+            for (_direction, message_phase), bits in self.bits_by.items()
+            if message_phase == phase
+        )
+
+    @property
+    def client_to_server_bytes(self) -> int:
+        return self.bytes_in_direction(Direction.CLIENT_TO_SERVER)
+
+    @property
+    def server_to_client_bytes(self) -> int:
+        return self.bytes_in_direction(Direction.SERVER_TO_CLIENT)
+
+    def phases(self) -> list[str]:
+        """All phases that transferred bytes, in deterministic order."""
+        return sorted({phase for _direction, phase in self.bits_by})
+
+    def record(self, direction: Direction, phase: str, nbytes: int) -> None:
+        """Account for one byte-aligned framed message."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        self.record_bits(direction, phase, 8 * nbytes)
+
+    def record_bits(self, direction: Direction, phase: str, nbits: int) -> None:
+        """Account for one message of exactly ``nbits`` payload bits."""
+        if nbits < 0:
+            raise ValueError(f"nbits must be non-negative, got {nbits}")
+        self.bits_by[(direction, phase)] += nbits
+        self.messages += 1
+
+    def merge(self, other: "TransferStats") -> None:
+        """Fold another run's accounting into this one (collection sync)."""
+        self.bits_by.update(other.bits_by)
+        self.messages += other.messages
+        self.roundtrips = max(self.roundtrips, other.roundtrips)
+
+    def breakdown(self) -> dict[str, int]:
+        """Human-oriented ``{"s2c/map": bytes, ...}`` view."""
+        return {
+            f"{direction.value}/{phase}": _bits_to_bytes(bits)
+            for (direction, phase), bits in sorted(
+                self.bits_by.items(),
+                key=lambda item: (item[0][0].value, item[0][1]),
+            )
+        }
+
+    def __str__(self) -> str:
+        parts = ", ".join(
+            f"{label}={count}" for label, count in self.breakdown().items()
+        )
+        return (
+            f"TransferStats(total={self.total_bytes}B, "
+            f"roundtrips={self.roundtrips}, {parts})"
+        )

@@ -1,0 +1,223 @@
+"""In-place reconstruction for mobile and wireless devices.
+
+Rasch & Burns ("In-place rsync", USENIX 2003 — reference [40] of the
+paper) showed how a space-constrained client can apply the rsync delta
+*inside the old file's buffer* instead of writing a second copy.  The
+catch: a block copy may read a region that an earlier write already
+clobbered.  The fix is to order the operations so every copy reads
+before anything overwrites its source, and to break dependency *cycles*
+by downgrading a copy to a literal (those bytes must then travel over
+the wire, which is the technique's bandwidth cost).
+
+:func:`apply_tokens_in_place` performs the reordering and reports how
+many extra literal bytes the cycle-breaking required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rsync.matcher import Literal, Reference, Token
+
+
+@dataclass
+class InPlaceResult:
+    """Outcome of an in-place reconstruction."""
+
+    data: bytes
+    converted_literal_bytes: int  # extra bytes a real client would fetch
+    operations: int
+
+
+@dataclass
+class _Operation:
+    out_start: int
+    out_end: int
+    src_start: int | None  # None for literal writes
+    src_end: int | None
+    payload: bytes | None  # literal bytes (original or converted)
+    token_index: int
+
+    @property
+    def is_copy(self) -> bool:
+        return self.src_start is not None
+
+
+def _layout(
+    old_data: bytes, tokens: list[Token], block_size: int
+) -> list[_Operation]:
+    """Assign output ranges to tokens and resolve copy source ranges."""
+    operations = []
+    cursor = 0
+    for index, token in enumerate(tokens):
+        if isinstance(token, Reference):
+            src_start = token.index * block_size
+            src_end = min(src_start + block_size, len(old_data))
+            length = src_end - src_start
+            operations.append(
+                _Operation(
+                    out_start=cursor,
+                    out_end=cursor + length,
+                    src_start=src_start,
+                    src_end=src_end,
+                    payload=None,
+                    token_index=index,
+                )
+            )
+            cursor += length
+        else:
+            operations.append(
+                _Operation(
+                    out_start=cursor,
+                    out_end=cursor + len(token.data),
+                    src_start=None,
+                    src_end=None,
+                    payload=token.data,
+                    token_index=index,
+                )
+            )
+            cursor += len(token.data)
+    return operations
+
+
+def _overlaps(a_start: int, a_end: int, b_start: int, b_end: int) -> bool:
+    return a_start < b_end and b_start < a_end
+
+
+def _build_read_before_write_edges(
+    operations: list[_Operation],
+) -> tuple[dict[int, set[int]], list[int]]:
+    """Edges ``reader -> writer``: the reader must execute first.
+
+    Self-overlap is excluded (handled by memmove-style copying).
+    Returns (successors, in_degree).
+    """
+    successors: dict[int, set[int]] = {i: set() for i in range(len(operations))}
+    in_degree = [0] * len(operations)
+    # Sweep: writers sorted by out_start; readers query by src interval.
+    writer_order = sorted(
+        range(len(operations)), key=lambda i: operations[i].out_start
+    )
+    writer_starts = [operations[i].out_start for i in writer_order]
+    import bisect
+
+    for reader_id, reader in enumerate(operations):
+        if not reader.is_copy:
+            continue
+        assert reader.src_start is not None and reader.src_end is not None
+        # Any writer whose out range intersects [src_start, src_end).
+        position = bisect.bisect_left(writer_starts, reader.src_end)
+        for writer_pos in range(position - 1, -1, -1):
+            writer_id = writer_order[writer_pos]
+            writer = operations[writer_id]
+            if writer.out_end <= reader.src_start:
+                # Writers are sorted by start, but earlier writers can
+                # still reach into the window; stop once even the widest
+                # possible writer cannot overlap.  Out ranges are disjoint
+                # (each output byte written once), so we can stop at the
+                # first non-overlapping writer.
+                break
+            if writer_id == reader_id:
+                continue
+            if _overlaps(
+                writer.out_start, writer.out_end,
+                reader.src_start, reader.src_end,
+            ):
+                if writer_id not in successors[reader_id]:
+                    successors[reader_id].add(writer_id)
+                    in_degree[writer_id] += 1
+    return successors, in_degree
+
+
+def apply_tokens_in_place(
+    old_data: bytes,
+    tokens: list[Token],
+    block_size: int,
+    new_data_for_conversion: bytes | None = None,
+) -> InPlaceResult:
+    """Reconstruct the new file inside a single buffer.
+
+    ``new_data_for_conversion`` supplies the bytes for copies that must be
+    downgraded to literals (in a real deployment the client would request
+    them from the server); it defaults to replaying the token stream,
+    which is always available to the caller in tests.
+    """
+    operations = _layout(old_data, tokens, block_size)
+    new_length = operations[-1].out_end if operations else 0
+
+    if new_data_for_conversion is None:
+        # Reference reconstruction used only to source converted literals.
+        from repro.rsync.matcher import apply_tokens
+
+        new_data_for_conversion = apply_tokens(old_data, tokens, block_size)
+
+    successors, in_degree = _build_read_before_write_edges(operations)
+
+    # Kahn's algorithm with cycle breaking: a stuck state means every
+    # remaining operation waits on a reader inside a cycle; downgrading
+    # one copy to a literal removes its read constraint.
+    import heapq
+
+    ready = [i for i, degree in enumerate(in_degree) if degree == 0]
+    heapq.heapify(ready)
+    done = [False] * len(operations)
+    order: list[int] = []
+    converted = 0
+    remaining = set(range(len(operations)))
+
+    while remaining:
+        while ready:
+            op_id = heapq.heappop(ready)
+            if done[op_id]:
+                continue
+            done[op_id] = True
+            remaining.discard(op_id)
+            order.append(op_id)
+            for successor in successors[op_id]:
+                in_degree[successor] -= 1
+                if in_degree[successor] == 0 and not done[successor]:
+                    heapq.heappush(ready, successor)
+        if not remaining:
+            break
+        # Cycle: convert the copy with the smallest output range to a
+        # literal (cheapest extra transfer) and release its constraints.
+        candidates = [i for i in remaining if operations[i].is_copy]
+        victim_id = min(
+            candidates,
+            key=lambda i: (operations[i].out_end - operations[i].out_start, i),
+        )
+        victim = operations[victim_id]
+        victim.payload = new_data_for_conversion[
+            victim.out_start : victim.out_end
+        ]
+        converted += victim.out_end - victim.out_start
+        victim.src_start = None
+        victim.src_end = None
+        for successor in successors[victim_id]:
+            in_degree[successor] -= 1
+            if in_degree[successor] == 0 and not done[successor]:
+                heapq.heappush(ready, successor)
+        successors[victim_id] = set()
+        if in_degree[victim_id] == 0:
+            heapq.heappush(ready, victim_id)
+        else:
+            # Still blocked as a *writer*; it will be released normally.
+            pass
+
+    # Execute: one buffer, memmove semantics per operation.
+    buffer = bytearray(max(len(old_data), new_length))
+    buffer[: len(old_data)] = old_data
+    for op_id in order:
+        operation = operations[op_id]
+        if operation.is_copy:
+            assert operation.src_start is not None
+            chunk = bytes(buffer[operation.src_start : operation.src_end])
+            buffer[operation.out_start : operation.out_end] = chunk
+        else:
+            assert operation.payload is not None
+            buffer[operation.out_start : operation.out_end] = operation.payload
+    return InPlaceResult(
+        data=bytes(buffer[:new_length]),
+        converted_literal_bytes=converted,
+        operations=len(operations),
+    )

@@ -1,0 +1,58 @@
+"""Client-side block signatures for the rsync algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hashing.rolling import AdlerRolling
+from repro.hashing.strong import strong_digest
+
+#: rsync transmits the 4-byte rolling checksum plus 2 bytes of the strong
+#: hash per block ("only two bytes of the MD4 hash are used since this
+#: provides sufficient power").
+DEFAULT_STRONG_BYTES = 2
+ROLLING_BYTES = 4
+
+
+@dataclass(frozen=True)
+class BlockSignature:
+    """Signature of one client block."""
+
+    index: int
+    length: int
+    rolling: int
+    strong: bytes
+
+
+def compute_signatures(
+    data: bytes,
+    block_size: int,
+    strong_bytes: int = DEFAULT_STRONG_BYTES,
+    salt: bytes = b"",
+) -> list[BlockSignature]:
+    """Split ``data`` into blocks of ``block_size`` and sign each one.
+
+    The final block may be shorter; rsync signs it too so a common file
+    tail can still be matched.
+    """
+    if block_size <= 0:
+        raise ValueError(f"block_size must be positive, got {block_size}")
+    signatures = []
+    for index, start in enumerate(range(0, len(data), block_size)):
+        block = data[start : start + block_size]
+        signatures.append(
+            BlockSignature(
+                index=index,
+                length=len(block),
+                rolling=AdlerRolling.of(block),
+                strong=strong_digest(block, nbytes=strong_bytes, salt=salt),
+            )
+        )
+    return signatures
+
+
+def signature_wire_bytes(
+    signatures: list[BlockSignature], strong_bytes: int = DEFAULT_STRONG_BYTES
+) -> int:
+    """Bytes the client sends for its signatures (excluding tiny header)."""
+    return len(signatures) * (ROLLING_BYTES + strong_bytes)

@@ -1,0 +1,44 @@
+"""The per-file synchronization method interface.
+
+Neutral home for the types shared by the collection layer (which drives a
+method over many files) and the benchmark harness (which defines the
+concrete adapters) — keeping those two packages import-cycle free.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MethodOutcome:
+    """Bandwidth accounting for one file synchronised by one method."""
+
+    total_bytes: int
+    client_to_server: int = 0
+    server_to_client: int = 0
+    breakdown: dict[str, int] = field(default_factory=dict)
+    correct: bool = True
+
+    def __add__(self, other: "MethodOutcome") -> "MethodOutcome":
+        merged = dict(self.breakdown)
+        for key, value in other.breakdown.items():
+            merged[key] = merged.get(key, 0) + value
+        return MethodOutcome(
+            total_bytes=self.total_bytes + other.total_bytes,
+            client_to_server=self.client_to_server + other.client_to_server,
+            server_to_client=self.server_to_client + other.server_to_client,
+            breakdown=merged,
+            correct=self.correct and other.correct,
+        )
+
+
+class SyncMethod(ABC):
+    """One row of the paper's comparison tables."""
+
+    name: str
+
+    @abstractmethod
+    def sync_file(self, old: bytes, new: bytes) -> MethodOutcome:
+        """Synchronise one file pair; return the transfer accounting."""

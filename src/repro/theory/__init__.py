@@ -1,0 +1,36 @@
+"""Theory companion: similarity metrics and communication bounds.
+
+The paper closes with "we are working on improved asymptotic bounds for
+file synchronization under some common file similarity metrics" and
+grounds its related-work discussion in the communication-complexity view
+of the problem (document exchange, Orlitsky's interactive bounds).  This
+package provides the executable side of that discussion:
+
+* :mod:`repro.theory.editdistance` — banded Levenshtein distance and a
+  block-move-aware divergence estimate, the metrics the bounds talk
+  about;
+* :mod:`repro.theory.bounds` — counting lower bounds for one-way
+  document exchange, the classic rsync cost model with its optimal block
+  size, and the multi-round recursive-splitting upper bound, all in bits.
+
+The test-suite cross-checks the *measured* protocol against these
+formulas: its cost must sit between the lower bound and the multi-round
+upper bound on controlled workloads.
+"""
+
+from repro.theory.bounds import (
+    exchange_lower_bound_bits,
+    multiround_upper_bound_bits,
+    optimal_rsync_block_size,
+    rsync_cost_model_bits,
+)
+from repro.theory.editdistance import block_divergence, levenshtein
+
+__all__ = [
+    "block_divergence",
+    "exchange_lower_bound_bits",
+    "levenshtein",
+    "multiround_upper_bound_bits",
+    "optimal_rsync_block_size",
+    "rsync_cost_model_bits",
+]

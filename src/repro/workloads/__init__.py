@@ -1,0 +1,46 @@
+"""Synthetic workloads mirroring the paper's evaluation data sets.
+
+The original evaluation used the gcc 2.7.0→2.7.1 and emacs 19.28→19.29
+source trees plus ten thousand web pages recrawled nightly during Fall
+2001 — none of which are available offline.  These generators produce
+deterministic, seeded collections whose *edit structure* (fraction of
+files changed, clustered local edits, alignment-shifting insertions and
+deletions, heavy-tailed file sizes) mirrors those data sets, scaled so a
+pure-Python prototype can sweep the full parameter grid in seconds.  See
+DESIGN.md §3 for the substitution rationale.
+"""
+
+from repro.workloads.binary import (
+    VersionedFile,
+    make_binary_pair,
+    make_log_pair,
+    make_record_store_pair,
+    robustness_suite,
+)
+from repro.workloads.mutate import EditProfile, mutate
+from repro.workloads.source_tree import (
+    SourceTreeVersions,
+    emacs_like,
+    gcc_like,
+    make_source_tree,
+)
+from repro.workloads.text import HtmlGenerator, TextGenerator
+from repro.workloads.web import WebCollection, make_web_collection
+
+__all__ = [
+    "EditProfile",
+    "VersionedFile",
+    "make_binary_pair",
+    "make_log_pair",
+    "make_record_store_pair",
+    "robustness_suite",
+    "HtmlGenerator",
+    "SourceTreeVersions",
+    "TextGenerator",
+    "WebCollection",
+    "emacs_like",
+    "gcc_like",
+    "make_source_tree",
+    "make_web_collection",
+    "mutate",
+]

@@ -1,0 +1,124 @@
+"""Edit models: turn one file version into the next.
+
+The paper stresses that real modifications include *insertions and
+deletions that change byte alignments* (defeating fixed-block schemes)
+and that changes are usually *clustered* in a few areas of the file
+(which is what makes rsync workable at all).  Both properties are
+first-class knobs here.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.exceptions import WorkloadError
+
+ContentFn = Callable[[random.Random, int], bytes]
+
+
+def _default_content(rng: random.Random, nbytes: int) -> bytes:
+    return bytes(rng.randrange(97, 123) for _ in range(nbytes))
+
+
+@dataclass(frozen=True)
+class EditProfile:
+    """Statistical description of one version step.
+
+    Parameters
+    ----------
+    edit_count:
+        Number of individual edit operations.
+    cluster_count:
+        Edits are placed around this many cluster centres (``None`` means
+        fully dispersed, i.e. uniform positions).
+    cluster_spread:
+        Standard deviation (bytes) of edit positions around their centre.
+    insert_weight / delete_weight / replace_weight:
+        Relative frequencies of the three operation types.
+    min_size / max_size:
+        Operation sizes are drawn log-uniformly from this range, giving
+        the heavy-ish tail observed for real edits.
+    """
+
+    edit_count: int
+    cluster_count: int | None = 3
+    cluster_spread: float = 200.0
+    insert_weight: float = 1.0
+    delete_weight: float = 1.0
+    replace_weight: float = 2.0
+    min_size: int = 4
+    max_size: int = 120
+
+    def __post_init__(self) -> None:
+        if self.edit_count < 0:
+            raise WorkloadError("edit_count must be non-negative")
+        if self.cluster_count is not None and self.cluster_count < 1:
+            raise WorkloadError("cluster_count must be positive or None")
+        if self.min_size < 1 or self.max_size < self.min_size:
+            raise WorkloadError("need 1 <= min_size <= max_size")
+        total = self.insert_weight + self.delete_weight + self.replace_weight
+        if total <= 0:
+            raise WorkloadError("at least one operation weight must be positive")
+
+
+def _draw_size(rng: random.Random, profile: EditProfile) -> int:
+    """Log-uniform size in ``[min_size, max_size]``."""
+    import math
+
+    low = math.log(profile.min_size)
+    high = math.log(profile.max_size)
+    return max(profile.min_size, min(profile.max_size, round(math.exp(rng.uniform(low, high)))))
+
+
+def _draw_positions(
+    rng: random.Random, profile: EditProfile, length: int
+) -> list[int]:
+    if length == 0:
+        return [0] * profile.edit_count
+    if profile.cluster_count is None:
+        return [rng.randrange(length) for _ in range(profile.edit_count)]
+    centres = [rng.randrange(length) for _ in range(profile.cluster_count)]
+    positions = []
+    for _ in range(profile.edit_count):
+        centre = rng.choice(centres)
+        offset = rng.gauss(0.0, profile.cluster_spread)
+        positions.append(int(max(0, min(length - 1, centre + offset))))
+    return positions
+
+
+def mutate(
+    data: bytes,
+    rng: random.Random,
+    profile: EditProfile,
+    content: ContentFn | None = None,
+) -> bytes:
+    """Apply one version step to ``data``.
+
+    Edits are applied right-to-left so earlier positions stay valid.
+    ``content`` generates inserted/replacement bytes; by default random
+    lowercase letters, but workloads pass their own generator so edits
+    match the file's texture.
+    """
+    if content is None:
+        content = _default_content
+    if profile.edit_count == 0:
+        return data
+
+    weights = (profile.insert_weight, profile.delete_weight, profile.replace_weight)
+    result = bytearray(data)
+    positions = sorted(_draw_positions(rng, profile, len(data)), reverse=True)
+    for position in positions:
+        size = _draw_size(rng, profile)
+        operation = rng.choices(("insert", "delete", "replace"), weights=weights)[0]
+        if operation == "insert" or not result:
+            result[position:position] = content(rng, size)
+        elif operation == "delete":
+            del result[position : position + size]
+        else:
+            replacement_length = max(
+                1, size + rng.randrange(-size // 3 - 1, size // 3 + 2)
+            )
+            result[position : position + size] = content(rng, replacement_length)
+    return bytes(result)

@@ -1,0 +1,174 @@
+"""Versioned source-tree collections (the gcc/emacs stand-ins).
+
+The paper's first benchmark data sets are consecutive releases of gcc
+(2.7.0 → 2.7.1, ~1000 files) and emacs (19.28 → 19.29, ~1290 files), each
+around 27 MB.  A point release touches most files lightly (version
+strings, copyright years, small fixes), rewrites a handful heavily, and
+adds/removes a few — that structure is what the generator reproduces,
+scaled down via ``scale`` (1.0 ≈ 2 MB; raise it if you have the minutes).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.exceptions import WorkloadError
+from repro.workloads.mutate import EditProfile, mutate
+from repro.workloads.text import TextGenerator
+
+
+@dataclass(frozen=True)
+class SourceTreeProfile:
+    """Shape of a release-to-release change."""
+
+    name: str
+    file_count: int
+    mean_file_size: int = 8192
+    size_sigma: float = 1.0  # lognormal spread
+    unchanged_fraction: float = 0.30
+    lightly_edited_fraction: float = 0.55  # small clustered edits
+    heavy_rewrite_fraction: float = 0.10  # substantial restructuring
+    added_fraction: float = 0.03  # brand-new files in the new release
+    removed_fraction: float = 0.02  # files dropped from the old release
+    light_edits_per_kb: float = 0.4
+    heavy_edits_per_kb: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.file_count < 1:
+            raise WorkloadError("file_count must be positive")
+        fractions = (
+            self.unchanged_fraction
+            + self.lightly_edited_fraction
+            + self.heavy_rewrite_fraction
+            + self.added_fraction
+        )
+        if fractions > 1.0 + 1e-9:
+            raise WorkloadError("file-category fractions exceed 1.0")
+
+
+@dataclass
+class SourceTreeVersions:
+    """An (old, new) pair of file collections."""
+
+    name: str
+    old: dict[str, bytes] = field(default_factory=dict)
+    new: dict[str, bytes] = field(default_factory=dict)
+
+    @property
+    def old_bytes(self) -> int:
+        return sum(len(v) for v in self.old.values())
+
+    @property
+    def new_bytes(self) -> int:
+        return sum(len(v) for v in self.new.values())
+
+    def common_names(self) -> list[str]:
+        return sorted(set(self.old) & set(self.new))
+
+
+def _draw_file_size(rng: random.Random, profile: SourceTreeProfile) -> int:
+    mu = math.log(profile.mean_file_size) - profile.size_sigma**2 / 2
+    return max(256, int(rng.lognormvariate(mu, profile.size_sigma)))
+
+
+def make_source_tree(
+    profile: SourceTreeProfile, seed: int = 0
+) -> SourceTreeVersions:
+    """Generate the old release and derive the new one from it."""
+    rng = random.Random(seed)
+    text = TextGenerator(seed ^ 0xC0DE)
+    versions = SourceTreeVersions(name=profile.name)
+
+    names = [
+        f"src/{rng.choice(('core', 'lib', 'util', 'io', 'net'))}/file{i:04d}.c"
+        for i in range(profile.file_count)
+    ]
+    for name in names:
+        versions.old[name] = text.generate(_draw_file_size(rng, profile), rng)
+
+    shuffled = list(names)
+    rng.shuffle(shuffled)
+    cursor = 0
+
+    def take(fraction: float) -> list[str]:
+        nonlocal cursor
+        count = int(round(fraction * profile.file_count))
+        chunk = shuffled[cursor : cursor + count]
+        cursor += count
+        return chunk
+
+    removed = set(take(profile.removed_fraction))
+    heavy = take(profile.heavy_rewrite_fraction)
+    light = take(profile.lightly_edited_fraction)
+    # Everything else (including the explicit unchanged fraction) is copied.
+
+    for name in names:
+        if name in removed:
+            continue
+        data = versions.old[name]
+        if name in heavy:
+            edit_count = max(3, int(len(data) / 1024 * profile.heavy_edits_per_kb))
+            profile_edits = EditProfile(
+                edit_count=edit_count,
+                cluster_count=max(2, edit_count // 4),
+                cluster_spread=400.0,
+                min_size=8,
+                max_size=600,
+            )
+            data = mutate(data, rng, profile_edits, content=text.snippet)
+        elif name in light:
+            edit_count = max(1, int(len(data) / 1024 * profile.light_edits_per_kb))
+            profile_edits = EditProfile(
+                edit_count=edit_count,
+                cluster_count=2,
+                cluster_spread=150.0,
+                min_size=4,
+                max_size=80,
+            )
+            data = mutate(data, rng, profile_edits, content=text.snippet)
+        versions.new[name] = data
+
+    added_count = int(round(profile.added_fraction * profile.file_count))
+    for i in range(added_count):
+        name = f"src/new/file{i:04d}.c"
+        versions.new[name] = text.generate(_draw_file_size(rng, profile), rng)
+    return versions
+
+
+def gcc_like(scale: float = 1.0, seed: int = 0) -> SourceTreeVersions:
+    """A gcc-2.7.0→2.7.1-shaped release pair.
+
+    ``scale=1.0`` gives ~250 files / ~2 MB; the real data set is ~11×
+    larger with the same structure.
+    """
+    if scale <= 0:
+        raise WorkloadError("scale must be positive")
+    profile = SourceTreeProfile(
+        name="gcc-like",
+        file_count=max(10, int(250 * scale)),
+        unchanged_fraction=0.25,
+        lightly_edited_fraction=0.58,
+        heavy_rewrite_fraction=0.12,
+    )
+    return make_source_tree(profile, seed=seed)
+
+
+def emacs_like(scale: float = 1.0, seed: int = 1) -> SourceTreeVersions:
+    """An emacs-19.28→19.29-shaped release pair (closer versions: more
+    unchanged files, lighter edits, slightly more files)."""
+    if scale <= 0:
+        raise WorkloadError("scale must be positive")
+    profile = SourceTreeProfile(
+        name="emacs-like",
+        file_count=max(10, int(320 * scale)),
+        mean_file_size=7168,
+        unchanged_fraction=0.45,
+        lightly_edited_fraction=0.45,
+        heavy_rewrite_fraction=0.05,
+        added_fraction=0.02,
+        removed_fraction=0.01,
+        light_edits_per_kb=0.3,
+    )
+    return make_source_tree(profile, seed=seed)

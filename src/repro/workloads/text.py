@@ -1,0 +1,175 @@
+"""Deterministic generators for source-code-like and HTML-like content.
+
+Real source files and web pages are highly compressible (shared
+identifiers, indentation, boilerplate), which matters for every method we
+benchmark: rsync compresses its literal stream, the delta coders entropy-
+code theirs.  Pure random bytes would flatten those effects and distort
+all the comparisons, so the generators produce token streams with a
+realistic amount of repetition.
+"""
+
+from __future__ import annotations
+
+import random
+
+_KEYWORDS = (
+    "if",
+    "else",
+    "for",
+    "while",
+    "return",
+    "break",
+    "continue",
+    "static",
+    "const",
+    "struct",
+    "int",
+    "char",
+    "void",
+    "unsigned",
+    "sizeof",
+    "switch",
+    "case",
+    "default",
+    "typedef",
+    "extern",
+)
+
+_OPERATORS = ("=", "==", "!=", "<", ">", "<=", ">=", "+", "-", "*", "&&", "||")
+
+
+def _make_identifier(rng: random.Random) -> str:
+    syllables = ("get", "set", "buf", "len", "ptr", "idx", "tmp", "max", "min",
+                 "node", "list", "hash", "key", "val", "str", "num", "pos",
+                 "ctx", "cfg", "arg", "out", "err", "res", "cur", "next")
+    parts = [rng.choice(syllables) for _ in range(rng.randrange(1, 4))]
+    return "_".join(parts)
+
+
+class TextGenerator:
+    """Source-code-flavoured text with a per-collection vocabulary.
+
+    Two generators with the same seed produce identical output; content
+    functions derived from one are used both for whole files and for the
+    replacement text of edits, so edited regions look like the rest of
+    the file (as they do in real version pairs).
+    """
+
+    def __init__(self, seed: int, vocabulary_size: int = 300) -> None:
+        if vocabulary_size < 10:
+            raise ValueError("vocabulary_size must be at least 10")
+        rng = random.Random(seed)
+        self._identifiers = sorted(
+            {_make_identifier(rng) for _ in range(vocabulary_size)}
+        )
+
+    def _line(self, rng: random.Random, indent: int) -> str:
+        pad = "    " * indent
+        roll = rng.random()
+        ident = rng.choice(self._identifiers)
+        other = rng.choice(self._identifiers)
+        if roll < 0.15:
+            return f"{pad}{rng.choice(_KEYWORDS)} ({ident} {rng.choice(_OPERATORS)} {other}) {{"
+        if roll < 0.30:
+            return f"{pad}{rng.choice(('int', 'char *', 'unsigned', 'struct'))} {ident} = {rng.randrange(0, 4096)};"
+        if roll < 0.45:
+            return f"{pad}{ident} = {other}({ident}, {rng.randrange(0, 64)});"
+        if roll < 0.55:
+            return f"{pad}/* {ident} {other} */"
+        if roll < 0.65:
+            return f"{pad}return {ident};"
+        if roll < 0.75:
+            return f"{pad}}}"
+        return f"{pad}{ident}->{other} = {rng.choice(self._identifiers)};"
+
+    def generate(self, nbytes: int, rng: random.Random) -> bytes:
+        """About ``nbytes`` of code-like text (never shorter)."""
+        lines = []
+        size = 0
+        indent = 0
+        while size <= nbytes:
+            if rng.random() < 0.08:
+                line = f"\nstatic int {rng.choice(self._identifiers)}(void) {{"
+                indent = 1
+            else:
+                line = self._line(rng, indent)
+                if line.endswith("{"):
+                    indent = min(indent + 1, 4)
+                elif line.strip() == "}":
+                    indent = max(indent - 1, 0)
+            lines.append(line)
+            size += len(line) + 1
+        return ("\n".join(lines) + "\n").encode()
+
+    def snippet(self, rng: random.Random, nbytes: int) -> bytes:
+        """Replacement content for edits (same statistical texture)."""
+        return self.generate(max(nbytes, 1), rng)[:nbytes]
+
+
+class HtmlGenerator:
+    """HTML-ish pages sharing per-site boilerplate.
+
+    Pages within a "site" share a template (header, nav, footer), so
+    different pages of one site are similar but not identical — mirroring
+    the structure of a real crawled collection.
+    """
+
+    def __init__(self, seed: int, sites: int = 12) -> None:
+        if sites < 1:
+            raise ValueError("sites must be positive")
+        rng = random.Random(seed)
+        self._text = TextGenerator(seed ^ 0xBEEF, vocabulary_size=200)
+        words = [
+            "".join(rng.choice("aeioubcdfghlmnprstv") for _ in range(rng.randrange(3, 9)))
+            for _ in range(500)
+        ]
+        self._words = words
+        self._templates = []
+        for site in range(sites):
+            nav = " | ".join(
+                f'<a href="/{rng.choice(words)}">{rng.choice(words)}</a>'
+                for _ in range(8)
+            )
+            self._templates.append(
+                (
+                    f"<html><head><title>site-{site}</title></head><body>"
+                    f'<div class="nav">{nav}</div>\n',
+                    f'<div class="footer">copyright site-{site} | '
+                    f"{' '.join(rng.choice(words) for _ in range(12))}</div>"
+                    "</body></html>\n",
+                )
+            )
+
+    @property
+    def site_count(self) -> int:
+        return len(self._templates)
+
+    def _paragraph(self, rng: random.Random) -> str:
+        sentence_count = rng.randrange(2, 6)
+        sentences = []
+        for _ in range(sentence_count):
+            length = rng.randrange(6, 18)
+            sentences.append(
+                " ".join(rng.choice(self._words) for _ in range(length)) + "."
+            )
+        return "<p>" + " ".join(sentences) + "</p>"
+
+    def generate(self, nbytes: int, rng: random.Random, site: int | None = None) -> bytes:
+        """About ``nbytes`` of page content for the given (or random) site."""
+        if site is None:
+            site = rng.randrange(len(self._templates))
+        header, footer = self._templates[site % len(self._templates)]
+        body = []
+        size = len(header) + len(footer)
+        while size <= nbytes:
+            paragraph = self._paragraph(rng)
+            body.append(paragraph)
+            size += len(paragraph) + 1
+        return (header + "\n".join(body) + footer).encode()
+
+    def snippet(self, rng: random.Random, nbytes: int) -> bytes:
+        """Replacement content for page edits."""
+        raw = self._paragraph(rng)
+        while len(raw) < nbytes:
+            raw += " " + self._paragraph(rng)
+        return raw[:nbytes].encode()

@@ -1,0 +1,121 @@
+"""The recrawled web-page collection (Table 6.2's workload).
+
+The paper's set: ten thousand pages sampled from large crawls, recrawled
+nightly; snapshots at gaps of 1, 2 and 7 days; ~10 KB mean page size and
+~100 MB per snapshot; many pages unchanged between crawls, the rest
+changed slightly.  The generator simulates the crawl process day by day:
+each page has a per-page daily change probability drawn from a
+hot/warm/cold mixture (a few pages churn daily, most rarely change), and
+a change applies a handful of small, local edits.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.exceptions import WorkloadError
+from repro.workloads.mutate import EditProfile, mutate
+from repro.workloads.text import HtmlGenerator
+
+#: (fraction of pages, daily change probability) — hot news-like pages,
+#: warm pages, and the cold long tail.
+CHANGE_MIXTURE: tuple[tuple[float, float], ...] = (
+    (0.15, 0.85),
+    (0.30, 0.20),
+    (0.55, 0.03),
+)
+
+
+@dataclass
+class WebCollection:
+    """Snapshots of a page population indexed by crawl day."""
+
+    page_count: int
+    snapshots: dict[int, dict[str, bytes]] = field(default_factory=dict)
+    change_rates: dict[str, float] = field(default_factory=dict)
+
+    def snapshot(self, day: int) -> dict[str, bytes]:
+        try:
+            return self.snapshots[day]
+        except KeyError:
+            raise WorkloadError(
+                f"no snapshot for day {day}; have {sorted(self.snapshots)}"
+            ) from None
+
+    def snapshot_bytes(self, day: int) -> int:
+        return sum(len(v) for v in self.snapshot(day).values())
+
+    def changed_pages(self, day_a: int, day_b: int) -> int:
+        """Pages whose content differs between two snapshot days."""
+        a, b = self.snapshot(day_a), self.snapshot(day_b)
+        return sum(1 for name in a if a[name] != b.get(name))
+
+
+def _draw_change_rate(rng: random.Random) -> float:
+    roll = rng.random()
+    cumulative = 0.0
+    for fraction, rate in CHANGE_MIXTURE:
+        cumulative += fraction
+        if roll < cumulative:
+            return rate
+    return CHANGE_MIXTURE[-1][1]
+
+
+def _draw_page_size(rng: random.Random, mean_size: int) -> int:
+    sigma = 0.7
+    mu = math.log(mean_size) - sigma**2 / 2
+    return max(1024, int(rng.lognormvariate(mu, sigma)))
+
+
+def make_web_collection(
+    page_count: int = 150,
+    days: tuple[int, ...] = (0, 1, 2, 7),
+    mean_page_size: int = 10240,
+    seed: int = 0,
+) -> WebCollection:
+    """Simulate the crawl: base snapshot at day 0, then daily evolution.
+
+    Snapshots are cumulative — the day-7 snapshot is the result of seven
+    daily mutation steps, so longer gaps mean strictly more divergence,
+    exactly like the paper's update-frequency sweep.
+    """
+    if page_count < 1:
+        raise WorkloadError("page_count must be positive")
+    if not days or days[0] != 0 or list(days) != sorted(set(days)):
+        raise WorkloadError("days must be sorted, unique, and start at 0")
+
+    rng = random.Random(seed)
+    html = HtmlGenerator(seed ^ 0xFACE)
+    collection = WebCollection(page_count=page_count)
+
+    current: dict[str, bytes] = {}
+    for i in range(page_count):
+        name = f"page{i:05d}.html"
+        site = i % html.site_count
+        current[name] = html.generate(_draw_page_size(rng, mean_page_size), rng, site)
+        collection.change_rates[name] = _draw_change_rate(rng)
+    collection.snapshots[0] = dict(current)
+
+    max_day = max(days)
+    wanted = set(days)
+    for day in range(1, max_day + 1):
+        for name in sorted(current):
+            if rng.random() >= collection.change_rates[name]:
+                continue
+            edit_count = rng.randrange(1, 5)
+            profile = EditProfile(
+                edit_count=edit_count,
+                cluster_count=1,
+                cluster_spread=120.0,
+                min_size=8,
+                max_size=250,
+                insert_weight=1.0,
+                delete_weight=1.0,
+                replace_weight=3.0,
+            )
+            current[name] = mutate(current[name], rng, profile, content=html.snippet)
+        if day in wanted:
+            collection.snapshots[day] = dict(current)
+    return collection

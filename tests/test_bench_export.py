@@ -1,0 +1,74 @@
+"""Tests for benchmark-row export."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.bench import ZdeltaMethod, run_method_on_collection
+from repro.bench.export import (
+    export_runs,
+    rows_to_csv,
+    rows_to_json,
+    run_to_row,
+)
+from repro.workloads import gcc_like
+
+
+@pytest.fixture(scope="module")
+def run():
+    tree = gcc_like(scale=0.05, seed=7)
+    return run_method_on_collection(ZdeltaMethod(), tree.old, tree.new)
+
+
+class TestRowFlattening:
+    def test_core_fields_present(self, run):
+        row = run_to_row(run)
+        assert row["method"] == "zdelta"
+        assert row["total_bytes"] == run.total_bytes
+        assert any(key.startswith("breakdown.") for key in row)
+
+
+class TestCsv:
+    def test_roundtrips_through_reader(self, run):
+        text = rows_to_csv([run_to_row(run)])
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == 1
+        assert parsed[0]["method"] == "zdelta"
+        assert int(parsed[0]["total_bytes"]) == run.total_bytes
+
+    def test_union_of_keys(self):
+        text = rows_to_csv([{"a": 1}, {"a": 2, "b": 3}])
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert parsed[0]["b"] == ""
+        assert parsed[1]["b"] == "3"
+
+    def test_empty(self):
+        assert rows_to_csv([]) == ""
+
+
+class TestJson:
+    def test_valid_json(self, run):
+        rows = json.loads(rows_to_json([run_to_row(run)]))
+        assert rows[0]["method"] == "zdelta"
+
+
+class TestExportRuns:
+    def test_csv_by_suffix(self, run, tmp_path):
+        out = export_runs([run], tmp_path / "results.csv")
+        assert out.read_text().startswith("method,")
+
+    def test_json_by_suffix(self, run, tmp_path):
+        out = export_runs([run], tmp_path / "results.json")
+        assert json.loads(out.read_text())[0]["method"] == "zdelta"
+
+    def test_explicit_format_wins(self, run, tmp_path):
+        out = export_runs([run], tmp_path / "results.dat", fmt="json")
+        json.loads(out.read_text())
+
+    def test_unknown_format_rejected(self, run, tmp_path):
+        with pytest.raises(ValueError):
+            export_runs([run], tmp_path / "results.xml")

@@ -1,0 +1,123 @@
+"""Tests for the benchmark method adapters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    FullTransferMethod,
+    OursMethod,
+    RsyncMethod,
+    RsyncOptimalMethod,
+    VcdiffMethod,
+    ZdeltaMethod,
+    standard_methods,
+)
+from repro.core import ProtocolConfig
+from repro.syncmethod import MethodOutcome
+from tests.conftest import make_version_pair
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return make_version_pair(seed=60, nbytes=20000, edits=8)
+
+
+class TestAdapters:
+    @pytest.mark.parametrize(
+        "method_factory",
+        [
+            OursMethod,
+            RsyncMethod,
+            RsyncOptimalMethod,
+            ZdeltaMethod,
+            VcdiffMethod,
+            FullTransferMethod,
+        ],
+    )
+    def test_outcome_well_formed(self, pair, method_factory):
+        old, new = pair
+        outcome = method_factory().sync_file(old, new)
+        assert outcome.correct
+        assert outcome.total_bytes > 0
+        assert (
+            outcome.client_to_server + outcome.server_to_client
+            == outcome.total_bytes
+        )
+
+    def test_ours_accepts_config(self, pair):
+        old, new = pair
+        method = OursMethod(ProtocolConfig(min_block_size=32), name="tuned")
+        assert method.name == "tuned"
+        assert method.sync_file(old, new).correct
+
+    def test_rsync_name_reflects_block_size(self):
+        assert RsyncMethod().name == "rsync"
+        assert "1024" in RsyncMethod(block_size=1024).name
+
+    def test_delta_methods_are_one_way(self, pair):
+        old, new = pair
+        for method in (ZdeltaMethod(), VcdiffMethod(), FullTransferMethod()):
+            outcome = method.sync_file(old, new)
+            assert outcome.client_to_server == 0
+
+    def test_expected_ordering_on_text(self, pair):
+        """zdelta <= ours < rsync default, full transfer worst."""
+        old, new = pair
+        sizes = {
+            m.name: m.sync_file(old, new).total_bytes
+            for m in (OursMethod(), RsyncMethod(), ZdeltaMethod(),
+                      FullTransferMethod())
+        }
+        assert sizes["zdelta"] <= sizes["ours"]
+        assert sizes["ours"] < sizes["rsync"]
+        assert sizes["rsync"] < sizes["gzip-full"]
+
+
+class TestStandardMethods:
+    def test_lineup(self):
+        names = [m.name for m in standard_methods()]
+        assert names == ["ours", "rsync", "rsync-opt", "zdelta", "vcdiff",
+                         "gzip-full"]
+
+
+class TestMethodOutcome:
+    def test_addition_merges(self):
+        a = MethodOutcome(10, client_to_server=4, server_to_client=6,
+                          breakdown={"x": 10})
+        b = MethodOutcome(5, server_to_client=5, breakdown={"x": 2, "y": 3})
+        merged = a + b
+        assert merged.total_bytes == 15
+        assert merged.breakdown == {"x": 12, "y": 3}
+        assert merged.correct
+
+    def test_addition_propagates_incorrect(self):
+        bad = MethodOutcome(1, correct=False)
+        assert not (MethodOutcome(1) + bad).correct
+
+
+class TestNewAdapters:
+    def test_multiround_adapter(self, pair):
+        from repro.bench import MultiroundRsyncMethod
+
+        old, new = pair
+        outcome = MultiroundRsyncMethod().sync_file(old, new)
+        assert outcome.correct
+        assert outcome.total_bytes > 0
+
+    def test_adaptive_adapter(self, pair):
+        from repro.bench import AdaptiveMethod
+
+        old, new = pair
+        outcome = AdaptiveMethod().sync_file(old, new)
+        assert outcome.correct
+        assert "c2s/probe" in outcome.breakdown
+
+    def test_lineage_ordering(self, pair):
+        from repro.bench import MultiroundRsyncMethod, OursMethod, RsyncMethod
+
+        old, new = pair
+        rsync_bytes = RsyncMethod().sync_file(old, new).total_bytes
+        multiround_bytes = MultiroundRsyncMethod().sync_file(old, new).total_bytes
+        ours_bytes = OursMethod().sync_file(old, new).total_bytes
+        assert ours_bytes < multiround_bytes < rsync_bytes

@@ -1,0 +1,78 @@
+"""Tests for benchmark table/figure rendering and the runner."""
+
+from __future__ import annotations
+
+from repro.bench import (
+    OursMethod,
+    ZdeltaMethod,
+    format_kb,
+    render_grouped_bars,
+    render_table,
+    run_method_on_collection,
+)
+from repro.workloads import gcc_like
+
+
+class TestFormatKb:
+    def test_kilobytes(self):
+        assert format_kb(2048) == "2.0"
+        assert format_kb(1536) == "1.5"
+
+    def test_thousands_separator(self):
+        assert format_kb(10_000_000) == "9,765.6"
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        table = render_table(
+            ["method", "KB"], [["ours", "12.5"], ["rsync", "30.1"]],
+            title="Table X",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "Table X"
+        assert "method" in lines[1]
+        assert lines[2].startswith("-")
+        assert len(lines) == 5
+
+    def test_column_widths_fit_data(self):
+        table = render_table(["m"], [["a-very-long-method-name"]])
+        header, rule, row = table.splitlines()
+        assert len(rule) >= len("a-very-long-method-name")
+
+
+class TestRenderBars:
+    def test_contains_all_groups_and_series(self):
+        chart = render_grouped_bars(
+            ["g1", "g2"],
+            {"ours": [1.0, 2.0], "rsync": [3.0, 4.0]},
+        )
+        for token in ("g1:", "g2:", "ours", "rsync", "4.0"):
+            assert token in chart
+
+    def test_bar_length_proportional(self):
+        chart = render_grouped_bars(["g"], {"a": [10.0], "b": [5.0]}, width=40)
+        lines = [l for l in chart.splitlines() if "|" in l]
+        bar_a = lines[0].split("|")[1].count("#")
+        bar_b = lines[1].split("|")[1].count("#")
+        assert bar_a == 2 * bar_b
+
+    def test_zero_values_no_crash(self):
+        chart = render_grouped_bars(["g"], {"a": [0.0]})
+        assert "0.0" in chart
+
+
+class TestRunner:
+    def test_run_produces_consistent_row(self):
+        tree = gcc_like(scale=0.05, seed=4)
+        run = run_method_on_collection(ZdeltaMethod(), tree.old, tree.new)
+        assert run.method == "zdelta"
+        assert run.total_bytes == (
+            run.manifest_bytes + run.changed_bytes + run.added_bytes
+        )
+        assert run.total_kb * 1024 == run.total_bytes
+        assert run.elapsed_seconds >= 0
+
+    def test_breakdown_merged_across_files(self):
+        tree = gcc_like(scale=0.05, seed=4)
+        run = run_method_on_collection(OursMethod(), tree.old, tree.new)
+        assert any(key.endswith("/map") for key in run.breakdown)

@@ -1,0 +1,138 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from tests.conftest import make_version_pair
+
+
+@pytest.fixture
+def file_pair(tmp_path):
+    old, new = make_version_pair(seed=70, nbytes=8000)
+    old_path = tmp_path / "old.txt"
+    new_path = tmp_path / "new.txt"
+    old_path.write_bytes(old)
+    new_path.write_bytes(new)
+    return old_path, new_path
+
+
+@pytest.fixture
+def dir_pair(tmp_path):
+    old_dir = tmp_path / "old"
+    new_dir = tmp_path / "new"
+    (old_dir / "sub").mkdir(parents=True)
+    (new_dir / "sub").mkdir(parents=True)
+    old_a, new_a = make_version_pair(seed=71, nbytes=3000)
+    (old_dir / "a.txt").write_bytes(old_a)
+    (new_dir / "a.txt").write_bytes(new_a)
+    (old_dir / "sub" / "same.txt").write_bytes(b"unchanged")
+    (new_dir / "sub" / "same.txt").write_bytes(b"unchanged")
+    (new_dir / "added.txt").write_bytes(b"brand new file")
+    return old_dir, new_dir
+
+
+class TestSyncCommand:
+    def test_file_pair(self, file_pair, capsys):
+        old_path, new_path = file_pair
+        assert main(["sync", str(old_path), str(new_path)]) == 0
+        out = capsys.readouterr().out
+        assert "bytes on wire" in out
+        assert "1 changed" in out
+
+    def test_directory_pair(self, dir_pair, capsys):
+        old_dir, new_dir = dir_pair
+        assert main(["sync", str(old_dir), str(new_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "1 changed, 1 unchanged" in out
+
+    def test_json_output(self, file_pair, capsys):
+        old_path, new_path = file_pair
+        assert main(["sync", str(old_path), str(new_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["method"] == "ours"
+        assert payload["total_bytes"] > 0
+        assert payload["files_changed"] == 1
+
+    @pytest.mark.parametrize("method", ["rsync", "rsync-opt", "zdelta",
+                                        "vcdiff", "full"])
+    def test_alternative_methods(self, file_pair, capsys, method):
+        old_path, new_path = file_pair
+        assert main(["sync", str(old_path), str(new_path),
+                     "--method", method]) == 0
+        assert "bytes on wire" in capsys.readouterr().out
+
+    def test_tuning_flags(self, file_pair, capsys):
+        old_path, new_path = file_pair
+        assert main([
+            "sync", str(old_path), str(new_path),
+            "--min-block", "32", "--continuation-min", "8",
+            "--verification", "group3",
+        ]) == 0
+
+    def test_missing_path_fails_cleanly(self, tmp_path, capsys):
+        missing = tmp_path / "nope"
+        existing = tmp_path / "real"
+        existing.write_bytes(b"x")
+        assert main(["sync", str(missing), str(existing)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBatchedSync:
+    def test_batched_directory(self, dir_pair, capsys):
+        old_dir, new_dir = dir_pair
+        assert main(["sync", str(old_dir), str(new_dir), "--batched"]) == 0
+        assert "ours-batched" in capsys.readouterr().out
+
+    def test_batched_json(self, dir_pair, capsys):
+        old_dir, new_dir = dir_pair
+        assert main(["sync", str(old_dir), str(new_dir), "--batched",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["method"] == "ours-batched"
+
+    def test_batched_requires_ours(self, dir_pair, capsys):
+        old_dir, new_dir = dir_pair
+        assert main(["sync", str(old_dir), str(new_dir), "--batched",
+                     "--method", "rsync"]) == 2
+        assert "requires" in capsys.readouterr().err
+
+
+class TestTraceCommand:
+    def test_trace_output(self, file_pair, capsys):
+        old_path, new_path = file_pair
+        assert main(["trace", str(old_path), str(new_path)]) == 0
+        out = capsys.readouterr().out
+        assert "round" in out
+        assert "coverage" in out
+
+    def test_trace_with_tuning(self, file_pair, capsys):
+        old_path, new_path = file_pair
+        assert main(["trace", str(old_path), str(new_path),
+                     "--min-block", "32"]) == 0
+
+
+class TestBenchCommand:
+    def test_gcc_table(self, capsys):
+        assert main(["bench", "--workload", "gcc", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ours", "rsync", "zdelta"):
+            assert name in out
+
+    def test_web_table(self, capsys):
+        assert main(["bench", "--workload", "web", "--scale", "0.1"]) == 0
+        assert "ours" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_method_rejected(self, file_pair):
+        old_path, new_path = file_pair
+        with pytest.raises(SystemExit):
+            main(["sync", str(old_path), str(new_path), "--method", "nope"])

@@ -1,0 +1,88 @@
+"""Tests for the repeat-with-different-hashes recovery path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ProtocolConfig, synchronize
+from repro.exceptions import ConfigError
+from tests.conftest import make_version_pair
+
+
+class TestCollisionRetry:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ProtocolConfig(collision_retries=-1)
+
+    def test_retry_with_fresh_seed_recovers(self, monkeypatch):
+        """Sabotage the delta only under the original hash seed: one
+        retry with the bumped seed must succeed without a full transfer."""
+        from repro.core import server as server_module
+
+        old, new = make_version_pair(seed=920, nbytes=10000)
+        original = server_module.ServerSession.emit_delta
+
+        def sabotage(self):
+            delta = original(self)
+            if self.hasher.seed == 1 and len(delta) > 4:
+                corrupted = bytearray(delta)
+                corrupted[len(corrupted) // 2] ^= 0xFF
+                return bytes(corrupted)
+            return delta
+
+        monkeypatch.setattr(server_module.ServerSession, "emit_delta", sabotage)
+        result = synchronize(
+            old, new, ProtocolConfig(collision_retries=1, hash_seed=1)
+        )
+        assert result.reconstructed == new
+        assert result.used_fallback  # the retry path was taken
+        # No compressed-full-file transfer happened.
+        assert result.stats.bytes_in_phase("fallback") < 16
+
+    def test_persistent_failure_still_falls_back_to_full(self, monkeypatch):
+        from repro.core import server as server_module
+
+        old, new = make_version_pair(seed=921, nbytes=8000)
+        original = server_module.ServerSession.emit_delta
+
+        def always_sabotage(self):
+            delta = original(self)
+            if len(delta) > 4:
+                corrupted = bytearray(delta)
+                corrupted[-2] ^= 0xFF
+                return bytes(corrupted)
+            return delta
+
+        monkeypatch.setattr(
+            server_module.ServerSession, "emit_delta", always_sabotage
+        )
+        result = synchronize(
+            old, new, ProtocolConfig(collision_retries=2)
+        )
+        assert result.reconstructed == new
+        assert result.used_fallback
+        # The full transfer had to happen in the end.
+        assert result.stats.bytes_in_phase("fallback") > 100
+
+    def test_retry_cost_double_counted_honestly(self, monkeypatch):
+        from repro.core import server as server_module
+
+        old, new = make_version_pair(seed=922, nbytes=10000)
+        original = server_module.ServerSession.emit_delta
+
+        def sabotage(self):
+            delta = original(self)
+            if self.hasher.seed == 1 and len(delta) > 4:
+                corrupted = bytearray(delta)
+                corrupted[0] ^= 0x01 if delta[0] != 0x01 else 0x02
+                return bytes(corrupted)
+            return delta
+
+        monkeypatch.setattr(server_module.ServerSession, "emit_delta", sabotage)
+        clean = synchronize(old, new, ProtocolConfig(hash_seed=2))
+        retried = synchronize(
+            old, new, ProtocolConfig(collision_retries=1, hash_seed=1)
+        )
+        assert retried.reconstructed == new
+        # Two protocol passes cost roughly twice one pass.
+        assert retried.total_bytes > 1.5 * clean.total_bytes

@@ -1,0 +1,75 @@
+"""Exhaustive configuration-grid correctness: every sensible combination
+of techniques must reconstruct exactly."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ProtocolConfig, synchronize
+from tests.conftest import make_version_pair
+
+
+@st.composite
+def protocol_configs(draw) -> ProtocolConfig:
+    min_block = draw(st.sampled_from([16, 32, 64, 128, 256]))
+    continuation = draw(
+        st.sampled_from([None, 4, 8, 16])
+    )
+    if continuation is not None:
+        continuation = min(continuation, min_block)
+    return ProtocolConfig(
+        min_block_size=min_block,
+        continuation_min_block_size=continuation,
+        continuation_first=draw(st.booleans()),
+        use_decomposable=draw(st.booleans()),
+        use_local_hashes=draw(st.booleans()),
+        verification=draw(
+            st.sampled_from(["trivial", "light", "group1", "group2", "group3"])
+        ),
+        delta_coder=draw(st.sampled_from(["zdelta", "vcdiff"])),
+        global_hash_bits=draw(st.sampled_from([None, 12, 16, 24])),
+        continuation_hash_bits=draw(st.sampled_from([2, 6, 10])),
+        max_rounds=draw(st.sampled_from([None, 1, 3])),
+        refine_boundaries=draw(st.booleans()),
+        max_candidate_positions=draw(st.sampled_from([1, 4])),
+    )
+
+
+@given(config=protocol_configs(), seed=st.integers(0, 10_000))
+@settings(max_examples=60, deadline=None)
+def test_any_config_reconstructs_exactly(config, seed):
+    old, new = make_version_pair(seed=seed, nbytes=4000, edits=4)
+    result = synchronize(old, new, config)
+    assert result.reconstructed == new
+
+
+@given(config=protocol_configs())
+@settings(max_examples=25, deadline=None)
+def test_any_config_handles_pathological_inputs(config):
+    cases = [
+        (b"", b""),
+        (b"", b"fresh"),
+        (b"stale", b""),
+        (b"\x00" * 3000, b"\x00" * 2999 + b"\x01"),
+        (b"ab" * 1500, b"ba" * 1500),
+    ]
+    for old, new in cases:
+        assert synchronize(old, new, config).reconstructed == new
+
+
+@pytest.mark.parametrize("min_block", [16, 64, 256])
+@pytest.mark.parametrize("verification", ["trivial", "group2"])
+@pytest.mark.parametrize("refine", [False, True])
+def test_grid_on_realistic_pair(min_block, verification, refine):
+    old, new = make_version_pair(seed=5000, nbytes=15000, edits=6)
+    config = ProtocolConfig(
+        min_block_size=min_block,
+        continuation_min_block_size=min(16, min_block),
+        verification=verification,
+        refine_boundaries=refine,
+    )
+    result = synchronize(old, new, config)
+    assert result.reconstructed == new
+    assert result.total_bytes < len(new)

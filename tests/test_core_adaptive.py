@@ -1,0 +1,118 @@
+"""Tests for adaptive parameter selection (§7 extension)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    ProtocolConfig,
+    adaptive_synchronize,
+    choose_config,
+    probe_similarity,
+    synchronize,
+)
+from repro.core.adaptive import ProbeResult
+from repro.net import LinkModel, SimulatedChannel
+from tests.conftest import make_version_pair
+
+
+class TestProbe:
+    def test_identical_files_full_similarity(self):
+        data = make_version_pair(seed=300, nbytes=20000)[0]
+        channel = SimulatedChannel()
+        probe = probe_similarity(data, data, channel)
+        assert probe.similarity == 1.0
+        assert channel.stats.total_bytes > 0  # probe cost accounted
+
+    def test_disjoint_files_near_zero(self):
+        rng = random.Random(1)
+        old = bytes(rng.randrange(256) for _ in range(20000))
+        new = bytes(rng.randrange(256) for _ in range(20000))
+        probe = probe_similarity(old, new, SimulatedChannel())
+        assert probe.similarity < 0.2
+
+    def test_lightly_edited_high_similarity(self):
+        old, new = make_version_pair(seed=301, nbytes=30000, edits=3)
+        probe = probe_similarity(old, new, SimulatedChannel())
+        assert probe.similarity > 0.5
+
+    def test_tiny_server_file_no_samples(self):
+        probe = probe_similarity(b"client data", b"tiny", SimulatedChannel())
+        assert probe.samples == 0
+        assert probe.similarity == 0.0
+
+    def test_probe_cost_is_small(self):
+        old, new = make_version_pair(seed=302, nbytes=30000)
+        channel = SimulatedChannel()
+        probe_similarity(old, new, channel)
+        assert channel.stats.total_bytes < 80  # ~24 x 16-bit hashes
+
+
+class TestChooseConfig:
+    def test_dissimilar_gets_shallow_plan(self):
+        config = choose_config(ProbeResult(samples=24, matched=1))
+        assert config.max_rounds is not None
+        assert config.continuation_min_block_size is None
+
+    def test_similar_gets_deep_plan(self):
+        config = choose_config(ProbeResult(samples=24, matched=23))
+        assert config.min_block_size <= 32
+        assert config.continuation_min_block_size is not None
+
+    def test_high_latency_caps_roundtrips(self):
+        link = LinkModel(latency_s=0.5)
+        config = choose_config(ProbeResult(samples=24, matched=23), link=link)
+        assert config.max_rounds is not None
+        assert config.verification == "light"
+
+    def test_all_configs_valid(self):
+        for matched in range(0, 25, 4):
+            for latency in (0.0, 0.5):
+                config = choose_config(
+                    ProbeResult(samples=24, matched=matched),
+                    link=LinkModel(latency_s=latency),
+                )
+                assert isinstance(config, ProtocolConfig)
+
+
+class TestAdaptiveSynchronize:
+    def test_reconstruction_exact(self):
+        old, new = make_version_pair(seed=303, nbytes=20000)
+        result, config = adaptive_synchronize(old, new)
+        assert result.reconstructed == new
+        assert isinstance(config, ProtocolConfig)
+
+    def test_probe_cost_included_in_stats(self):
+        old, new = make_version_pair(seed=304, nbytes=20000)
+        result, _config = adaptive_synchronize(old, new)
+        assert result.stats.bytes_in_phase("probe") > 0
+
+    def test_disjoint_files_fewer_rounds_than_default(self):
+        rng = random.Random(2)
+        old = bytes(rng.randrange(256) for _ in range(30000))
+        new = bytes(rng.randrange(256) for _ in range(30000))
+        adaptive_result, config = adaptive_synchronize(old, new)
+        default_result = synchronize(old, new)
+        assert adaptive_result.reconstructed == new
+        assert config.max_rounds is not None
+        assert adaptive_result.rounds <= default_result.rounds
+
+    def test_adaptive_not_much_worse_than_default_anywhere(self):
+        """The adaptive choice should track the default within a modest
+        factor across similarity regimes."""
+        for seed, edits in ((305, 2), (306, 20)):
+            old, new = make_version_pair(seed=seed, nbytes=20000, edits=edits)
+            adaptive_result, _ = adaptive_synchronize(old, new)
+            default_result = synchronize(old, new)
+            assert adaptive_result.reconstructed == new
+            assert adaptive_result.total_bytes < 2.0 * default_result.total_bytes
+
+    def test_high_latency_link_reduces_roundtrips(self):
+        old, new = make_version_pair(seed=307, nbytes=30000, edits=10)
+        slow = LinkModel(latency_s=0.5)
+        slow_result, _ = adaptive_synchronize(old, new, link=slow)
+        fast_result, _ = adaptive_synchronize(old, new, link=LinkModel())
+        assert slow_result.reconstructed == new
+        assert slow_result.stats.roundtrips <= fast_result.stats.roundtrips

@@ -1,0 +1,129 @@
+"""Tests for the mirrored block tree."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ProtocolConfig
+from repro.core.blocks import Block, BlockStatus, BlockTracker
+
+
+def make_tracker(target_length: int = 4096, **overrides) -> BlockTracker:
+    config = ProtocolConfig(
+        start_block_size=overrides.pop("start_block_size", 1024),
+        min_block_size=overrides.pop("min_block_size", 64),
+        continuation_min_block_size=overrides.pop("continuation_min_block_size", 16),
+        **overrides,
+    )
+    return BlockTracker(target_length, config)
+
+
+class TestInitialPartition:
+    def test_full_blocks_plus_tail(self):
+        tracker = make_tracker(2500, start_block_size=1024)
+        lengths = [block.length for block in tracker.current]
+        assert lengths == [1024, 1024, 452]
+        assert tracker.current[0].start == 0
+        assert tracker.current[-1].end == 2500
+
+    def test_empty_target(self):
+        tracker = make_tracker(0)
+        assert tracker.current == []
+        assert not tracker.has_active()
+
+    def test_tiny_target_one_block(self):
+        tracker = make_tracker(100, start_block_size=1024)
+        assert [b.length for b in tracker.current] == [100]
+
+
+class TestSplitting:
+    def test_split_halves_with_left_bias(self):
+        block = Block(start=0, length=101, level=0)
+        left, right = block.split()
+        assert (left.length, right.length) == (51, 50)
+        assert left.start == 0 and right.start == 51
+        assert left.is_left and not right.is_left
+        assert left.sibling is right and right.sibling is left
+        assert block.status is BlockStatus.SPLIT
+
+    def test_advance_splits_active_blocks(self):
+        tracker = make_tracker(2048, start_block_size=1024)
+        assert tracker.advance_level()
+        assert [b.length for b in tracker.current] == [512, 512, 512, 512]
+        assert tracker.level == 1
+
+    def test_matched_blocks_not_split(self):
+        tracker = make_tracker(2048, start_block_size=1024)
+        tracker.record_match(tracker.current[0])
+        tracker.advance_level()
+        assert len(tracker.current) == 2  # only the unmatched root split
+
+    def test_floor_stops_recursion(self):
+        tracker = make_tracker(64, start_block_size=64,
+                               min_block_size=32,
+                               continuation_min_block_size=16)
+        # 64 -> 32,32 -> 16x4 -> stop (children would be 8 < floor 16).
+        assert tracker.advance_level()
+        assert tracker.advance_level()
+        assert not tracker.advance_level()
+        assert tracker.current == []
+
+    def test_exhausted_status_set(self):
+        tracker = make_tracker(16, start_block_size=64,
+                               min_block_size=16,
+                               continuation_min_block_size=16)
+        (root,) = tracker.current
+        assert not tracker.advance_level()
+        assert root.status is BlockStatus.EXHAUSTED
+
+
+class TestAdjacency:
+    def test_continuation_eligibility(self):
+        tracker = make_tracker(3072, start_block_size=1024)
+        first, second, third = tracker.current
+        tracker.record_match(second)
+        assert tracker.right_adjacent_match(first)
+        assert tracker.left_adjacent_match(third)
+        assert tracker.continuation_eligible(first)
+        assert tracker.continuation_eligible(third)
+
+    def test_no_eligibility_without_matches(self):
+        tracker = make_tracker(2048, start_block_size=1024)
+        assert not any(
+            tracker.continuation_eligible(block) for block in tracker.current
+        )
+
+    def test_eligibility_survives_splitting(self):
+        tracker = make_tracker(2048, start_block_size=1024)
+        first, second = tracker.current
+        tracker.record_match(first)
+        tracker.advance_level()
+        left_child = tracker.current[0]
+        assert left_child.start == 1024
+        assert tracker.left_adjacent_match(left_child)
+
+
+class TestLocalAnchor:
+    def test_nearby_match_found(self):
+        tracker = make_tracker(8192, start_block_size=1024,
+                               local_neighborhood=2048)
+        blocks = tracker.current
+        tracker.record_match(blocks[0])  # [0, 1024)
+        anchor = tracker.local_anchor(blocks[2])  # [2048, 3072)
+        assert anchor == (0, 1024)
+
+    def test_far_match_not_anchored(self):
+        tracker = make_tracker(8192, start_block_size=1024,
+                               local_neighborhood=512)
+        blocks = tracker.current
+        tracker.record_match(blocks[0])
+        assert tracker.local_anchor(blocks[4]) is None
+
+    def test_prefers_closest(self):
+        tracker = make_tracker(8192, start_block_size=1024,
+                               local_neighborhood=8192)
+        blocks = tracker.current
+        tracker.record_match(blocks[0])
+        tracker.record_match(blocks[3])  # [3072, 4096)
+        anchor = tracker.local_anchor(blocks[4])
+        assert anchor == (3072, 1024)

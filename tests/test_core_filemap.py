@@ -1,0 +1,99 @@
+"""Tests for the client's map of the server file."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FileMap
+from repro.exceptions import ProtocolError
+
+
+class TestAdd:
+    def test_entries_sorted_by_target_offset(self):
+        file_map = FileMap(100)
+        file_map.add(50, 10, 7)
+        file_map.add(0, 10, 90)
+        assert [entry.start for entry in file_map.entries()] == [0, 50]
+
+    def test_rejects_out_of_range(self):
+        file_map = FileMap(100)
+        with pytest.raises(ProtocolError):
+            file_map.add(95, 10, 0)
+        with pytest.raises(ProtocolError):
+            file_map.add(-1, 5, 0)
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(ProtocolError):
+            FileMap(10).add(0, 0, 0)
+
+    def test_rejects_duplicate_target_offset(self):
+        file_map = FileMap(100)
+        file_map.add(10, 5, 0)
+        with pytest.raises(ProtocolError):
+            file_map.add(10, 3, 1)
+
+    def test_negative_target_length_rejected(self):
+        with pytest.raises(ValueError):
+            FileMap(-1)
+
+
+class TestCoverage:
+    def test_known_fraction(self):
+        file_map = FileMap(100)
+        assert file_map.known_fraction == 0.0
+        file_map.add(0, 25, 0)
+        file_map.add(50, 25, 10)
+        assert file_map.known_fraction == pytest.approx(0.5)
+        assert file_map.known_bytes == 50
+
+    def test_empty_target_fully_known(self):
+        assert FileMap(0).known_fraction == 1.0
+
+    def test_unknown_intervals(self):
+        file_map = FileMap(100)
+        file_map.add(10, 20, 0)
+        file_map.add(60, 10, 5)
+        assert file_map.unknown_intervals() == [(0, 10), (30, 60), (70, 100)]
+
+    def test_unknown_intervals_fully_covered(self):
+        file_map = FileMap(10)
+        file_map.add(0, 10, 0)
+        assert file_map.unknown_intervals() == []
+
+    def test_validate_disjoint_passes_for_tree_partition(self):
+        file_map = FileMap(64)
+        file_map.add(0, 32, 0)
+        file_map.add(32, 16, 100)
+        file_map.validate_disjoint()
+
+
+class TestReferenceConstruction:
+    def test_both_views_agree_for_genuine_matches(self):
+        source = b"the quick brown fox jumps over the lazy dog"
+        target = b"XXX" + source[4:15] + b"YYY" + source[20:30]
+        file_map = FileMap(len(target))
+        file_map.add(3, 11, 4)  # "quick brown"
+        file_map.add(17, 10, 20)  # "jumps over"
+        assert file_map.reference_from_target(target) == file_map.reference_from_source(
+            source
+        )
+
+    def test_source_out_of_range_raises(self):
+        file_map = FileMap(50)
+        file_map.add(0, 20, 40)
+        with pytest.raises(ProtocolError):
+            file_map.reference_from_source(b"short")
+
+    def test_reference_order_is_target_order(self):
+        target = b"ABCDEF"
+        file_map = FileMap(6)
+        file_map.add(4, 2, 0)
+        file_map.add(0, 2, 4)
+        assert file_map.reference_from_target(target) == b"ABEF"
+
+    def test_overlapping_source_regions_allowed(self):
+        source = b"abcabc"
+        file_map = FileMap(8)
+        file_map.add(0, 3, 0)
+        file_map.add(3, 3, 1)
+        assert file_map.reference_from_source(source) == b"abc" + b"bca"

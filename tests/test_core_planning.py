@@ -1,0 +1,166 @@
+"""Tests for sub-phase hash planning (the mirrored pure functions)."""
+
+from __future__ import annotations
+
+from repro.core import ProtocolConfig
+from repro.core.blocks import BlockTracker, HashKind
+from repro.core.planning import (
+    apply_known_hashes,
+    plan_continuation,
+    plan_global,
+    plan_mixed,
+)
+
+
+def tracker_with(config: ProtocolConfig, length: int = 4096) -> BlockTracker:
+    return BlockTracker(length, config)
+
+
+BASE = ProtocolConfig(
+    start_block_size=1024,
+    min_block_size=64,
+    continuation_min_block_size=16,
+    global_hash_bits=16,
+)
+
+
+class TestPlanContinuation:
+    def test_empty_without_matches(self):
+        tracker = tracker_with(BASE)
+        assert plan_continuation(tracker) == []
+
+    def test_adjacent_blocks_selected(self):
+        tracker = tracker_with(BASE)
+        tracker.record_match(tracker.current[1])
+        plan = plan_continuation(tracker)
+        starts = {a.block.start for a in plan}
+        assert starts == {0, 2048}
+        assert all(a.kind is HashKind.CONTINUATION for a in plan)
+        assert all(a.width == BASE.continuation_hash_bits for a in plan)
+
+    def test_disabled_when_config_off(self):
+        config = BASE.with_overrides(continuation_min_block_size=None)
+        tracker = tracker_with(config)
+        tracker.record_match(tracker.current[1])
+        assert plan_continuation(tracker) == []
+
+    def test_blocks_below_floor_not_planned(self):
+        tracker = tracker_with(BASE, length=64)
+        tracker.record_match(tracker.current[0])
+        # Nothing active remains, so nothing can be planned.
+        assert plan_continuation(tracker) == []
+
+
+class TestPlanGlobal:
+    def test_top_level_all_global(self):
+        tracker = tracker_with(BASE)
+        plan = plan_global(tracker, 16)
+        assert len(plan) == 4
+        assert all(a.kind is HashKind.GLOBAL for a in plan)
+        assert sum(a.transmitted_bits for a in plan) == 4 * 16
+
+    def test_derived_suppression_after_split(self):
+        tracker = tracker_with(BASE)
+        plan = plan_global(tracker, 16)
+        apply_known_hashes(plan)
+        tracker.advance_level()
+        child_plan = plan_global(tracker, 16)
+        kinds = [a.kind for a in child_plan]
+        assert kinds == [
+            HashKind.GLOBAL,
+            HashKind.DERIVED,
+        ] * 4
+        # Derived hashes cost nothing on the wire.
+        assert sum(a.transmitted_bits for a in child_plan) == 4 * 16
+
+    def test_no_suppression_without_decomposable(self):
+        config = BASE.with_overrides(use_decomposable=False)
+        tracker = tracker_with(config)
+        plan = plan_global(tracker, 16)
+        apply_known_hashes(plan)
+        tracker.advance_level()
+        child_plan = plan_global(tracker, 16)
+        assert all(a.kind is HashKind.GLOBAL for a in child_plan)
+
+    def test_no_suppression_without_parent_value(self):
+        """If the parent was never hashed (e.g. continuation-only), the
+        right child cannot be derived."""
+        tracker = tracker_with(BASE)
+        tracker.advance_level()  # split without sending any hashes
+        plan = plan_global(tracker, 16)
+        assert all(a.kind is HashKind.GLOBAL for a in plan)
+
+    def test_skip_sibling_of_confirmed(self):
+        tracker = tracker_with(BASE)
+        apply_known_hashes(plan_global(tracker, 16))
+        tracker.advance_level()
+        left, right = tracker.current[0], tracker.current[1]
+        tracker.record_match(left)
+        plan = plan_global(tracker, 16)
+        assert id(right) not in {id(a.block) for a in plan}
+
+    def test_skip_failed_continuation(self):
+        tracker = tracker_with(BASE)
+        block = tracker.current[0]
+        block.continuation_failed = True
+        plan = plan_global(tracker, 16)
+        assert id(block) not in {id(a.block) for a in plan}
+
+    def test_no_skip_rules_when_single_phase(self):
+        config = BASE.with_overrides(continuation_first=False)
+        tracker = tracker_with(config)
+        block = tracker.current[0]
+        block.continuation_failed = True
+        plan = plan_global(tracker, 16)
+        assert id(block) in {id(a.block) for a in plan}
+
+    def test_small_blocks_skipped_without_local(self):
+        tracker = tracker_with(BASE, length=64)  # single 64-byte root
+        tracker.advance_level()  # 32-byte children < min_block 64
+        assert plan_global(tracker, 16) == []
+
+    def test_local_hash_for_anchored_small_blocks(self):
+        config = BASE.with_overrides(use_local_hashes=True, local_hash_bits=10)
+        tracker = tracker_with(config, length=128)
+        first, = tracker.current[:1]
+        tracker.advance_level()  # two 64-byte blocks... still >= min
+        tracker.record_match(tracker.current[0])
+        tracker.advance_level()  # 32-byte children of right block
+        plan = plan_global(tracker, 16)
+        assert plan, "anchored small blocks should get local hashes"
+        assert all(a.kind is HashKind.LOCAL for a in plan)
+        assert all(a.width == 10 for a in plan)
+
+
+class TestPlanMixed:
+    def test_mixed_covers_all_eligible(self):
+        config = BASE.with_overrides(continuation_first=False)
+        tracker = tracker_with(config)
+        tracker.record_match(tracker.current[1])
+        plan = plan_mixed(tracker, 16)
+        kinds = {a.block.start: a.kind for a in plan}
+        assert kinds[0] is HashKind.CONTINUATION
+        assert kinds[2048] is HashKind.CONTINUATION
+        assert kinds[3072] is HashKind.GLOBAL
+
+    def test_sorted_by_offset(self):
+        config = BASE.with_overrides(continuation_first=False)
+        tracker = tracker_with(config)
+        plan = plan_mixed(tracker, 16)
+        starts = [a.block.start for a in plan]
+        assert starts == sorted(starts)
+
+
+class TestApplyKnownHashes:
+    def test_records_width_for_global_and_derived(self):
+        tracker = tracker_with(BASE)
+        plan = plan_global(tracker, 16)
+        apply_known_hashes(plan)
+        assert all(a.block.known_width == 16 for a in plan)
+
+    def test_continuation_not_recorded(self):
+        tracker = tracker_with(BASE)
+        tracker.record_match(tracker.current[1])
+        plan = plan_continuation(tracker)
+        apply_known_hashes(plan)
+        assert all(a.block.known_width == 0 for a in plan)

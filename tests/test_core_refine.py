@@ -1,0 +1,115 @@
+"""Tests for boundary refinement (searching-with-liars at match edges)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import ProtocolConfig, synchronize
+from repro.core.refine import _gap_searches
+from repro.exceptions import ConfigError
+from tests.conftest import make_version_pair
+
+
+def coarse(refine: bool, **overrides) -> ProtocolConfig:
+    return ProtocolConfig(
+        min_block_size=256,
+        continuation_min_block_size=None,
+        refine_boundaries=refine,
+        **overrides,
+    )
+
+
+class TestGapSearches:
+    def test_no_regions_no_searches(self):
+        assert _gap_searches([], 1000) == []
+
+    def test_fully_covered_no_searches(self):
+        assert _gap_searches([(0, 1000)], 1000) == []
+
+    def test_interior_gap_gets_both_edges(self):
+        searches = _gap_searches([(0, 100), (200, 100)], 300)
+        assert len(searches) == 2
+        left = next(s for s in searches if s.is_left)
+        right = next(s for s in searches if not s.is_left)
+        assert left.anchor == 100 and left.limit == 50
+        assert right.anchor == 200 and right.limit == 50
+
+    def test_leading_gap_right_edge_only(self):
+        searches = _gap_searches([(100, 100)], 200)
+        assert len(searches) == 1
+        assert not searches[0].is_left
+        assert searches[0].anchor == 100
+        assert searches[0].limit == 100
+
+    def test_trailing_gap_left_edge_only(self):
+        searches = _gap_searches([(0, 100)], 250)
+        assert len(searches) == 1
+        assert searches[0].is_left
+        assert searches[0].anchor == 100
+        assert searches[0].limit == 150
+
+    def test_adjacent_regions_no_gap(self):
+        assert _gap_searches([(0, 100), (100, 100)], 200) == []
+
+    def test_limits_partition_gap(self):
+        searches = _gap_searches([(0, 64), (191, 64)], 255)
+        assert sum(s.limit for s in searches) == 127
+
+
+class TestRefinementEffect:
+    def test_reconstruction_still_exact(self):
+        old, new = make_version_pair(seed=910, nbytes=40000, edits=10)
+        result = synchronize(old, new, coarse(refine=True))
+        assert result.reconstructed == new
+
+    def test_coverage_improves(self):
+        old, new = make_version_pair(seed=911, nbytes=60000, edits=10)
+        base = synchronize(old, new, coarse(refine=False))
+        refined = synchronize(old, new, coarse(refine=True))
+        assert refined.known_fraction >= base.known_fraction
+
+    def test_delta_shrinks(self):
+        old, new = make_version_pair(seed=912, nbytes=60000, edits=12)
+        base = synchronize(old, new, coarse(refine=False))
+        refined = synchronize(old, new, coarse(refine=True))
+        assert refined.delta_bytes <= base.delta_bytes
+
+    def test_no_matches_no_refinement_cost(self):
+        rng = random.Random(0)
+        old = bytes(rng.randrange(256) for _ in range(8000))
+        new = bytes(rng.randrange(256) for _ in range(8000))
+        result = synchronize(old, new, coarse(refine=True))
+        assert result.reconstructed == new
+
+    def test_identical_files_skip_refinement(self):
+        data = b"same " * 4000
+        result = synchronize(data, data, coarse(refine=True))
+        assert result.unchanged
+
+    def test_tiny_probe_hashes_still_correct(self):
+        """1-bit probes lie constantly; confirmation + fingerprint keep
+        the outcome exact."""
+        old, new = make_version_pair(seed=913, nbytes=30000, edits=8)
+        config = coarse(refine=True, refinement_hash_bits=1)
+        result = synchronize(old, new, config)
+        assert result.reconstructed == new
+
+    def test_all_strategies_compose_with_refinement(self):
+        old, new = make_version_pair(seed=914, nbytes=20000, edits=6)
+        for strategy in ("trivial", "group2", "group3"):
+            config = ProtocolConfig(
+                refine_boundaries=True, verification=strategy
+            )
+            assert synchronize(old, new, config).reconstructed == new
+
+
+class TestConfigValidation:
+    def test_bad_probe_bits(self):
+        with pytest.raises(ConfigError):
+            ProtocolConfig(refinement_hash_bits=0)
+
+    def test_bad_confirm_bits(self):
+        with pytest.raises(ConfigError):
+            ProtocolConfig(refinement_confirm_bits=2)

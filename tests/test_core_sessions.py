@@ -1,0 +1,108 @@
+"""Tests for client/server session internals and endpoint mirroring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ProtocolConfig
+from repro.core.client import ClientSession
+from repro.core.planning import plan_continuation, plan_global
+from repro.core.server import ServerSession
+from repro.exceptions import ProtocolError
+from repro.hashing.strong import file_fingerprint
+from tests.conftest import make_version_pair
+
+
+CONFIG = ProtocolConfig(start_block_size=1024, min_block_size=64,
+                        global_hash_bits=16)
+
+
+class TestServerSession:
+    def test_fingerprint(self):
+        server = ServerSession(b"content", CONFIG)
+        assert server.fingerprint() == file_fingerprint(b"content")
+
+    def test_emit_hashes_bit_exact(self):
+        old, new = make_version_pair(seed=50, nbytes=5000)
+        server = ServerSession(new, CONFIG)
+        plan = plan_global(server.tracker, 16)
+        payload = server.emit_hashes(plan)
+        expected_bits = sum(a.transmitted_bits for a in plan)
+        assert len(payload) == (expected_bits + 7) // 8
+
+    def test_negative_client_length_rejected(self):
+        with pytest.raises(ProtocolError):
+            ServerSession(b"x", CONFIG).set_client_length(-1)
+
+    def test_reference_is_target_ordered(self):
+        server = ServerSession(b"ABCDEFGH", ProtocolConfig(
+            start_block_size=2, min_block_size=2,
+            continuation_min_block_size=2))
+        blocks = server.tracker.current
+        server.tracker.record_match(blocks[2])  # "EF"
+        server.tracker.record_match(blocks[0])  # "AB"
+        assert server.reference() == b"ABEF"
+
+    def test_emit_delta_reconstructable_via_client_reference(self):
+        from repro.delta import zdelta_decode
+
+        old, new = make_version_pair(seed=51, nbytes=4000)
+        server = ServerSession(new, CONFIG)
+        # With no confirmed matches the reference is empty: the delta must
+        # still decode to the full file.
+        delta = server.emit_delta()
+        assert zdelta_decode(b"", delta) == new
+
+
+class TestClientSession:
+    def test_handshake_detects_unchanged(self):
+        data = b"same bytes everywhere"
+        client = ClientSession(data, CONFIG)
+        assert client.process_handshake(file_fingerprint(data), len(data))
+
+    def test_handshake_detects_changed(self):
+        client = ClientSession(b"old", CONFIG)
+        assert not client.process_handshake(file_fingerprint(b"new"), 3)
+
+    def test_methods_require_handshake(self):
+        client = ClientSession(b"data", CONFIG)
+        with pytest.raises(ProtocolError):
+            client.record_accepted([])
+        with pytest.raises(ProtocolError):
+            client.apply_delta(b"")
+
+    def test_expected_positions_from_map(self):
+        old, new = make_version_pair(seed=52, nbytes=5000)
+        client = ClientSession(old, CONFIG)
+        client.process_handshake(file_fingerprint(new), len(new))
+        tracker = client.tracker
+        assert tracker is not None
+        blocks = tracker.current
+        from repro.core.client import Candidate
+
+        # Pretend block[1] matched at source position 123.
+        client.record_accepted([Candidate(blocks[1], 123)])
+        # Left neighbor of block[2] now ends at source 123 + len.
+        positions = client._expected_positions(blocks[2])
+        assert 123 + blocks[1].length in positions
+
+
+class TestEndpointMirroring:
+    def test_plans_identical_across_endpoints(self):
+        old, new = make_version_pair(seed=53, nbytes=8000)
+        server = ServerSession(new, CONFIG)
+        server.set_client_length(len(old))
+        client = ClientSession(old, CONFIG)
+        client.process_handshake(file_fingerprint(new), len(new))
+        client_tracker = client.tracker
+        assert client_tracker is not None
+
+        for planner in (plan_continuation, lambda t: plan_global(t, 16)):
+            server_plan = planner(server.tracker)
+            client_plan = planner(client_tracker)
+            assert len(server_plan) == len(client_plan)
+            for ours, theirs in zip(server_plan, client_plan):
+                assert ours.kind == theirs.kind
+                assert ours.width == theirs.width
+                assert ours.block.start == theirs.block.start
+                assert ours.block.length == theirs.block.length

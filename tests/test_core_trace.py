@@ -1,0 +1,80 @@
+"""Tests for per-round protocol tracing."""
+
+from __future__ import annotations
+
+from repro.core import ProtocolConfig, synchronize
+from repro.core.blocks import HashKind
+from repro.core.trace import summarize_trace
+from tests.conftest import make_version_pair
+
+
+def traced(seed: int = 800, **overrides):
+    old, new = make_version_pair(seed=seed, nbytes=30000, edits=8)
+    config = ProtocolConfig(collect_trace=True, **overrides)
+    result = synchronize(old, new, config)
+    assert result.reconstructed == new
+    return result
+
+
+class TestTraceCollection:
+    def test_disabled_by_default(self):
+        old, new = make_version_pair(seed=801, nbytes=5000)
+        result = synchronize(old, new)
+        assert result.trace == []
+
+    def test_trace_present_when_enabled(self):
+        result = traced()
+        assert result.trace
+        assert all(t.round_index >= 1 for t in result.trace)
+
+    def test_block_lengths_halve_across_rounds(self):
+        result = traced()
+        by_round: dict[int, int] = {}
+        for t in result.trace:
+            by_round.setdefault(t.round_index, t.block_length)
+        lengths = [by_round[r] for r in sorted(by_round)]
+        for previous, current in zip(lengths, lengths[1:]):
+            assert current <= previous
+
+    def test_hash_kinds_recorded(self):
+        result = traced()
+        summary = summarize_trace(result.trace)
+        assert summary["global_hashes"] > 0
+        assert summary["continuation_hashes"] > 0
+        # Decomposable suppression produces derived hashes below level 0.
+        assert summary["derived_hashes"] > 0
+
+    def test_bit_accounting_positive(self):
+        result = traced()
+        summary = summarize_trace(result.trace)
+        assert summary["hash_bits"] > 0
+        assert summary["verification_bits"] > 0
+
+    def test_candidates_cover_accepted(self):
+        result = traced()
+        for t in result.trace:
+            assert 0 <= t.accepted <= t.candidates
+            assert 0 <= t.harvest_rate <= 1
+
+    def test_no_derived_without_decomposable(self):
+        result = traced(use_decomposable=False)
+        summary = summarize_trace(result.trace)
+        assert summary["derived_hashes"] == 0
+
+    def test_describe_is_one_line(self):
+        result = traced()
+        line = result.trace[0].describe()
+        assert "\n" not in line
+        assert "round" in line
+
+    def test_total_hashes_matches_counts(self):
+        result = traced()
+        for t in result.trace:
+            assert t.total_hashes == sum(t.hash_counts.values())
+
+    def test_trace_matches_stats_order_of_magnitude(self):
+        """Trace bits must be a subset of the map phase accounting."""
+        result = traced()
+        summary = summarize_trace(result.trace)
+        trace_bits = summary["hash_bits"] + summary["verification_bits"]
+        assert trace_bits <= result.map_bytes * 8

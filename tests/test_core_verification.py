@@ -1,0 +1,94 @@
+"""Tests for the verification pool machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.verification import VerificationPools, batch_wire_bits, make_units
+from repro.grouptesting import BatchMode, BatchScope, BatchSpec, make_strategy
+
+
+IND8 = BatchSpec(BatchMode.INDIVIDUAL, bits=8)
+GRP = BatchSpec(BatchMode.GROUP, bits=16, group_size=3, scope=BatchScope.SURVIVORS)
+SALVAGE = BatchSpec(
+    BatchMode.INDIVIDUAL, bits=12, scope=BatchScope.FAILED_GROUP_MEMBERS
+)
+
+
+class TestMakeUnits:
+    def test_individual_singletons(self):
+        assert make_units([1, 2, 3], IND8) == [[1], [2], [3]]
+
+    def test_group_chunking_with_remainder(self):
+        assert make_units([1, 2, 3, 4, 5], GRP) == [[1, 2, 3], [4, 5]]
+
+    def test_empty(self):
+        assert make_units([], GRP) == []
+
+    def test_wire_bits(self):
+        units = make_units([1, 2, 3, 4, 5], GRP)
+        assert batch_wire_bits(units, GRP) == 32
+
+
+class TestPools:
+    def test_individual_batch_filters(self):
+        pools: VerificationPools[int] = VerificationPools(main=[1, 2, 3])
+        units = make_units(pools.select(IND8), IND8)
+        pools.apply(IND8, units, [True, False, True])
+        assert pools.main == [1, 3]
+        assert pools.salvage == []  # individual failures are final
+
+    def test_group_failures_go_to_salvage(self):
+        pools: VerificationPools[int] = VerificationPools(main=list(range(6)))
+        units = make_units(pools.select(GRP), GRP)
+        pools.apply(GRP, units, [True, False])
+        assert pools.main == [0, 1, 2]
+        assert pools.salvage == [3, 4, 5]
+
+    def test_salvage_batch_accepts_immediately(self):
+        pools: VerificationPools[int] = VerificationPools(
+            main=[], salvage=[7, 8, 9]
+        )
+        selection = pools.select(SALVAGE)
+        assert selection == [7, 8, 9]
+        assert pools.salvage == []  # consumed
+        units = make_units(selection, SALVAGE)
+        pools.apply(SALVAGE, units, [True, False, True])
+        assert pools.accepted == [7, 9]
+
+    def test_finish_accepts_survivors_rejects_salvage(self):
+        pools: VerificationPools[int] = VerificationPools(
+            main=[1, 2], salvage=[3]
+        )
+        assert pools.finish() == [1, 2]
+        assert pools.salvage == []
+
+    def test_bitmap_length_mismatch_rejected(self):
+        pools: VerificationPools[int] = VerificationPools(main=[1])
+        with pytest.raises(ValueError):
+            pools.apply(IND8, [[1]], [True, False])
+
+    def test_full_group3_flow(self):
+        """Simulate group3 semantics end to end with scripted bitmaps."""
+        strategy = make_strategy("group3")
+        pools: VerificationPools[str] = VerificationPools(
+            main=[f"c{i}" for i in range(10)]
+        )
+        # Batch 1 (individual, all pass except c4).
+        b1 = strategy.batches[0]
+        units = make_units(pools.select(b1), b1)
+        pools.apply(b1, units, [i != 4 for i in range(10)])
+        assert len(pools.main) == 9
+        # Batch 2 (groups of 8): first group fails, second passes.
+        b2 = strategy.batches[1]
+        units = make_units(pools.select(b2), b2)
+        assert [len(u) for u in units] == [8, 1]
+        pools.apply(b2, units, [False, True])
+        assert len(pools.main) == 1
+        assert len(pools.salvage) == 8
+        # Batch 3 (salvage): recover half.
+        b3 = strategy.batches[2]
+        units = make_units(pools.select(b3), b3)
+        pools.apply(b3, units, [i % 2 == 0 for i in range(8)])
+        accepted = pools.finish()
+        assert len(accepted) == 1 + 4

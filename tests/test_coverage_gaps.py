@@ -1,0 +1,127 @@
+"""Focused tests for paths the broader suites touch only incidentally."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench import render_grouped_bars
+from repro.cli import main
+from repro.core.adaptive import probe_hash_bits
+from repro.delta.matcher import ReferenceMatcher
+from repro.net import Direction, TransferStats
+from repro.theory import (
+    exchange_lower_bound_bits,
+    multiround_upper_bound_bits,
+)
+
+
+class TestProbeHashBits:
+    def test_scales_with_client_length(self):
+        assert probe_hash_bits(1 << 10) == 16
+        assert probe_hash_bits(1 << 20) == 26
+        assert probe_hash_bits(1 << 30) == 30  # clamped
+
+    def test_floor_and_ceiling(self):
+        assert probe_hash_bits(0) == 16
+        assert probe_hash_bits(1 << 40) == 30
+
+    def test_collision_budget(self):
+        """Width keeps expected false probe matches below ~2%."""
+        for n in (1 << 12, 1 << 16, 1 << 20):
+            bits = probe_hash_bits(n)
+            assert n * 2.0 ** (-bits) < 0.02
+
+
+class TestStatsBitBuckets:
+    def test_rounding_once_per_bucket(self):
+        stats = TransferStats()
+        # 3 bits + 4 bits in one bucket = 7 bits = 1 byte (not 2).
+        stats.record_bits(Direction.CLIENT_TO_SERVER, "map", 3)
+        stats.record_bits(Direction.CLIENT_TO_SERVER, "map", 4)
+        assert stats.total_bytes == 1
+
+    def test_distinct_buckets_round_separately(self):
+        stats = TransferStats()
+        stats.record_bits(Direction.CLIENT_TO_SERVER, "map", 1)
+        stats.record_bits(Direction.SERVER_TO_CLIENT, "map", 1)
+        assert stats.total_bytes == 2
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            TransferStats().record_bits(Direction.CLIENT_TO_SERVER, "map", -1)
+
+
+class TestMatcherCandidateCap:
+    def test_cap_respected_on_periodic_reference(self):
+        reference = b"abcdefghijklmnop" * 256  # same seed everywhere
+        matcher = ReferenceMatcher(reference, seed_length=16)
+        from repro.hashing.scan import window_hashes
+        from repro.delta.matcher import _SEED_HASHER
+
+        seed_hash = int(window_hashes(reference[:16], 16, _SEED_HASHER)[0])
+        assert len(matcher.candidates(seed_hash, cap=5)) == 5
+        assert len(matcher.candidates(seed_hash, cap=100)) == 100
+
+    def test_no_match_empty(self):
+        matcher = ReferenceMatcher(b"some reference data here", seed_length=8)
+        assert matcher.candidates(0xDEADBEEF) in ([], [0])  # hash may be real
+
+
+class TestBarsRendering:
+    def test_tiny_nonzero_values_get_a_bar(self):
+        chart = render_grouped_bars(["g"], {"a": [0.001], "b": [100.0]})
+        lines = [line for line in chart.splitlines() if "|" in line]
+        assert lines[0].split("|")[1].count("#") >= 1
+
+    def test_empty_series(self):
+        assert render_grouped_bars([], {}) == ""
+        chart = render_grouped_bars(["g"], {})
+        assert "g:" in chart
+
+
+class TestTheoryGrids:
+    def test_lower_bound_never_exceeds_multiround_times_constant(self):
+        """Sanity across a grid: the upper bound dominates the lower
+        bound for every realistic (n, k)."""
+        for n in (1 << 12, 1 << 16, 1 << 20):
+            for k in (1, 4, 16, 64):
+                lower = exchange_lower_bound_bits(n, k)
+                upper = multiround_upper_bound_bits(n, k)
+                assert upper > lower / 4  # same order or better
+
+
+class TestCliBenchVariants:
+    def test_emacs_workload(self, capsys):
+        assert main(["bench", "--workload", "emacs", "--scale", "0.05"]) == 0
+        assert "ours" in capsys.readouterr().out
+
+    def test_seed_changes_numbers(self, capsys):
+        main(["bench", "--workload", "gcc", "--scale", "0.05", "--seed", "1"])
+        first = capsys.readouterr().out
+        main(["bench", "--workload", "gcc", "--scale", "0.05", "--seed", "2"])
+        second = capsys.readouterr().out
+        assert first != second
+
+
+class TestWorkloadRealism:
+    def test_source_tree_files_compress_like_code(self):
+        import zlib
+
+        from repro.workloads import gcc_like
+
+        tree = gcc_like(scale=0.05, seed=12)
+        sample = max(tree.old.values(), key=len)
+        ratio = len(sample) / len(zlib.compress(sample, 9))
+        assert 2.5 < ratio < 12
+
+    def test_web_pages_compress_like_html(self):
+        import random as random_module
+        import zlib
+
+        from repro.workloads import HtmlGenerator
+
+        page = HtmlGenerator(0).generate(20000, random_module.Random(0))
+        ratio = len(page) / len(zlib.compress(page, 9))
+        assert 2.0 < ratio < 12

@@ -1,0 +1,70 @@
+"""Tests for the zdelta-style coder."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.delta import zdelta_decode, zdelta_encode, zdelta_size
+from repro.exceptions import DeltaFormatError
+from tests.conftest import make_version_pair
+
+
+class TestRoundtrip:
+    def test_similar_files(self):
+        old, new = make_version_pair(seed=1)
+        delta = zdelta_encode(old, new)
+        assert zdelta_decode(old, delta) == new
+
+    def test_empty_target(self):
+        delta = zdelta_encode(b"reference", b"")
+        assert zdelta_decode(b"reference", delta) == b""
+
+    def test_empty_reference(self):
+        delta = zdelta_encode(b"", b"fresh content")
+        assert zdelta_decode(b"", delta) == b"fresh content"
+
+    @given(st.binary(max_size=300), st.binary(max_size=300))
+    @settings(max_examples=50)
+    def test_arbitrary_pairs(self, reference, target):
+        assert zdelta_decode(reference, zdelta_encode(reference, target)) == target
+
+
+class TestCompression:
+    def test_similar_files_much_smaller_than_target(self):
+        old, new = make_version_pair(seed=2)
+        assert zdelta_size(old, new) < len(new) // 10
+
+    def test_identical_files_tiny_delta(self):
+        data = b"exactly the same bytes " * 200
+        assert zdelta_size(data, data) < 64
+
+    def test_compressible_literals(self):
+        """Unmatched content should still benefit from the zlib pass."""
+        old = b"12345"
+        new = b"the same sentence repeated " * 100
+        assert zdelta_size(old, new) < len(new) // 4
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(DeltaFormatError):
+            zdelta_decode(b"ref", b"\x00garbage")
+
+    def test_empty_delta(self):
+        with pytest.raises(DeltaFormatError):
+            zdelta_decode(b"ref", b"")
+
+    def test_truncated_stream(self):
+        old, new = make_version_pair(seed=3, nbytes=2000)
+        delta = zdelta_encode(old, new)
+        with pytest.raises(DeltaFormatError):
+            zdelta_decode(old, delta[: len(delta) // 2])
+
+    def test_corrupt_body(self):
+        old, new = make_version_pair(seed=4, nbytes=2000)
+        delta = bytearray(zdelta_encode(old, new))
+        delta[len(delta) // 2] ^= 0xFF
+        with pytest.raises(DeltaFormatError):
+            zdelta_decode(old, bytes(delta))

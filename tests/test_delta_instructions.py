@@ -1,0 +1,56 @@
+"""Tests for the COPY/ADD instruction model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.delta import Add, Copy, apply_instructions
+from repro.delta.instructions import instructions_cover
+from repro.exceptions import DeltaFormatError
+
+
+class TestInstructionValidation:
+    def test_copy_rejects_negative_offset(self):
+        with pytest.raises(ValueError):
+            Copy(-1, 5)
+
+    def test_copy_rejects_zero_length(self):
+        with pytest.raises(ValueError):
+            Copy(0, 0)
+
+    def test_add_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Add(b"")
+
+
+class TestApplyInstructions:
+    def test_empty_list_is_empty_output(self):
+        assert apply_instructions(b"reference", []) == b""
+
+    def test_interleaved_copy_add(self):
+        reference = b"0123456789"
+        out = apply_instructions(
+            reference, [Copy(0, 3), Add(b"XY"), Copy(7, 3)]
+        )
+        assert out == b"012XY789"
+
+    def test_copy_past_reference_end_raises(self):
+        with pytest.raises(DeltaFormatError):
+            apply_instructions(b"abc", [Copy(1, 5)])
+
+    def test_overlapping_copies_allowed(self):
+        reference = b"abcdef"
+        out = apply_instructions(reference, [Copy(0, 4), Copy(2, 4)])
+        assert out == b"abcdcdef"
+
+    def test_unknown_instruction_raises(self):
+        with pytest.raises(DeltaFormatError):
+            apply_instructions(b"abc", ["bogus"])  # type: ignore[list-item]
+
+
+class TestInstructionsCover:
+    def test_counts_both_kinds(self):
+        assert instructions_cover([Copy(0, 7), Add(b"abc")]) == 10
+
+    def test_empty(self):
+        assert instructions_cover([]) == 0

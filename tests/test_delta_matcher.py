@@ -1,0 +1,93 @@
+"""Tests for the greedy reference matcher behind both delta coders."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.delta import Add, Copy, ReferenceMatcher, apply_instructions, compute_instructions
+
+
+class TestReferenceMatcher:
+    def test_bad_seed_length_rejected(self):
+        with pytest.raises(ValueError):
+            ReferenceMatcher(b"data", seed_length=0)
+
+    def test_candidates_for_planted_seed(self):
+        reference = b"A" * 50 + b"UNIQUESEEDBLOCK!" + b"B" * 50
+        matcher = ReferenceMatcher(reference, seed_length=16)
+        import repro.delta.matcher as m
+
+        from repro.hashing.scan import window_hashes
+
+        target_hash = int(
+            window_hashes(b"UNIQUESEEDBLOCK!", 16, m._SEED_HASHER)[0]
+        )
+        assert 50 in matcher.candidates(target_hash)
+
+    def test_empty_reference_has_no_candidates(self):
+        matcher = ReferenceMatcher(b"", seed_length=16)
+        assert matcher.candidates(12345) == []
+
+    def test_mismatched_matcher_rejected(self):
+        matcher = ReferenceMatcher(b"one reference here", seed_length=4)
+        with pytest.raises(ValueError):
+            compute_instructions(b"another reference!", b"target", matcher=matcher)
+
+
+class TestComputeInstructions:
+    def test_identical_files_single_copy(self):
+        data = b"identical content that is long enough to match" * 4
+        instructions = compute_instructions(data, data)
+        assert instructions == [Copy(0, len(data))]
+
+    def test_disjoint_files_all_literals(self):
+        old = b"A" * 200
+        new = b"B" * 200
+        instructions = compute_instructions(old, new)
+        assert all(isinstance(i, Add) for i in instructions)
+
+    def test_insertion_produces_copy_add_copy(self):
+        old = bytes(range(256)) * 4
+        new = old[:500] + b"INSERTED-CONTENT-HERE" + old[500:]
+        instructions = compute_instructions(old, new)
+        assert apply_instructions(old, instructions) == new
+        copies = [i for i in instructions if isinstance(i, Copy)]
+        assert sum(c.length for c in copies) >= len(old) - 32
+
+    def test_backward_extension_shrinks_literals(self):
+        """A match is extended leftwards into pending literal bytes."""
+        old = b"x" * 64 + b"0123456789abcdefghijklmnop" + b"y" * 64
+        # New file starts cold (literals), then joins old content a few
+        # bytes *before* a seed boundary would land.
+        new = b"???" + b"6789abcdefghijklmnop" + b"y" * 64
+        instructions = compute_instructions(old, new, seed_length=8)
+        assert apply_instructions(old, instructions) == new
+        literal_bytes = sum(
+            len(i.data) for i in instructions if isinstance(i, Add)
+        )
+        assert literal_bytes <= 4
+
+    def test_empty_target(self):
+        assert compute_instructions(b"ref", b"") == []
+
+    def test_empty_reference(self):
+        instructions = compute_instructions(b"", b"new content")
+        assert apply_instructions(b"", instructions) == b"new content"
+
+    @given(st.binary(max_size=400), st.binary(max_size=400))
+    @settings(max_examples=60)
+    def test_roundtrip_arbitrary_pairs(self, reference, target):
+        instructions = compute_instructions(reference, target, seed_length=8)
+        assert apply_instructions(reference, instructions) == target
+
+    def test_shared_matcher_consistent(self):
+        reference = b"shared reference content " * 20
+        matcher = ReferenceMatcher(reference)
+        target = reference[10:200] + b"tail"
+        with_shared = compute_instructions(reference, target, matcher=matcher)
+        without = compute_instructions(reference, target)
+        assert apply_instructions(reference, with_shared) == apply_instructions(
+            reference, without
+        )

@@ -1,0 +1,63 @@
+"""Tests for the simplified VCDIFF-style coder."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.delta import vcdiff_decode, vcdiff_encode, vcdiff_size, zdelta_size
+from repro.exceptions import DeltaFormatError
+from tests.conftest import make_version_pair
+
+
+class TestRoundtrip:
+    def test_similar_files(self):
+        old, new = make_version_pair(seed=11)
+        assert vcdiff_decode(old, vcdiff_encode(old, new)) == new
+
+    def test_empty_cases(self):
+        assert vcdiff_decode(b"", vcdiff_encode(b"", b"")) == b""
+        assert vcdiff_decode(b"r", vcdiff_encode(b"r", b"")) == b""
+        assert vcdiff_decode(b"", vcdiff_encode(b"", b"abc")) == b"abc"
+
+    @given(st.binary(max_size=300), st.binary(max_size=300))
+    @settings(max_examples=50)
+    def test_arbitrary_pairs(self, reference, target):
+        assert vcdiff_decode(reference, vcdiff_encode(reference, target)) == target
+
+    def test_self_relative_addressing_negative_distance(self):
+        """Copies from *after* the current output position must survive
+        the zig-zag address encoding."""
+        reference = b"tail-content-material" * 10
+        target = reference[150:] + reference[:150]
+        assert vcdiff_decode(reference, vcdiff_encode(reference, target)) == target
+
+
+class TestComparativeQuality:
+    def test_weaker_than_zdelta_on_text(self):
+        """On redundant text the split-stream coder should win (as zdelta
+        beats vcdiff in the paper's tables)."""
+        old, new = make_version_pair(seed=12, nbytes=60000, edits=40)
+        assert zdelta_size(old, new) <= vcdiff_size(old, new) * 1.25
+
+    def test_still_much_smaller_than_target(self):
+        old, new = make_version_pair(seed=13)
+        assert vcdiff_size(old, new) < len(new) // 10
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(DeltaFormatError):
+            vcdiff_decode(b"ref", b"\x00junk")
+
+    def test_empty_delta(self):
+        with pytest.raises(DeltaFormatError):
+            vcdiff_decode(b"ref", b"")
+
+    def test_corrupt_body(self):
+        old, new = make_version_pair(seed=14, nbytes=2000)
+        delta = bytearray(vcdiff_encode(old, new))
+        delta[-1] ^= 0x5A
+        with pytest.raises(DeltaFormatError):
+            vcdiff_decode(old, bytes(delta))

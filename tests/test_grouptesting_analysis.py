@@ -1,0 +1,84 @@
+"""Tests for the expected-cost model of verification strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grouptesting import (
+    expected_strategy_bits,
+    make_strategy,
+    optimal_dorfman_group_size,
+)
+from repro.grouptesting.analysis import expected_true_match_yield
+
+
+class TestDorfmanRule:
+    def test_inverse_sqrt(self):
+        assert optimal_dorfman_group_size(0.01) == 10
+        assert optimal_dorfman_group_size(0.04) == 5
+
+    def test_floor_of_two(self):
+        assert optimal_dorfman_group_size(0.9) == 2
+
+    def test_domain_checked(self):
+        with pytest.raises(ValueError):
+            optimal_dorfman_group_size(0.0)
+        with pytest.raises(ValueError):
+            optimal_dorfman_group_size(1.0)
+
+
+class TestExpectedBits:
+    def test_zero_candidates_costs_nothing(self):
+        assert expected_strategy_bits(make_strategy("trivial"), 0, 0.1) == 0.0
+
+    def test_trivial_is_linear(self):
+        strategy = make_strategy("trivial")
+        assert expected_strategy_bits(strategy, 100, 0.1) == pytest.approx(1600)
+
+    def test_grouping_cheaper_at_low_false_rate(self):
+        """With almost-clean candidates, group testing sends far fewer
+        bits than trivial per-candidate hashing — the paper's motivation."""
+        trivial = expected_strategy_bits(make_strategy("trivial"), 200, 0.02)
+        grouped = expected_strategy_bits(make_strategy("group2"), 200, 0.02)
+        assert grouped < trivial
+
+    def test_invalid_inputs(self):
+        strategy = make_strategy("trivial")
+        with pytest.raises(ValueError):
+            expected_strategy_bits(strategy, -1, 0.1)
+        with pytest.raises(ValueError):
+            expected_strategy_bits(strategy, 1, 1.5)
+
+    def test_group1_cost_matches_hand_calculation(self):
+        # 100 candidates, groups of 4 at 20 bits: ceil(100/4)=25 units.
+        strategy = make_strategy("group1")
+        assert expected_strategy_bits(strategy, 100, 0.5) == pytest.approx(500)
+
+
+class TestExpectedYield:
+    def test_trivial_keeps_all_true_matches(self):
+        strategy = make_strategy("trivial")
+        assert expected_true_match_yield(strategy, 100, 0.2) == pytest.approx(80)
+
+    def test_zero_candidates(self):
+        assert expected_true_match_yield(make_strategy("group1"), 0, 0.2) == 0.0
+
+    def test_one_bad_apple_effect(self):
+        """Grouping without salvage loses true matches that share a group
+        with a false candidate."""
+        yielded = expected_true_match_yield(make_strategy("group1"), 100, 0.3)
+        assert yielded < 70  # out of 70 true candidates
+
+    def test_salvage_recovers_bad_apple_losses(self):
+        lost = expected_true_match_yield(make_strategy("group2"), 100, 0.3)
+        saved = expected_true_match_yield(make_strategy("group3"), 100, 0.3)
+        assert saved > lost
+
+    def test_yield_never_exceeds_true_pool(self):
+        for name in ("trivial", "light", "group1", "group2", "group3"):
+            strategy = make_strategy(name)
+            for rate in (0.0, 0.1, 0.5, 0.9):
+                assert (
+                    expected_true_match_yield(strategy, 50, rate)
+                    <= 50 * (1 - rate) + 1e-9
+                )

@@ -1,0 +1,80 @@
+"""Tests for the searching-with-liars (Ulam) utilities."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.grouptesting import UlamSearcher, UnreliableOracle
+
+
+def make_oracle(boundary: int, bits: int, seed: int = 0) -> UnreliableOracle:
+    return UnreliableOracle(
+        truth=lambda k: k <= boundary, bits=bits, rng=random.Random(seed)
+    )
+
+
+class TestUnreliableOracle:
+    def test_true_answers_never_lie(self):
+        oracle = make_oracle(boundary=10, bits=1)
+        assert all(oracle.ask(5) for _ in range(50))
+
+    def test_lie_probability(self):
+        assert make_oracle(0, bits=3).lie_probability == pytest.approx(1 / 8)
+
+    def test_false_answers_lie_at_expected_rate(self):
+        oracle = make_oracle(boundary=0, bits=2, seed=7)
+        lies = sum(oracle.ask(5) for _ in range(4000))
+        assert 800 <= lies <= 1200  # p = 1/4
+
+    def test_bits_spent_tracks_queries(self):
+        oracle = make_oracle(boundary=5, bits=6)
+        oracle.ask(1)
+        oracle.ask(9)
+        assert oracle.queries == 2
+        assert oracle.bits_spent == 12
+
+
+class TestUlamSearcher:
+    def test_exact_with_reliable_oracle(self):
+        for boundary in (0, 1, 17, 99, 100):
+            oracle = make_oracle(boundary, bits=60)  # lies essentially never
+            assert UlamSearcher(oracle).search(0, 100) == boundary
+
+    def test_below_range_returns_lo_minus_one(self):
+        oracle = make_oracle(boundary=-5, bits=60)
+        assert UlamSearcher(oracle).search(0, 50) == -1
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            UlamSearcher(make_oracle(1, bits=4)).search(5, 4)
+
+    def test_negative_confirmations_rejected(self):
+        with pytest.raises(ValueError):
+            UlamSearcher(make_oracle(1, bits=4), confirmations=-1)
+
+    def test_lying_oracle_mostly_recovered_by_confirmation(self):
+        """With 4-bit queries lies happen; re-confirmation should keep the
+        error rate low."""
+        wrong = 0
+        trials = 300
+        for seed in range(trials):
+            boundary = seed % 60
+            oracle = make_oracle(boundary, bits=4, seed=seed)
+            found = UlamSearcher(oracle, confirmations=2).search(0, 63)
+            if found != boundary:
+                wrong += 1
+        assert wrong < trials * 0.15
+
+    def test_more_bits_fewer_errors(self):
+        def error_rate(bits: int) -> float:
+            wrong = 0
+            for seed in range(200):
+                boundary = (seed * 7) % 60
+                oracle = make_oracle(boundary, bits=bits, seed=seed)
+                if UlamSearcher(oracle, confirmations=1).search(0, 63) != boundary:
+                    wrong += 1
+            return wrong / 200
+
+        assert error_rate(8) <= error_rate(2)

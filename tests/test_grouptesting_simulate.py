@@ -1,0 +1,75 @@
+"""Monte Carlo simulation vs the closed-form verification model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grouptesting import (
+    expected_strategy_bits,
+    make_strategy,
+    simulate_strategy,
+)
+from repro.grouptesting.analysis import expected_true_match_yield
+
+
+class TestSimulation:
+    def test_zero_candidates(self):
+        outcome = simulate_strategy(make_strategy("trivial"), 0, 0.1)
+        assert outcome.mean_bits == 0.0
+        assert outcome.mean_true_accepted == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            simulate_strategy(make_strategy("trivial"), -1, 0.1)
+        with pytest.raises(ValueError):
+            simulate_strategy(make_strategy("trivial"), 1, 2.0)
+
+    def test_trivial_bits_deterministic(self):
+        outcome = simulate_strategy(make_strategy("trivial"), 50, 0.2,
+                                    trials=10)
+        assert outcome.mean_bits == 50 * 16
+
+    def test_deterministic_with_seed(self):
+        a = simulate_strategy(make_strategy("group2"), 40, 0.2, seed=5)
+        b = simulate_strategy(make_strategy("group2"), 40, 0.2, seed=5)
+        assert a == b
+
+    def test_false_accepts_rare_for_strong_hashes(self):
+        outcome = simulate_strategy(make_strategy("trivial"), 100, 0.5,
+                                    trials=100)
+        assert outcome.mean_false_accepted < 0.5
+
+    def test_bits_per_true_match_infinite_when_nothing_accepted(self):
+        outcome = simulate_strategy(make_strategy("trivial"), 10, 1.0,
+                                    trials=20)
+        assert outcome.bits_per_true_match() == float("inf")
+
+
+class TestAgreementWithModel:
+    @pytest.mark.parametrize("name", ["trivial", "light", "group1",
+                                      "group2", "group3"])
+    @pytest.mark.parametrize("false_rate", [0.05, 0.3])
+    def test_bits_match_closed_form(self, name, false_rate):
+        strategy = make_strategy(name)
+        candidates = 120
+        simulated = simulate_strategy(
+            strategy, candidates, false_rate, trials=400, seed=1
+        )
+        predicted = expected_strategy_bits(strategy, candidates, false_rate)
+        assert simulated.mean_bits == pytest.approx(predicted, rel=0.15)
+
+    @pytest.mark.parametrize("name", ["trivial", "group1", "group3"])
+    def test_yield_matches_closed_form(self, name):
+        strategy = make_strategy(name)
+        simulated = simulate_strategy(strategy, 150, 0.25, trials=400, seed=2)
+        predicted = expected_true_match_yield(strategy, 150, 0.25)
+        assert simulated.mean_true_accepted == pytest.approx(
+            predicted, rel=0.15, abs=1.5
+        )
+
+    def test_group_testing_beats_trivial_in_bits_per_match(self):
+        trivial = simulate_strategy(make_strategy("trivial"), 200, 0.05,
+                                    trials=100, seed=3)
+        grouped = simulate_strategy(make_strategy("group2"), 200, 0.05,
+                                    trials=100, seed=3)
+        assert grouped.bits_per_true_match() < trivial.bits_per_true_match()

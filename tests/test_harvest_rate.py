@@ -1,0 +1,51 @@
+"""Tests for the continuation harvest-rate bookkeeping (paper §6.2)."""
+
+from __future__ import annotations
+
+from repro.core import ProtocolConfig, synchronize
+from tests.conftest import make_version_pair
+
+
+class TestHarvestRate:
+    def test_high_harvest_rate_on_similar_files(self):
+        """"blocks that qualify for continuation hashes have a fairly
+        high harvest rate" — on lightly edited files most continuation
+        candidates are genuine extensions."""
+        old, new = make_version_pair(seed=700, nbytes=60000, edits=8)
+        result = synchronize(old, new)
+        assert result.reconstructed == new
+        assert result.continuation_candidates > 0
+        assert result.continuation_harvest_rate > 0.8
+
+    def test_no_continuation_no_candidates(self):
+        old, new = make_version_pair(seed=701, nbytes=20000)
+        result = synchronize(
+            old, new, ProtocolConfig(continuation_min_block_size=None)
+        )
+        assert result.continuation_candidates == 0
+        assert result.continuation_harvest_rate == 1.0
+
+    def test_accepted_never_exceeds_candidates(self):
+        for seed in range(702, 712):
+            old, new = make_version_pair(seed=seed, nbytes=10000, edits=6)
+            result = synchronize(old, new)
+            assert (
+                0
+                <= result.continuation_accepted
+                <= result.continuation_candidates
+            )
+
+    def test_weak_hashes_lower_harvest_rate(self):
+        """1-bit continuation hashes lie half the time, so harvest drops —
+        the searching-with-liars regime."""
+        old, new = make_version_pair(seed=713, nbytes=60000, edits=8)
+        strong = synchronize(
+            old, new, ProtocolConfig(continuation_hash_bits=10)
+        )
+        weak = synchronize(
+            old, new, ProtocolConfig(continuation_hash_bits=1)
+        )
+        assert weak.reconstructed == strong.reconstructed == new
+        assert weak.continuation_harvest_rate <= (
+            strong.continuation_harvest_rate
+        )

@@ -1,0 +1,73 @@
+"""Tests for the classic rolling checksums."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashing import AdlerRolling, KarpRabinRolling
+
+
+class TestAdlerRolling:
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            AdlerRolling(b"")
+
+    def test_of_matches_constructor(self):
+        data = b"the quick brown fox"
+        assert AdlerRolling.of(data) == AdlerRolling(data).value
+
+    def test_components_pack_into_value(self):
+        hasher = AdlerRolling(b"abcd")
+        a, b = hasher.components
+        assert hasher.value == a | (b << 16)
+
+    def test_single_roll(self):
+        data = b"abcdef"
+        hasher = AdlerRolling(data[0:4])
+        hasher.roll(data[0], data[4])
+        assert hasher.value == AdlerRolling.of(data[1:5])
+
+    def test_known_small_values(self):
+        # Window "ab": a = 97 + 98, b = 2*97 + 1*98.
+        hasher = AdlerRolling(b"ab")
+        assert hasher.components == (195, 292)
+
+    @given(st.binary(min_size=9, max_size=200))
+    def test_rolling_equals_direct_everywhere(self, data):
+        window = 8
+        hasher = AdlerRolling(data[:window])
+        for i in range(1, len(data) - window + 1):
+            hasher.roll(data[i - 1], data[i + window - 1])
+            assert hasher.value == AdlerRolling.of(data[i : i + window])
+
+
+class TestKarpRabinRolling:
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            KarpRabinRolling(b"")
+
+    def test_bad_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            KarpRabinRolling(b"ab", modulus=1)
+
+    def test_distinct_for_permuted_strings(self):
+        # Unlike the plain Adler sum, Karp-Rabin is position sensitive.
+        assert KarpRabinRolling.of(b"abcd") != KarpRabinRolling.of(b"dcba")
+
+    def test_single_byte_window(self):
+        assert KarpRabinRolling.of(b"a") == ord("a")
+
+    @given(st.binary(min_size=6, max_size=120))
+    def test_rolling_equals_direct_everywhere(self, data):
+        window = 5
+        hasher = KarpRabinRolling(data[:window])
+        for i in range(1, len(data) - window + 1):
+            hasher.roll(data[i - 1], data[i + window - 1])
+            assert hasher.value == KarpRabinRolling.of(data[i : i + window])
+
+    def test_small_modulus_collides_predictably(self):
+        # h mod 7 with radix 1 is just the byte sum mod 7.
+        value = KarpRabinRolling.of(b"\x03\x04", radix=1, modulus=7)
+        assert value == 0

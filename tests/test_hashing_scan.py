@@ -1,0 +1,136 @@
+"""Tests for the vectorised window scans, prefix hasher, and hash index."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing import DecomposableAdler, HashIndex, PrefixHasher, window_hashes
+from repro.hashing.scan import pack_to_width
+
+HASHER = DecomposableAdler(seed=5)
+
+
+class TestWindowHashes:
+    def test_empty_for_short_data(self):
+        assert window_hashes(b"ab", 5, HASHER).size == 0
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            window_hashes(b"abc", 0, HASHER)
+
+    def test_count(self):
+        assert window_hashes(b"abcdef", 3, HASHER).size == 4
+
+    @given(st.binary(min_size=1, max_size=400), st.integers(1, 48))
+    @settings(max_examples=60)
+    def test_matches_direct_hash(self, data, length):
+        hashes = window_hashes(data, length, HASHER)
+        expected_count = max(0, len(data) - length + 1)
+        assert hashes.size == expected_count
+        for i in range(0, expected_count, max(1, expected_count // 7)):
+            pair = HASHER.hash_block(data[i : i + length])
+            assert int(hashes[i]) == pair.a | (pair.b << 16)
+
+    def test_uint64_wraparound_consistency(self):
+        """Large inputs exercise the modular wraparound path."""
+        rng = random.Random(9)
+        data = bytes(rng.randrange(256) for _ in range(100_000))
+        hashes = window_hashes(data, 64, HASHER)
+        for i in (0, 50_000, len(data) - 64):
+            pair = HASHER.hash_block(data[i : i + 64])
+            assert int(hashes[i]) == pair.a | (pair.b << 16)
+
+
+class TestPackToWidth:
+    @given(st.binary(min_size=16, max_size=64), st.integers(1, 32))
+    @settings(max_examples=40)
+    def test_matches_scalar_pack(self, data, width):
+        hashes = window_hashes(data, 8, HASHER)
+        packed = pack_to_width(hashes, width)
+        for i in range(hashes.size):
+            assert int(packed[i]) == DecomposableAdler.truncate(
+                int(hashes[i]), 32, width
+            )
+
+
+class TestPrefixHasher:
+    def test_matches_hash_block(self):
+        rng = random.Random(2)
+        data = bytes(rng.randrange(256) for _ in range(5000))
+        prefix = PrefixHasher(data, HASHER)
+        for start, length in ((0, 1), (17, 100), (4000, 1000), (4999, 1)):
+            assert prefix.block_pair(start, length) == HASHER.hash_block(
+                data[start : start + length]
+            )
+
+    def test_bounds_checked(self):
+        prefix = PrefixHasher(b"abcdef", HASHER)
+        with pytest.raises(ValueError):
+            prefix.block_pair(4, 10)
+        with pytest.raises(ValueError):
+            prefix.block_pair(-1, 2)
+        with pytest.raises(ValueError):
+            prefix.block_pair(0, 0)
+
+    def test_packed_matches_pack(self):
+        data = b"some longer test data for the prefix hasher"
+        prefix = PrefixHasher(data, HASHER)
+        assert prefix.packed(5, 10, 13) == DecomposableAdler.pack(
+            HASHER.hash_block(data[5:15]), 13
+        )
+
+
+class TestHashIndex:
+    def test_lookup_finds_planted_window(self):
+        rng = random.Random(4)
+        data = bytes(rng.randrange(256) for _ in range(4000))
+        index = HashIndex(data, 32, HASHER)
+        value = index.packed_hash_at(1234, 20)
+        assert 1234 in index.lookup(value, 20)
+
+    def test_lookup_respects_cap(self):
+        data = b"\x00" * 1000  # every window identical
+        index = HashIndex(data, 16, HASHER)
+        value = index.packed_hash_at(0, 12)
+        assert len(index.lookup(value, 12, max_results=5)) == 5
+
+    def test_lookup_on_empty_index(self):
+        index = HashIndex(b"ab", 16, HASHER)
+        assert index.lookup(0, 12) == []
+        assert index.position_count == 0
+
+    def test_lookup_in_range(self):
+        data = b"prefix " + b"NEEDLEBLOCKDATA!" + b" middle " + b"NEEDLEBLOCKDATA!" + b" end"
+        index = HashIndex(data, 16, HASHER)
+        first = data.index(b"NEEDLEBLOCKDATA!")
+        second = data.index(b"NEEDLEBLOCKDATA!", first + 1)
+        value = index.packed_hash_at(first, 16)
+        everywhere = index.lookup(value, 16)
+        assert first in everywhere and second in everywhere
+        only_second = index.lookup_in_range(value, 16, second - 3, second + 3)
+        assert only_second == [second]
+
+    def test_lookup_in_range_clamps_bounds(self):
+        data = bytes(range(256)) * 4
+        index = HashIndex(data, 8, HASHER)
+        value = index.packed_hash_at(0, 10)
+        assert 0 in index.lookup_in_range(value, 10, -100, 10_000)
+
+    def test_full_hash_at(self):
+        data = b"window hashing test data"
+        index = HashIndex(data, 8, HASHER)
+        pair = HASHER.hash_block(data[3:11])
+        assert index.full_hash_at(3) == pair.a | (pair.b << 16)
+
+    def test_distinct_widths_cached_independently(self):
+        data = bytes(range(200))
+        index = HashIndex(data, 16, HASHER)
+        v8 = index.packed_hash_at(10, 8)
+        v24 = index.packed_hash_at(10, 24)
+        assert 10 in index.lookup(v8, 8)
+        assert 10 in index.lookup(v24, 24)

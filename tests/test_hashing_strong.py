@@ -1,0 +1,87 @@
+"""Tests for strong verification hashes and fingerprints."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashing import StrongHasher, file_fingerprint, group_digest, strong_digest
+
+
+class TestStrongDigest:
+    def test_truncation_lengths(self):
+        for nbytes in (1, 2, 8, 16):
+            assert len(strong_digest(b"data", nbytes=nbytes)) == nbytes
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            strong_digest(b"x", nbytes=0)
+        with pytest.raises(ValueError):
+            strong_digest(b"x", nbytes=17)
+
+    def test_salt_changes_digest(self):
+        assert strong_digest(b"data", salt=b"a") != strong_digest(b"data", salt=b"b")
+
+    def test_prefix_property(self):
+        assert strong_digest(b"data", 4) == strong_digest(b"data", 16)[:4]
+
+
+class TestGroupDigest:
+    def test_sensitive_to_every_member(self):
+        d1 = strong_digest(b"one")
+        d2 = strong_digest(b"two")
+        d3 = strong_digest(b"three")
+        assert group_digest([d1, d2]) != group_digest([d1, d3])
+        assert group_digest([d1, d2]) != group_digest([d2, d1])
+
+    def test_empty_group_is_valid(self):
+        assert len(group_digest([])) == 16
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            group_digest([], nbytes=0)
+
+
+class TestFileFingerprint:
+    def test_is_16_bytes(self):
+        assert len(file_fingerprint(b"")) == 16
+
+    def test_detects_any_change(self):
+        assert file_fingerprint(b"abc") != file_fingerprint(b"abd")
+
+
+class TestStrongHasher:
+    def test_bits_width_range(self):
+        hasher = StrongHasher()
+        for width in (1, 7, 13, 64, 128):
+            assert 0 <= hasher.bits(b"payload", width) < (1 << width)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            StrongHasher().bits(b"x", 0)
+        with pytest.raises(ValueError):
+            StrongHasher().group_bits([b"x"], 129)
+
+    def test_salted_hashers_differ(self):
+        assert StrongHasher(b"s1").bits(b"x", 32) != StrongHasher(b"s2").bits(b"x", 32)
+
+    def test_group_bits_equal_iff_members_equal(self):
+        hasher = StrongHasher(b"salt")
+        assert hasher.group_bits([b"a", b"b"], 40) == hasher.group_bits(
+            [b"a", b"b"], 40
+        )
+        assert hasher.group_bits([b"a", b"b"], 40) != hasher.group_bits(
+            [b"a", b"c"], 40
+        )
+
+    @given(st.binary(max_size=100), st.integers(1, 64))
+    def test_bits_deterministic(self, data, width):
+        hasher = StrongHasher(b"fixed")
+        assert hasher.bits(data, width) == hasher.bits(data, width)
+
+    def test_bits_distribution_rough(self):
+        """Top bit should be set about half the time."""
+        hasher = StrongHasher()
+        ones = sum(hasher.bits(i.to_bytes(2, "big"), 1) for i in range(400))
+        assert 120 < ones < 280

@@ -1,0 +1,93 @@
+"""Cross-module integration tests on realistic workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    OursMethod,
+    RsyncMethod,
+    RsyncOptimalMethod,
+    ZdeltaMethod,
+    run_method_on_collection,
+)
+from repro.collection import sync_collection
+from repro.core import ProtocolConfig, synchronize
+from repro.workloads import gcc_like, make_web_collection
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return gcc_like(scale=0.1, seed=8)
+
+
+@pytest.fixture(scope="module")
+def web():
+    return make_web_collection(page_count=25, days=(0, 1, 7), seed=8)
+
+
+class TestSourceTreeScenario:
+    def test_every_changed_file_reconstructs(self, tree):
+        for name in tree.common_names():
+            if tree.old[name] == tree.new[name]:
+                continue
+            result = synchronize(tree.old[name], tree.new[name])
+            assert result.reconstructed == tree.new[name], name
+
+    def test_headline_ordering_holds_on_collection(self, tree):
+        totals = {}
+        for method in (OursMethod(), RsyncMethod(), RsyncOptimalMethod(),
+                       ZdeltaMethod()):
+            run = run_method_on_collection(method, tree.old, tree.new)
+            totals[method.name] = run.total_bytes
+        assert totals["zdelta"] <= totals["ours"]
+        assert totals["ours"] < totals["rsync-opt"] <= totals["rsync"]
+
+    def test_collection_report_covers_every_server_file(self, tree):
+        report = sync_collection(tree.old, tree.new, OursMethod())
+        assert set(report.reconstructed) == set(tree.new)
+
+
+class TestWebScenario:
+    def test_daily_update_roundtrip(self, web):
+        report = sync_collection(
+            web.snapshot(0), web.snapshot(1), OursMethod()
+        )
+        assert report.reconstructed == web.snapshot(1)
+
+    def test_weekly_costs_more_than_daily(self, web):
+        daily = run_method_on_collection(
+            OursMethod(), web.snapshot(0), web.snapshot(1)
+        )
+        weekly = run_method_on_collection(
+            OursMethod(), web.snapshot(0), web.snapshot(7)
+        )
+        assert weekly.total_bytes > daily.total_bytes
+
+    def test_factor_two_over_rsync(self, web):
+        ours = run_method_on_collection(
+            OursMethod(ProtocolConfig(min_block_size=32,
+                                      continuation_min_block_size=8)),
+            web.snapshot(0),
+            web.snapshot(1),
+        )
+        rsync = run_method_on_collection(
+            RsyncMethod(), web.snapshot(0), web.snapshot(1)
+        )
+        assert rsync.total_bytes > 1.5 * ours.total_bytes
+
+
+class TestChainedUpdates:
+    def test_incremental_chain_equals_direct(self, web):
+        """day0 -> day1 -> day7 must land on exactly the day-7 content."""
+        state = dict(web.snapshot(0))
+        for day in (1, 7):
+            report = sync_collection(state, web.snapshot(day), OursMethod())
+            state = report.reconstructed
+        assert state == web.snapshot(7)
+
+    def test_sync_is_idempotent(self, tree):
+        report1 = sync_collection(tree.old, tree.new, OursMethod())
+        report2 = sync_collection(report1.reconstructed, tree.new, OursMethod())
+        assert report2.files_changed == 0
+        assert report2.reconstructed == tree.new

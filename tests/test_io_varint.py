@@ -1,0 +1,66 @@
+"""Tests for the byte-oriented varints used in delta streams."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.io import decode_uvarint, encode_uvarint, uvarint_size
+
+
+class TestEncodeUvarint:
+    def test_zero(self):
+        assert encode_uvarint(0) == b"\x00"
+
+    def test_one_byte_boundary(self):
+        assert encode_uvarint(127) == b"\x7f"
+        assert len(encode_uvarint(128)) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_uvarint(-1)
+
+    def test_continuation_bits(self):
+        encoded = encode_uvarint(300)
+        assert encoded[0] & 0x80  # continuation set
+        assert not encoded[-1] & 0x80  # final byte clear
+
+
+class TestDecodeUvarint:
+    def test_with_offset(self):
+        payload = b"\xff" + encode_uvarint(1000)
+        value, end = decode_uvarint(payload, 1)
+        assert value == 1000
+        assert end == len(payload)
+
+    def test_truncated_raises(self):
+        with pytest.raises(ValueError):
+            decode_uvarint(b"\x80", 0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            decode_uvarint(b"", 0)
+
+    def test_overlong_raises(self):
+        with pytest.raises(ValueError):
+            decode_uvarint(b"\x80" * 10 + b"\x01", 0)
+
+
+class TestUvarintSize:
+    def test_matches_encoding(self):
+        for value in (0, 1, 127, 128, 16383, 16384, 2**32, 2**60):
+            assert uvarint_size(value) == len(encode_uvarint(value))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            uvarint_size(-5)
+
+
+@given(st.integers(min_value=0, max_value=2**63 - 1))
+def test_roundtrip(value):
+    encoded = encode_uvarint(value)
+    decoded, end = decode_uvarint(encoded, 0)
+    assert decoded == value
+    assert end == len(encoded)
+    assert uvarint_size(value) == len(encoded)

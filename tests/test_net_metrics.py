@@ -1,0 +1,73 @@
+"""Tests for transfer statistics accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import Direction, TransferStats
+
+
+class TestDirection:
+    def test_opposites(self):
+        assert Direction.CLIENT_TO_SERVER.opposite is Direction.SERVER_TO_CLIENT
+        assert Direction.SERVER_TO_CLIENT.opposite is Direction.CLIENT_TO_SERVER
+
+
+class TestTransferStats:
+    def test_empty(self):
+        stats = TransferStats()
+        assert stats.total_bytes == 0
+        assert stats.messages == 0
+        assert stats.phases() == []
+
+    def test_record_accumulates(self):
+        stats = TransferStats()
+        stats.record(Direction.CLIENT_TO_SERVER, "map", 100)
+        stats.record(Direction.CLIENT_TO_SERVER, "map", 50)
+        stats.record(Direction.SERVER_TO_CLIENT, "delta", 30)
+        assert stats.total_bytes == 180
+        assert stats.client_to_server_bytes == 150
+        assert stats.server_to_client_bytes == 30
+        assert stats.bytes_in_phase("map") == 150
+        assert stats.bytes_in_phase("delta") == 30
+        assert stats.messages == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TransferStats().record(Direction.CLIENT_TO_SERVER, "map", -1)
+
+    def test_zero_byte_message_counts_as_message(self):
+        stats = TransferStats()
+        stats.record(Direction.CLIENT_TO_SERVER, "map", 0)
+        assert stats.messages == 1
+        assert stats.total_bytes == 0
+
+    def test_phases_sorted(self):
+        stats = TransferStats()
+        stats.record(Direction.CLIENT_TO_SERVER, "zeta", 1)
+        stats.record(Direction.CLIENT_TO_SERVER, "alpha", 1)
+        assert stats.phases() == ["alpha", "zeta"]
+
+    def test_breakdown_keys(self):
+        stats = TransferStats()
+        stats.record(Direction.SERVER_TO_CLIENT, "map", 10)
+        stats.record(Direction.CLIENT_TO_SERVER, "map", 5)
+        assert stats.breakdown() == {"c2s/map": 5, "s2c/map": 10}
+
+    def test_merge(self):
+        first = TransferStats()
+        first.record(Direction.CLIENT_TO_SERVER, "map", 10)
+        first.roundtrips = 4
+        second = TransferStats()
+        second.record(Direction.CLIENT_TO_SERVER, "map", 7)
+        second.record(Direction.SERVER_TO_CLIENT, "delta", 3)
+        second.roundtrips = 2
+        first.merge(second)
+        assert first.total_bytes == 20
+        assert first.messages == 3
+        assert first.roundtrips == 4  # max, not sum
+
+    def test_str_contains_total(self):
+        stats = TransferStats()
+        stats.record(Direction.CLIENT_TO_SERVER, "map", 42)
+        assert "42" in str(stats)

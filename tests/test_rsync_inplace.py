@@ -1,0 +1,118 @@
+"""Tests for in-place reconstruction (the Rasch-Burns extension)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rsync import apply_tokens_in_place, compute_signatures, match_tokens
+from repro.rsync.matcher import Literal, Reference, apply_tokens
+from tests.conftest import make_version_pair
+
+
+def in_place_roundtrip(old: bytes, new: bytes, block_size: int):
+    signatures = compute_signatures(old, block_size)
+    tokens = match_tokens(new, signatures, strong_bytes=2)
+    return apply_tokens_in_place(old, tokens, block_size)
+
+
+class TestBasicReconstruction:
+    def test_matches_regular_apply(self):
+        old, new = make_version_pair(seed=400)
+        result = in_place_roundtrip(old, new, 512)
+        assert result.data == new
+
+    def test_empty_token_list(self):
+        result = apply_tokens_in_place(b"old", [], 4)
+        assert result.data == b""
+        assert result.converted_literal_bytes == 0
+
+    def test_pure_literal_stream(self):
+        result = apply_tokens_in_place(b"old", [Literal(b"fresh")], 4)
+        assert result.data == b"fresh"
+
+    def test_identity_stream_zero_conversions(self):
+        """Copying every block to its original position needs no
+        reordering and no conversions."""
+        rng = random.Random(0)
+        old = bytes(rng.randrange(256) for _ in range(1024))
+        tokens = [Reference(i) for i in range(4)]
+        result = apply_tokens_in_place(old, tokens, 256)
+        assert result.data == old
+        assert result.converted_literal_bytes == 0
+
+    def test_growing_file(self):
+        old = b"A" * 512
+        tokens = [Reference(0), Literal(b"B" * 600), Reference(1)]
+        result = apply_tokens_in_place(old, tokens, 256)
+        assert result.data == apply_tokens(old, tokens, 256)
+
+    def test_shrinking_file(self):
+        old = b"AB" * 1024
+        tokens = [Reference(3)]
+        result = apply_tokens_in_place(old, tokens, 256)
+        assert result.data == old[768:1024]
+
+
+class TestReordering:
+    def test_forward_shift_requires_order_or_conversion(self):
+        """new = old shifted right: block i of new reads old block i-1,
+        whose home position the previous write just clobbered unless the
+        copies run back-to-front."""
+        rng = random.Random(1)
+        old = bytes(rng.randrange(256) for _ in range(1024))
+        tokens = [Literal(old[768:1024]), Reference(0), Reference(1), Reference(2)]
+        result = apply_tokens_in_place(old, tokens, 256)
+        assert result.data == old[768:1024] + old[:768]
+
+    def test_swap_creates_cycle(self):
+        """Swapping two blocks is a 2-cycle: one of them must be
+        converted to a literal."""
+        rng = random.Random(2)
+        old = bytes(rng.randrange(256) for _ in range(512))
+        tokens = [Reference(1), Reference(0)]
+        result = apply_tokens_in_place(old, tokens, 256)
+        assert result.data == old[256:512] + old[:256]
+        assert result.converted_literal_bytes == 256  # exactly one block
+
+    def test_rotation_cycle_converted_minimally(self):
+        rng = random.Random(3)
+        old = bytes(rng.randrange(256) for _ in range(1024))
+        # 4-cycle: each block moves one slot to the left.
+        tokens = [Reference(1), Reference(2), Reference(3), Reference(0)]
+        result = apply_tokens_in_place(old, tokens, 256)
+        assert result.data == old[256:] + old[:256]
+        assert result.converted_literal_bytes == 256  # breaking once suffices
+
+    def test_self_overlapping_copy(self):
+        """A copy that reads its own output region (unaligned reuse)."""
+        old = bytes(range(256)) * 2
+        tokens = [Literal(old[5:10]), Reference(0), Reference(1)]
+        result = apply_tokens_in_place(old, tokens, 256)
+        assert result.data == apply_tokens(old, tokens, 256)
+
+
+class TestRealisticStreams:
+    @pytest.mark.parametrize("block_size", [128, 512, 2048])
+    def test_version_pairs(self, block_size):
+        old, new = make_version_pair(seed=401, nbytes=30000, edits=12)
+        result = in_place_roundtrip(old, new, block_size)
+        assert result.data == new
+        # Conversions should be rare for ordinary forward edits.
+        assert result.converted_literal_bytes <= len(new) // 4
+
+    @given(st.binary(max_size=2000), st.binary(max_size=2000))
+    @settings(max_examples=30, deadline=None)
+    def test_arbitrary_pairs(self, old, new):
+        result = in_place_roundtrip(old, new, 128)
+        assert result.data == new
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_seeded_pairs_all_block_sizes(self, seed):
+        old, new = make_version_pair(seed=seed, nbytes=4000, edits=4)
+        for block_size in (64, 256):
+            assert in_place_roundtrip(old, new, block_size).data == new

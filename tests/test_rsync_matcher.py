@@ -1,0 +1,65 @@
+"""Tests for the server-side rsync matcher."""
+
+from __future__ import annotations
+
+from repro.rsync import Literal, Reference, compute_signatures, match_tokens
+from repro.rsync.matcher import apply_tokens
+from tests.conftest import make_version_pair
+
+
+def roundtrip(old: bytes, new: bytes, block_size: int) -> bytes:
+    signatures = compute_signatures(old, block_size)
+    tokens = match_tokens(new, signatures, strong_bytes=2)
+    return apply_tokens(old, tokens, block_size)
+
+
+class TestMatchTokens:
+    def test_identical_files_all_references(self):
+        import random
+
+        rng = random.Random(0)
+        data = bytes(rng.randrange(256) for _ in range(1024))
+        signatures = compute_signatures(data, 256)
+        tokens = match_tokens(data, signatures, strong_bytes=2)
+        assert all(isinstance(t, Reference) for t in tokens)
+        assert [t.index for t in tokens] == [0, 1, 2, 3]
+
+    def test_no_signatures_whole_file_literal(self):
+        tokens = match_tokens(b"abc", [], strong_bytes=2)
+        assert tokens == [Literal(b"abc")]
+
+    def test_empty_new_file(self):
+        signatures = compute_signatures(b"old stuff", 4)
+        assert match_tokens(b"", signatures, strong_bytes=2) == []
+
+    def test_shifted_content_still_matches(self):
+        """An insertion misaligns block boundaries; the rolling scan must
+        recover matches at unaligned offsets."""
+        old = bytes(range(256)) * 8
+        new = b"INSERT" + old
+        signatures = compute_signatures(old, 256)
+        tokens = match_tokens(new, signatures, strong_bytes=2)
+        references = [t for t in tokens if isinstance(t, Reference)]
+        assert len(references) == len(old) // 256
+
+    def test_tail_block_matches(self):
+        old = b"A" * 1000 + b"short-tail"
+        signatures = compute_signatures(old, 1000)
+        tokens = match_tokens(old, signatures, strong_bytes=2)
+        assert Reference(1) in tokens
+
+    def test_reconstruction_with_edits(self):
+        old, new = make_version_pair(seed=20)
+        assert roundtrip(old, new, 700) == new
+
+    def test_reconstruction_small_blocks(self):
+        old, new = make_version_pair(seed=21, nbytes=5000)
+        assert roundtrip(old, new, 64) == new
+
+    def test_disjoint_files_all_literal(self):
+        old = b"A" * 3000
+        new = b"B" * 3000
+        signatures = compute_signatures(old, 700)
+        tokens = match_tokens(new, signatures, strong_bytes=2)
+        assert all(isinstance(t, Literal) for t in tokens)
+        assert apply_tokens(old, tokens, 700) == new

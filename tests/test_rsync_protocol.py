@@ -1,0 +1,91 @@
+"""End-to-end tests for the rsync exchange and its accounting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import Direction, SimulatedChannel
+from repro.rsync import rsync_sync
+from repro.rsync.protocol import decode_tokens, encode_tokens
+from repro.rsync.matcher import Literal, Reference
+from repro.exceptions import DeltaFormatError
+from tests.conftest import make_version_pair
+
+
+class TestRsyncSync:
+    def test_reconstruction_exact(self):
+        old, new = make_version_pair(seed=30)
+        result = rsync_sync(old, new)
+        assert result.reconstructed == new
+        assert not result.used_fallback
+
+    def test_signature_cost_scales_with_blocks(self):
+        old = b"x" * 70_000
+        new = old
+        result = rsync_sync(old, new, block_size=700)
+        # 100 blocks * 6 bytes + small header.
+        assert 600 <= result.stats.bytes_in_phase("signatures") <= 620
+
+    def test_both_directions_accounted(self):
+        old, new = make_version_pair(seed=31)
+        result = rsync_sync(old, new)
+        assert result.stats.client_to_server_bytes > 0
+        assert result.stats.server_to_client_bytes > 0
+        assert (
+            result.stats.client_to_server_bytes
+            + result.stats.server_to_client_bytes
+            == result.total_bytes
+        )
+
+    def test_identical_files_cheap_delta(self):
+        data = b"same content here " * 1000
+        result = rsync_sync(data, data)
+        # Signatures still cost ~6 B/block, but the delta is tiny.
+        assert result.stats.bytes_in_phase("delta") < 200
+
+    def test_empty_files(self):
+        result = rsync_sync(b"", b"")
+        assert result.reconstructed == b""
+        result = rsync_sync(b"old", b"")
+        assert result.reconstructed == b""
+        result = rsync_sync(b"", b"new")
+        assert result.reconstructed == b"new"
+
+    def test_block_size_tradeoff_visible(self):
+        """Larger blocks cost fewer signature bytes but coarser deltas."""
+        old, new = make_version_pair(seed=32, nbytes=60000, edits=20)
+        small = rsync_sync(old, new, block_size=128)
+        large = rsync_sync(old, new, block_size=4096)
+        assert small.stats.bytes_in_phase("signatures") > large.stats.bytes_in_phase(
+            "signatures"
+        )
+        assert small.stats.bytes_in_phase("delta") < large.stats.bytes_in_phase(
+            "delta"
+        )
+
+    def test_custom_channel_reused(self):
+        channel = SimulatedChannel()
+        old, new = make_version_pair(seed=33, nbytes=3000)
+        result = rsync_sync(old, new, channel=channel)
+        assert result.stats is channel.stats
+
+    @given(st.binary(max_size=3000), st.binary(max_size=3000))
+    @settings(max_examples=25, deadline=None)
+    def test_arbitrary_pairs_reconstruct(self, old, new):
+        result = rsync_sync(old, new, block_size=128)
+        assert result.reconstructed == new
+
+
+class TestTokenCodec:
+    def test_roundtrip(self):
+        tokens = [Literal(b"abc"), Reference(0), Reference(5), Literal(b"x" * 100)]
+        assert decode_tokens(encode_tokens(tokens)) == tokens
+
+    def test_empty(self):
+        assert decode_tokens(encode_tokens([])) == []
+
+    def test_corrupt_raises(self):
+        with pytest.raises(DeltaFormatError):
+            decode_tokens(b"not zlib data")

@@ -1,0 +1,122 @@
+"""Tests for the communication bounds — including the bracket check that
+the measured protocol sits between lower bound and upper bound."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core import ProtocolConfig, synchronize
+from repro.theory import (
+    exchange_lower_bound_bits,
+    multiround_upper_bound_bits,
+    optimal_rsync_block_size,
+    rsync_cost_model_bits,
+)
+
+
+class TestLowerBound:
+    def test_zero_edits_zero_bits(self):
+        assert exchange_lower_bound_bits(1000, 0) == 0.0
+
+    def test_monotone_in_edits(self):
+        values = [exchange_lower_bound_bits(10000, k) for k in (1, 5, 20, 100)]
+        assert values == sorted(values)
+
+    def test_monotone_in_length(self):
+        assert exchange_lower_bound_bits(100000, 10) > exchange_lower_bound_bits(
+            1000, 10
+        )
+
+    def test_order_of_magnitude(self):
+        # k edits need ~ k*(log2(n) + log2(sigma)) bits.
+        bits = exchange_lower_bound_bits(2**20, 10)
+        assert 10 * 20 < bits < 10 * 40
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            exchange_lower_bound_bits(-1, 1)
+        with pytest.raises(ValueError):
+            exchange_lower_bound_bits(1, -1)
+
+
+class TestRsyncModel:
+    def test_tradeoff_shape(self):
+        """Cost is U-shaped in block size around the analytic optimum."""
+        n, k = 1_000_000, 50
+        best = optimal_rsync_block_size(n, k)
+        at_best = rsync_cost_model_bits(n, k, best)
+        assert rsync_cost_model_bits(n, k, best * 8) > at_best
+        assert rsync_cost_model_bits(n, k, max(1, best // 8)) > at_best
+
+    def test_optimum_decreases_with_edits(self):
+        assert optimal_rsync_block_size(1_000_000, 1000) < (
+            optimal_rsync_block_size(1_000_000, 10)
+        )
+
+    def test_optimum_formula(self):
+        n, k, f, c = 1_000_000, 100, 48, 3.0
+        expected = round(math.sqrt(n * f / (k * c)))
+        assert optimal_rsync_block_size(n, k, f, c) == expected
+
+    def test_degenerate_cases(self):
+        assert optimal_rsync_block_size(1000, 0) == 1000
+        assert optimal_rsync_block_size(0, 10) == 1
+        with pytest.raises(ValueError):
+            rsync_cost_model_bits(100, 1, 0)
+
+
+class TestMultiroundBound:
+    def test_zero_cases(self):
+        assert multiround_upper_bound_bits(0, 5) == 0.0
+        assert multiround_upper_bound_bits(1000, 0) == 0.0
+
+    def test_scales_near_linearly_in_k(self):
+        one = multiround_upper_bound_bits(2**20, 1)
+        fifty = multiround_upper_bound_bits(2**20, 50)
+        assert 20 * one < fifty < 80 * one
+
+    def test_better_than_rsync_model_for_few_edits(self):
+        """The asymptotic motivation: k log(n/k) log n beats n/b * f + k*b
+        once n >> k (at the rsync-optimal block size)."""
+        n, k = 10_000_000, 10
+        rsync_bits = rsync_cost_model_bits(
+            n, k, optimal_rsync_block_size(n, k)
+        )
+        assert multiround_upper_bound_bits(n, k) < rsync_bits
+
+
+class TestMeasuredBracket:
+    """The implementation must live between the reference curves."""
+
+    def make_pair(self, n: int, k: int, seed: int) -> tuple[bytes, bytes]:
+        rng = random.Random(seed)
+        old = bytes(rng.randrange(256) for _ in range(n))
+        new = bytearray(old)
+        positions = sorted(
+            rng.sample(range(n), k), reverse=True
+        )
+        for position in positions:
+            new[position] = (new[position] + 1) % 256
+        return old, bytes(new)
+
+    @pytest.mark.parametrize("k", [2, 8, 32])
+    def test_protocol_between_bounds(self, k):
+        n = 32768
+        old, new = self.make_pair(n, k, seed=k)
+        result = synchronize(
+            old, new,
+            ProtocolConfig(min_block_size=32, continuation_min_block_size=8),
+        )
+        assert result.reconstructed == new
+        measured_bits = result.total_bytes * 8
+
+        lower = exchange_lower_bound_bits(n, k)
+        upper = multiround_upper_bound_bits(n, k)
+        assert measured_bits > lower
+        # Allow a generous constant over the asymptotic upper bound
+        # (handshake, fingerprints, delta framing, incompressible
+        # replacement bytes).
+        assert measured_bits < 12 * upper + 3000 * 8

@@ -1,0 +1,103 @@
+"""Tests for the similarity metrics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.theory import block_divergence, levenshtein
+
+
+def brute_force_levenshtein(a: bytes, b: bytes) -> int:
+    table = list(range(len(b) + 1))
+    for i, byte_a in enumerate(a, 1):
+        new_table = [i]
+        for j, byte_b in enumerate(b, 1):
+            new_table.append(
+                min(
+                    table[j] + 1,
+                    new_table[j - 1] + 1,
+                    table[j - 1] + (0 if byte_a == byte_b else 1),
+                )
+            )
+        table = new_table
+    return table[len(b)]
+
+
+class TestLevenshtein:
+    def test_known_values(self):
+        assert levenshtein(b"kitten", b"sitting") == 3
+        assert levenshtein(b"abc", b"abc") == 0
+        assert levenshtein(b"", b"abc") == 3
+        assert levenshtein(b"abc", b"") == 3
+        assert levenshtein(b"", b"") == 0
+
+    def test_symmetry(self):
+        assert levenshtein(b"flaw", b"lawn") == levenshtein(b"lawn", b"flaw")
+
+    @given(st.binary(max_size=40), st.binary(max_size=40))
+    @settings(max_examples=60)
+    def test_matches_brute_force(self, a, b):
+        assert levenshtein(a, b) == brute_force_levenshtein(a, b)
+
+    @given(st.binary(max_size=40), st.binary(max_size=40),
+           st.integers(0, 12))
+    @settings(max_examples=60)
+    def test_banded_agrees_or_reports_overflow(self, a, b, budget):
+        true_distance = brute_force_levenshtein(a, b)
+        banded = levenshtein(a, b, max_distance=budget)
+        if true_distance <= budget:
+            assert banded == true_distance
+        else:
+            assert banded == budget + 1
+
+    def test_band_much_faster_path_usable_on_long_inputs(self):
+        a = b"x" * 20000
+        b = b"x" * 19990 + b"y" * 10
+        assert levenshtein(a, b, max_distance=32) == 10
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            levenshtein(b"a", b"b", max_distance=-1)
+
+
+class TestBlockDivergence:
+    def test_identical_is_zero(self):
+        data = b"shared content " * 100
+        assert block_divergence(data, data) == 0.0
+
+    def test_disjoint_is_one(self):
+        import random
+
+        rng = random.Random(0)
+        a = bytes(rng.randrange(256) for _ in range(5000))
+        b = bytes(rng.randrange(256) for _ in range(5000))
+        assert block_divergence(a, b) > 0.95
+
+    def test_partial(self):
+        import random
+
+        rng = random.Random(1)
+        a = bytes(rng.randrange(256) for _ in range(8000))
+        b = a[:4096] + bytes(rng.randrange(256) for _ in range(4096))
+        divergence = block_divergence(a, b, block_size=64)
+        assert 0.3 < divergence < 0.7
+
+    def test_alignment_insensitive(self):
+        """An insertion shifts every block boundary; divergence must stay
+        near zero because windows are compared at all offsets."""
+        import random
+
+        rng = random.Random(2)
+        a = bytes(rng.randrange(256) for _ in range(8000))
+        b = b"INSERT" + a
+        assert block_divergence(a, b, block_size=64) < 0.05
+
+    def test_empty_cases(self):
+        assert block_divergence(b"abc", b"") == 0.0
+        assert block_divergence(b"", b"some content here") == 1.0
+
+    def test_bad_block_size(self):
+        with pytest.raises(ValueError):
+            block_divergence(b"a", b"b", block_size=0)

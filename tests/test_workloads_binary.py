@@ -1,0 +1,100 @@
+"""Tests for the log/binary/record workload families."""
+
+from __future__ import annotations
+
+import zlib
+
+import pytest
+
+from repro.core import synchronize
+from repro.exceptions import WorkloadError
+from repro.workloads import (
+    make_binary_pair,
+    make_log_pair,
+    make_record_store_pair,
+    robustness_suite,
+)
+
+
+class TestLogPair:
+    def test_append_only_keeps_prefix(self):
+        pair = make_log_pair(seed=1)
+        assert pair.new.startswith(pair.old)
+
+    def test_rotation_drops_prefix(self):
+        pair = make_log_pair(seed=1, rotate_fraction=0.5)
+        assert not pair.new.startswith(pair.old)
+        # The kept suffix of the old log appears verbatim in the new one.
+        tail = pair.old.rsplit(b"\n", 50)[-1]
+        assert tail in pair.new
+
+    def test_deterministic(self):
+        assert make_log_pair(seed=3) == make_log_pair(seed=3)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            make_log_pair(base_lines=0)
+        with pytest.raises(WorkloadError):
+            make_log_pair(rotate_fraction=1.0)
+
+
+class TestBinaryPair:
+    def test_incompressible(self):
+        pair = make_binary_pair(seed=2)
+        assert len(zlib.compress(pair.old, 9)) > 0.95 * len(pair.old)
+
+    def test_patches_bounded(self):
+        pair = make_binary_pair(seed=2, patch_count=3, patch_size=500)
+        differing = sum(1 for a, b in zip(pair.old, pair.new) if a != b)
+        assert differing <= 3 * 500
+        assert differing > 0
+
+    def test_size_preserved(self):
+        pair = make_binary_pair(seed=2)
+        assert len(pair.old) == len(pair.new)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            make_binary_pair(size=0)
+
+
+class TestRecordStorePair:
+    def test_alignment_shifts(self):
+        pair = make_record_store_pair(seed=4)
+        assert len(pair.old) != len(pair.new)
+
+    def test_most_records_survive(self):
+        pair = make_record_store_pair(seed=4)
+        old_records = set(pair.old.split(b";\n"))
+        new_records = set(pair.new.split(b";\n"))
+        survivors = len(old_records & new_records)
+        assert survivors > 0.85 * len(old_records)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            make_record_store_pair(record_count=0)
+        with pytest.raises(WorkloadError):
+            make_record_store_pair(updated_fraction=1.5)
+
+
+class TestRobustnessSuite:
+    def test_suite_contents(self):
+        suite = robustness_suite()
+        assert len(suite) == 4
+        assert {pair.name for pair in suite} == {
+            "app.log", "firmware.bin", "store.db"
+        }
+
+    def test_protocol_handles_every_family(self):
+        for pair in robustness_suite(seed=10):
+            result = synchronize(pair.old, pair.new)
+            assert result.reconstructed == pair.new, pair.description
+
+    def test_append_only_is_nearly_free(self):
+        """Appending should cost roughly the compressed appended bytes."""
+        pair = make_log_pair(seed=5, appended_lines=40)
+        result = synchronize(pair.old, pair.new)
+        assert result.reconstructed == pair.new
+        appended = pair.new[len(pair.old):]
+        budget = len(zlib.compress(appended, 9)) + 600
+        assert result.total_bytes < budget

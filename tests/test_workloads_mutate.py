@@ -1,0 +1,102 @@
+"""Tests for the edit model."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workloads import EditProfile, mutate
+
+
+class TestEditProfile:
+    def test_negative_edits_rejected(self):
+        with pytest.raises(WorkloadError):
+            EditProfile(edit_count=-1)
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(WorkloadError):
+            EditProfile(edit_count=1, min_size=0)
+        with pytest.raises(WorkloadError):
+            EditProfile(edit_count=1, min_size=10, max_size=5)
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(WorkloadError):
+            EditProfile(
+                edit_count=1,
+                insert_weight=0,
+                delete_weight=0,
+                replace_weight=0,
+            )
+
+    def test_bad_cluster_count_rejected(self):
+        with pytest.raises(WorkloadError):
+            EditProfile(edit_count=1, cluster_count=0)
+
+
+class TestMutate:
+    def test_zero_edits_identity(self):
+        data = b"unchanged"
+        assert mutate(data, random.Random(0), EditProfile(edit_count=0)) == data
+
+    def test_deterministic(self):
+        data = b"base content " * 500
+        profile = EditProfile(edit_count=5)
+        a = mutate(data, random.Random(3), profile)
+        b = mutate(data, random.Random(3), profile)
+        assert a == b
+
+    def test_changes_content(self):
+        data = b"base content " * 500
+        mutated = mutate(data, random.Random(3), EditProfile(edit_count=5))
+        assert mutated != data
+
+    def test_empty_input_grows_by_insertion(self):
+        profile = EditProfile(edit_count=3, insert_weight=1,
+                              delete_weight=0, replace_weight=0)
+        mutated = mutate(b"", random.Random(1), profile)
+        assert len(mutated) > 0
+
+    def test_deletes_shrink(self):
+        data = b"x" * 10000
+        profile = EditProfile(edit_count=10, insert_weight=0,
+                              delete_weight=1, replace_weight=0,
+                              min_size=50, max_size=100)
+        mutated = mutate(data, random.Random(2), profile)
+        assert len(mutated) < len(data)
+
+    def test_clustered_edits_leave_long_untouched_runs(self):
+        """Clustered edits must leave most of the file byte-identical in
+        long runs — the property that makes block matching effective."""
+        rng = random.Random(0)
+        data = bytes(rng.randrange(256) for _ in range(100_000))
+        profile = EditProfile(edit_count=10, cluster_count=2,
+                              cluster_spread=100.0)
+        mutated = mutate(data, random.Random(1), profile)
+        # Find the longest common contiguous run via a crude scan of
+        # 1 KiB probes from the original.
+        hits = sum(
+            1 for i in range(0, len(data) - 1024, 4096)
+            if data[i : i + 1024] in mutated
+        )
+        assert hits > 15  # most probes survive verbatim
+
+    def test_dispersed_edits_spread_out(self):
+        rng = random.Random(0)
+        data = bytes(rng.randrange(256) for _ in range(50_000))
+        profile = EditProfile(edit_count=40, cluster_count=None,
+                              min_size=4, max_size=8)
+        mutated = mutate(data, random.Random(1), profile)
+        assert mutated != data
+
+    def test_custom_content_function_used(self):
+        data = b"0" * 2000
+        profile = EditProfile(edit_count=4, insert_weight=1,
+                              delete_weight=0, replace_weight=0,
+                              min_size=10, max_size=10)
+        mutated = mutate(
+            data, random.Random(5), profile,
+            content=lambda rng, n: b"Z" * n,
+        )
+        assert b"Z" * 10 in mutated

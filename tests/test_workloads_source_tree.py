@@ -1,0 +1,94 @@
+"""Tests for the gcc/emacs-like source-tree workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workloads import emacs_like, gcc_like
+from repro.workloads.source_tree import SourceTreeProfile, make_source_tree
+
+
+class TestGenerated:
+    @pytest.fixture(scope="class")
+    def tree(self):
+        return gcc_like(scale=0.1, seed=0)
+
+    def test_deterministic(self, tree):
+        again = gcc_like(scale=0.1, seed=0)
+        assert tree.old == again.old
+        assert tree.new == again.new
+
+    def test_file_counts(self, tree):
+        assert len(tree.old) == 25
+        # New release: some removed, some added.
+        assert abs(len(tree.new) - len(tree.old)) <= 3
+
+    def test_common_files_mix_of_changed_and_unchanged(self, tree):
+        common = tree.common_names()
+        changed = sum(1 for n in common if tree.old[n] != tree.new[n])
+        unchanged = len(common) - changed
+        assert changed > 0
+        assert unchanged > 0
+
+    def test_sizes_reported(self, tree):
+        assert tree.old_bytes == sum(len(v) for v in tree.old.values())
+        assert tree.old_bytes > 25 * 256
+
+    def test_added_and_removed_files_exist(self):
+        tree = gcc_like(scale=0.5, seed=1)
+        assert set(tree.new) - set(tree.old)
+        assert set(tree.old) - set(tree.new)
+
+
+class TestPresets:
+    def test_emacs_changes_less_than_gcc(self):
+        gcc = gcc_like(scale=0.2, seed=3)
+        emacs = emacs_like(scale=0.2, seed=3)
+
+        def changed_fraction(tree):
+            common = tree.common_names()
+            return sum(1 for n in common if tree.old[n] != tree.new[n]) / len(common)
+
+        assert changed_fraction(emacs) < changed_fraction(gcc)
+
+    def test_scale_controls_file_count(self):
+        small = gcc_like(scale=0.1, seed=0)
+        large = gcc_like(scale=0.3, seed=0)
+        assert len(large.old) > len(small.old)
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(WorkloadError):
+            gcc_like(scale=0)
+        with pytest.raises(WorkloadError):
+            emacs_like(scale=-1)
+
+
+class TestProfileValidation:
+    def test_fractions_must_fit(self):
+        with pytest.raises(WorkloadError):
+            SourceTreeProfile(
+                name="bad",
+                file_count=10,
+                unchanged_fraction=0.8,
+                lightly_edited_fraction=0.5,
+            )
+
+    def test_zero_files_rejected(self):
+        with pytest.raises(WorkloadError):
+            SourceTreeProfile(name="bad", file_count=0)
+
+    def test_custom_profile_generates(self):
+        profile = SourceTreeProfile(
+            name="tiny",
+            file_count=5,
+            mean_file_size=1024,
+            unchanged_fraction=0.2,
+            lightly_edited_fraction=0.6,
+            heavy_rewrite_fraction=0.2,
+            added_fraction=0.0,
+            removed_fraction=0.0,
+        )
+        tree = make_source_tree(profile, seed=9)
+        assert len(tree.old) == 5
+        assert set(tree.old) == set(tree.new)

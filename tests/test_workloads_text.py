@@ -1,0 +1,79 @@
+"""Tests for the content generators."""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+import pytest
+
+from repro.workloads import HtmlGenerator, TextGenerator
+
+
+class TestTextGenerator:
+    def test_deterministic(self):
+        a = TextGenerator(1).generate(5000, random.Random(2))
+        b = TextGenerator(1).generate(5000, random.Random(2))
+        assert a == b
+
+    def test_different_seed_different_output(self):
+        a = TextGenerator(1).generate(3000, random.Random(2))
+        b = TextGenerator(9).generate(3000, random.Random(2))
+        assert a != b
+
+    def test_size_roughly_requested(self):
+        data = TextGenerator(0).generate(10000, random.Random(0))
+        assert 10000 <= len(data) <= 11000
+
+    def test_realistically_compressible(self):
+        """Code-like text compresses ~3-6x — pure noise or pure repetition
+        would both distort benchmark comparisons."""
+        data = TextGenerator(0).generate(40000, random.Random(0))
+        ratio = len(data) / len(zlib.compress(data, 9))
+        assert 2.5 < ratio < 12
+
+    def test_snippet_exact_length(self):
+        generator = TextGenerator(0)
+        rng = random.Random(3)
+        for size in (1, 10, 100):
+            assert len(generator.snippet(rng, size)) == size
+
+    def test_tiny_vocabulary_rejected(self):
+        with pytest.raises(ValueError):
+            TextGenerator(0, vocabulary_size=5)
+
+    def test_is_mostly_ascii_text(self):
+        data = TextGenerator(0).generate(3000, random.Random(1))
+        assert all(9 <= byte < 127 for byte in data)
+
+
+class TestHtmlGenerator:
+    def test_deterministic(self):
+        a = HtmlGenerator(4).generate(4000, random.Random(5), site=1)
+        b = HtmlGenerator(4).generate(4000, random.Random(5), site=1)
+        assert a == b
+
+    def test_pages_of_same_site_share_boilerplate(self):
+        generator = HtmlGenerator(4)
+        page1 = generator.generate(4000, random.Random(1), site=2)
+        page2 = generator.generate(4000, random.Random(2), site=2)
+        # Shared header: identical prefix of meaningful length.
+        prefix = 0
+        for x, y in zip(page1, page2):
+            if x != y:
+                break
+            prefix += 1
+        assert prefix > 50
+
+    def test_bad_site_count_rejected(self):
+        with pytest.raises(ValueError):
+            HtmlGenerator(0, sites=0)
+
+    def test_looks_like_html(self):
+        page = HtmlGenerator(0).generate(2000, random.Random(0))
+        assert page.startswith(b"<html>")
+        assert b"</body></html>" in page
+
+    def test_snippet_exact_length(self):
+        generator = HtmlGenerator(0)
+        assert len(generator.snippet(random.Random(1), 77)) == 77

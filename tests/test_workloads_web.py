@@ -1,0 +1,89 @@
+"""Tests for the recrawled web collection workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workloads import make_web_collection
+
+
+@pytest.fixture(scope="module")
+def collection():
+    return make_web_collection(page_count=40, days=(0, 1, 2, 7), seed=0)
+
+
+class TestStructure:
+    def test_all_snapshots_present(self, collection):
+        assert sorted(collection.snapshots) == [0, 1, 2, 7]
+
+    def test_page_names_stable_across_days(self, collection):
+        names = set(collection.snapshot(0))
+        for day in (1, 2, 7):
+            assert set(collection.snapshot(day)) == names
+
+    def test_deterministic(self, collection):
+        again = make_web_collection(page_count=40, days=(0, 1, 2, 7), seed=0)
+        for day in (0, 1, 2, 7):
+            assert collection.snapshot(day) == again.snapshot(day)
+
+    def test_mean_page_size_in_range(self, collection):
+        total = collection.snapshot_bytes(0)
+        mean = total / collection.page_count
+        assert 4000 < mean < 30000
+
+    def test_missing_day_raises(self, collection):
+        with pytest.raises(WorkloadError):
+            collection.snapshot(3)
+
+
+class TestUpdateProcess:
+    def test_divergence_grows_with_gap(self, collection):
+        one = collection.changed_pages(0, 1)
+        two = collection.changed_pages(0, 2)
+        seven = collection.changed_pages(0, 7)
+        assert one <= two <= seven
+        assert one < seven
+
+    def test_some_pages_never_change(self, collection):
+        base = collection.snapshot(0)
+        week = collection.snapshot(7)
+        unchanged = sum(1 for n in base if base[n] == week[n])
+        assert unchanged > 0
+
+    def test_hot_pages_change_fast(self, collection):
+        """Within one day a meaningful fraction of pages changed (the hot
+        mixture component), but well below half."""
+        changed = collection.changed_pages(0, 1)
+        assert 0 < changed < collection.page_count // 2
+
+    def test_change_rates_recorded(self, collection):
+        rates = set(collection.change_rates.values())
+        assert rates <= {0.85, 0.20, 0.03}
+        assert len(rates) >= 2
+
+    def test_changed_pages_changed_slightly(self, collection):
+        """The paper: 'others change only slightly' — changed pages keep
+        most of their bytes."""
+        base = collection.snapshot(0)
+        day1 = collection.snapshot(1)
+        from repro.delta import zdelta_size
+
+        for name in base:
+            if base[name] != day1[name]:
+                assert zdelta_size(base[name], day1[name]) < len(day1[name]) / 3
+                break
+
+
+class TestValidation:
+    def test_bad_days_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_web_collection(page_count=5, days=(1, 2))
+        with pytest.raises(WorkloadError):
+            make_web_collection(page_count=5, days=(0, 2, 1))
+        with pytest.raises(WorkloadError):
+            make_web_collection(page_count=5, days=())
+
+    def test_bad_page_count_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_web_collection(page_count=0)
