@@ -28,6 +28,7 @@ from repro.delta import (
 )
 from repro.exceptions import ReproError
 from repro.net import Direction, LinkModel, SimulatedChannel, TransferStats
+from repro.parallel import HashIndexCache, SyncExecutor, default_cache
 from repro.rsync import rsync_optimal, rsync_sync
 
 __version__ = "1.0.0"
@@ -35,13 +36,16 @@ __version__ = "1.0.0"
 __all__ = [
     "CollectionReport",
     "Direction",
+    "HashIndexCache",
     "LinkModel",
     "ProtocolConfig",
     "ReproError",
     "SimulatedChannel",
+    "SyncExecutor",
     "SyncResult",
     "TransferStats",
     "__version__",
+    "default_cache",
     "rsync_optimal",
     "rsync_sync",
     "sync_collection",

@@ -28,6 +28,12 @@ def run_to_row(run: CollectionRun) -> dict[str, object]:
         "files_changed": run.files_changed,
         "files_unchanged": run.files_unchanged,
         "elapsed_seconds": round(run.elapsed_seconds, 4),
+        "workers": run.workers,
+        "cpu_seconds": round(run.cpu_seconds, 4),
+        "p50_file_seconds": round(run.p50_file_seconds, 6),
+        "p95_file_seconds": round(run.p95_file_seconds, 6),
+        "cache_hits": run.cache_hits,
+        "cache_misses": run.cache_misses,
     }
     for key, value in sorted(run.breakdown.items()):
         row[f"breakdown.{key}"] = value

@@ -9,9 +9,25 @@ from repro.bench.methods import MethodOutcome, SyncMethod
 from repro.collection.sync import CollectionReport, sync_collection
 
 
+def _percentile(values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile; 0.0 for an empty sample."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
 @dataclass
 class CollectionRun:
-    """One (method, collection-pair) measurement."""
+    """One (method, collection-pair) measurement.
+
+    Besides the wire-byte accounting, each row tracks the compute cost of
+    the run: worker count, total CPU seconds across all processes, the
+    per-file wall-clock percentiles, and the hash-index cache hit/miss
+    counters — so speedups from parallelism and caching are measured, not
+    anecdotal.
+    """
 
     method: str
     total_bytes: int
@@ -22,10 +38,21 @@ class CollectionRun:
     files_unchanged: int
     elapsed_seconds: float
     breakdown: dict[str, int] = field(default_factory=dict)
+    workers: int = 1
+    cpu_seconds: float = 0.0
+    p50_file_seconds: float = 0.0
+    p95_file_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def total_kb(self) -> float:
         return self.total_bytes / 1024.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
 
 
 def run_method_on_collection(
@@ -33,17 +60,19 @@ def run_method_on_collection(
     old_files: dict[str, bytes],
     new_files: dict[str, bytes],
     verify: bool = True,
+    workers: int | None = 1,
 ) -> CollectionRun:
     """Synchronise one collection pair and flatten the report to a row."""
     started = time.perf_counter()
     report: CollectionReport = sync_collection(
-        old_files, new_files, method, verify=verify
+        old_files, new_files, method, verify=verify, workers=workers
     )
     elapsed = time.perf_counter() - started
 
     merged: MethodOutcome = MethodOutcome(total_bytes=0)
     for outcome in report.per_file.values():
         merged = merged + outcome
+    file_seconds = list(report.per_file_seconds.values())
     return CollectionRun(
         method=method.name,
         total_bytes=report.total_bytes,
@@ -54,4 +83,10 @@ def run_method_on_collection(
         files_unchanged=report.files_unchanged,
         elapsed_seconds=elapsed,
         breakdown=merged.breakdown,
+        workers=report.workers,
+        cpu_seconds=report.cpu_seconds,
+        p50_file_seconds=_percentile(file_seconds, 0.50),
+        p95_file_seconds=_percentile(file_seconds, 0.95),
+        cache_hits=report.cache_hits,
+        cache_misses=report.cache_misses,
     )

@@ -43,6 +43,19 @@ _METHOD_FACTORIES = {
 }
 
 
+def _worker_count(text: str) -> int:
+    """argparse type for --workers: non-negative int, 0 = one per CPU."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"workers must be >= 0 (0 = one per CPU), got {value}"
+        )
+    return value
+
+
 def _config_from_args(args: argparse.Namespace) -> ProtocolConfig:
     return ProtocolConfig(
         min_block_size=args.min_block,
@@ -80,7 +93,9 @@ def _cmd_sync(args: argparse.Namespace) -> int:
             return 2
         return _sync_batched(args, old_side, new_side)
     method: SyncMethod = _METHOD_FACTORIES[args.method](args)
-    run = run_method_on_collection(method, old_side, new_side)
+    run = run_method_on_collection(
+        method, old_side, new_side, workers=args.workers or None
+    )
 
     if args.json:
         print(
@@ -94,6 +109,10 @@ def _cmd_sync(args: argparse.Namespace) -> int:
                     "files_changed": run.files_changed,
                     "files_unchanged": run.files_unchanged,
                     "breakdown": run.breakdown,
+                    "workers": run.workers,
+                    "cpu_seconds": round(run.cpu_seconds, 4),
+                    "cache_hits": run.cache_hits,
+                    "cache_misses": run.cache_misses,
                 },
                 indent=2,
             )
@@ -108,6 +127,9 @@ def _cmd_sync(args: argparse.Namespace) -> int:
         print(f"  manifest      : {run.manifest_bytes:,}")
         print(f"  changed files : {run.changed_bytes:,}")
         print(f"  added files   : {run.added_bytes:,}")
+        print(f"workers         : {run.workers} "
+              f"(cpu {run.cpu_seconds:.2f}s, cache "
+              f"{run.cache_hits}/{run.cache_hits + run.cache_misses} hits)")
     return 0
 
 
@@ -228,15 +250,25 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     rows = []
     for method in standard_methods():
-        run = run_method_on_collection(method, old_side, new_side)
+        run = run_method_on_collection(
+            method, old_side, new_side, workers=args.workers or None
+        )
         rows.append(
-            [method.name, f"{run.total_kb:,.1f}", f"{run.elapsed_seconds:.1f}"]
+            [
+                method.name,
+                f"{run.total_kb:,.1f}",
+                f"{run.elapsed_seconds:.1f}",
+                f"{run.cpu_seconds:.1f}",
+            ]
         )
     print(
         render_table(
-            ["method", "KB", "cpu s"],
+            ["method", "KB", "wall s", "cpu s"],
             rows,
-            title=f"workload={args.workload} scale={args.scale}",
+            title=(
+                f"workload={args.workload} scale={args.scale} "
+                f"workers={args.workers}"
+            ),
         )
     )
     return 0
@@ -265,6 +297,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="block size for --method rsync")
     sync.add_argument("--json", action="store_true",
                       help="machine-readable output")
+    sync.add_argument("--workers", type=_worker_count, default=1,
+                      help="process count for changed-file fan-out "
+                           "(0 = one per CPU)")
     sync.add_argument("--batched", action="store_true",
                       help="share roundtrips across all changed files "
                            "(only with --method ours)")
@@ -306,6 +341,9 @@ def build_parser() -> argparse.ArgumentParser:
                        default="gcc")
     bench.add_argument("--scale", type=float, default=0.1)
     bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--workers", type=_worker_count, default=1,
+                       help="process count for changed-file fan-out "
+                            "(0 = one per CPU)")
     bench.set_defaults(handler=_cmd_bench)
     return parser
 

@@ -8,11 +8,18 @@ from dataclasses import dataclass, field
 from repro.syncmethod import MethodOutcome, SyncMethod
 from repro.collection.manifest import Manifest, ManifestDiff, diff_manifests
 from repro.exceptions import IntegrityError
+from repro.parallel.executor import FileTask, SyncExecutor
 
 
 @dataclass
 class CollectionReport:
-    """Aggregated accounting for one collection update."""
+    """Aggregated accounting for one collection update.
+
+    Byte accounting (``total_bytes``, ``per_file``, ``reconstructed``) is
+    deterministic and identical across serial and parallel execution; the
+    compute-cost fields (``per_file_seconds``, ``cpu_seconds``, cache
+    counters) describe where and how the work actually ran.
+    """
 
     method: str
     manifest_bytes: int
@@ -20,6 +27,11 @@ class CollectionReport:
     per_file: dict[str, MethodOutcome] = field(default_factory=dict)
     added_bytes: int = 0
     reconstructed: dict[str, bytes] = field(default_factory=dict)
+    workers: int = 1
+    per_file_seconds: dict[str, float] = field(default_factory=dict)
+    cpu_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def changed_transfer_bytes(self) -> int:
@@ -108,6 +120,8 @@ def sync_collection(
     method: SyncMethod,
     verify: bool = True,
     change_detection: str = "manifest",
+    workers: int | None = 1,
+    executor: SyncExecutor | None = None,
 ) -> CollectionReport:
     """Update ``client_files`` to ``server_files`` using ``method``.
 
@@ -118,6 +132,11 @@ def sync_collection(
     server are sent compressed; changed files go through the per-file
     method.  With ``verify`` (default) the reconstructed collection is
     checked byte-for-byte.
+
+    ``workers`` (or a preconfigured ``executor``) fans the changed files
+    out over a process pool; results are reassembled in manifest order so
+    the report's byte accounting is identical to the serial run.
+    ``workers=None`` uses one process per CPU.
     """
     client_manifest = Manifest.of_collection(client_files)
     server_manifest = Manifest.of_collection(server_files)
@@ -147,12 +166,26 @@ def sync_collection(
         payload = zlib.compress(server_files[name], 9)
         report.added_bytes += len(payload)
         report.reconstructed[name] = zlib.decompress(payload)
-    for name in diff.changed:
-        outcome = method.sync_file(client_files[name], server_files[name])
-        report.per_file[name] = outcome
-        report.reconstructed[name] = server_files[name]
-        if verify and not outcome.correct:
-            raise IntegrityError(f"method {method.name} failed on {name}")
+
+    if executor is None:
+        executor = SyncExecutor(workers=workers)
+    batch = executor.run(
+        method,
+        [
+            FileTask(name, client_files[name], server_files[name])
+            for name in diff.changed
+        ],
+    )
+    report.workers = batch.workers_used
+    report.cache_hits = batch.cache_hits
+    report.cache_misses = batch.cache_misses
+    for result in batch.files:
+        report.per_file[result.name] = result.outcome
+        report.per_file_seconds[result.name] = result.elapsed_seconds
+        report.cpu_seconds += result.cpu_seconds
+        report.reconstructed[result.name] = server_files[result.name]
+        if verify and not result.outcome.correct:
+            raise IntegrityError(f"method {method.name} failed on {result.name}")
 
     if verify:
         for name, data in server_files.items():

@@ -14,6 +14,7 @@ from repro.hashing.decomposable import DecomposableAdler
 from repro.hashing.scan import HashIndex, PrefixHasher
 from repro.hashing.strong import StrongHasher, file_fingerprint
 from repro.io.bitstream import BitReader
+from repro.parallel.cache import HashIndexCache, default_cache
 
 
 @dataclass(frozen=True)
@@ -27,12 +28,25 @@ class Candidate:
 class ClientSession:
     """Client-side protocol state for one file synchronization."""
 
-    def __init__(self, data: bytes, config: ProtocolConfig) -> None:
+    def __init__(
+        self,
+        data: bytes,
+        config: ProtocolConfig,
+        cache: HashIndexCache | None = None,
+    ) -> None:
         self.data = data
         self.config = config
         self.hasher = DecomposableAdler(seed=config.hash_seed)
         self.strong = StrongHasher(salt=config.hash_seed.to_bytes(8, "big"))
-        self.prefix = PrefixHasher(data, self.hasher)
+        self._cache = cache if cache is not None else default_cache()
+        self._fingerprint = file_fingerprint(data)
+        self.prefix = PrefixHasher(
+            data,
+            self.hasher,
+            sums=self._cache.prefix_sums(
+                data, self.hasher, fingerprint=self._fingerprint
+            ),
+        )
         self.global_bits = config.resolve_global_hash_bits(len(data))
         self.server_fingerprint: bytes | None = None
         self.tracker: BlockTracker | None = None
@@ -50,7 +64,7 @@ class ClientSession:
         self.server_fingerprint = fingerprint
         self.tracker = BlockTracker(server_length, self.config)
         self.map = FileMap(server_length)
-        return file_fingerprint(self.data) == fingerprint
+        return self._fingerprint == fingerprint
 
     def _require_tracker(self) -> BlockTracker:
         if self.tracker is None:
@@ -68,7 +82,15 @@ class ClientSession:
     def _index(self, length: int) -> HashIndex:
         index = self._indexes.get(length)
         if index is None:
-            index = HashIndex(self.data, length, self.hasher)
+            if length > len(self.data):
+                # No window of this length exists: an empty index, built
+                # without scanning the data (and without a cache slot).
+                index = HashIndex(b"", length, self.hasher)
+            else:
+                index = self._cache.hash_index(
+                    self.data, length, self.hasher,
+                    fingerprint=self._fingerprint,
+                )
             self._indexes[length] = index
         return index
 

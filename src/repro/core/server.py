@@ -11,17 +11,31 @@ from repro.hashing.decomposable import DecomposableAdler
 from repro.hashing.scan import PrefixHasher
 from repro.hashing.strong import StrongHasher, file_fingerprint
 from repro.io.bitstream import BitWriter
+from repro.parallel.cache import HashIndexCache, default_cache
 
 
 class ServerSession:
     """Server-side protocol state for one file synchronization."""
 
-    def __init__(self, data: bytes, config: ProtocolConfig) -> None:
+    def __init__(
+        self,
+        data: bytes,
+        config: ProtocolConfig,
+        cache: HashIndexCache | None = None,
+    ) -> None:
         self.data = data
         self.config = config
         self.hasher = DecomposableAdler(seed=config.hash_seed)
         self.strong = StrongHasher(salt=config.hash_seed.to_bytes(8, "big"))
-        self.prefix = PrefixHasher(data, self.hasher)
+        self._cache = cache if cache is not None else default_cache()
+        self._fingerprint = file_fingerprint(data)
+        self.prefix = PrefixHasher(
+            data,
+            self.hasher,
+            sums=self._cache.prefix_sums(
+                data, self.hasher, fingerprint=self._fingerprint
+            ),
+        )
         self.tracker = BlockTracker(len(data), config)
         self.global_bits: int | None = None
 
@@ -36,7 +50,7 @@ class ServerSession:
 
     def fingerprint(self) -> bytes:
         """16-byte whole-file checksum, sent first."""
-        return file_fingerprint(self.data)
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # Map construction

@@ -22,7 +22,14 @@ to benchmark honestly.
 
 from repro.hashing.decomposable import DecomposableAdler, HashPair
 from repro.hashing.rolling import AdlerRolling, KarpRabinRolling, RollingHash
-from repro.hashing.scan import HashIndex, PrefixHasher, window_hashes
+from repro.hashing.scan import (
+    HashIndex,
+    PrefixHasher,
+    PrefixSums,
+    prefix_sums,
+    window_hashes,
+    window_hashes_from_sums,
+)
 from repro.hashing.strong import (
     StrongHasher,
     file_fingerprint,
@@ -36,6 +43,8 @@ __all__ = [
     "HashIndex",
     "HashPair",
     "PrefixHasher",
+    "PrefixSums",
+    "prefix_sums",
     "KarpRabinRolling",
     "RollingHash",
     "StrongHasher",
@@ -43,4 +52,5 @@ __all__ = [
     "group_digest",
     "strong_digest",
     "window_hashes",
+    "window_hashes_from_sums",
 ]

@@ -16,11 +16,69 @@ therefore exact modulo ``2**16`` after masking.
 
 from __future__ import annotations
 
+from typing import NamedTuple
+
 import numpy as np
 
 from repro.hashing.decomposable import DecomposableAdler, component_widths
 
 _MASK16 = np.uint64(0xFFFF)
+
+
+class PrefixSums(NamedTuple):
+    """The two prefix-sum arrays behind every window-hash computation.
+
+    ``prefix[i]`` is the sum of the substituted bytes ``T[data[0..i)]`` and
+    ``weighted[i]`` the sum of ``j * T[data[j]]`` over the same range, both
+    uint64 arrays of length ``len(data) + 1``.  :func:`window_hashes` and
+    :class:`PrefixHasher` used to each compute their own copies; building
+    them once here lets callers (and the hash-index cache) share one pair
+    of buffers across every window length and every sync of the same data.
+    """
+
+    prefix: np.ndarray
+    weighted: np.ndarray
+
+    @property
+    def data_length(self) -> int:
+        return len(self.prefix) - 1
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of both buffers (cache budgeting)."""
+        return int(self.prefix.nbytes + self.weighted.nbytes)
+
+
+def prefix_sums(data: bytes, hasher: DecomposableAdler) -> PrefixSums:
+    """Compute the shared prefix-sum pair for ``data`` under ``hasher``."""
+    n = len(data)
+    raw = np.frombuffer(data, dtype=np.uint8)
+    table = np.asarray(hasher.table, dtype=np.uint64)
+    mapped = table[raw]
+    prefix = np.zeros(n + 1, dtype=np.uint64)
+    np.cumsum(mapped, out=prefix[1:])
+    weighted = np.zeros(n + 1, dtype=np.uint64)
+    np.cumsum(mapped * np.arange(n, dtype=np.uint64), out=weighted[1:])
+    return PrefixSums(prefix, weighted)
+
+
+def window_hashes_from_sums(sums: PrefixSums, length: int) -> np.ndarray:
+    """Packed 32-bit hashes of every window, from precomputed prefix sums."""
+    if length <= 0:
+        raise ValueError(f"length must be positive, got {length}")
+    n = sums.data_length
+    if n < length:
+        return np.empty(0, dtype=np.uint32)
+    prefix, weighted = sums.prefix, sums.weighted
+    with np.errstate(over="ignore"):
+        window_sum = prefix[length:] - prefix[:-length]
+        starts = np.arange(n - length + 1, dtype=np.uint64)
+        b = (np.uint64(length) + starts) * window_sum - (
+            weighted[length:] - weighted[:-length]
+        )
+    a16 = (window_sum & _MASK16).astype(np.uint32)
+    b16 = (b & _MASK16).astype(np.uint32)
+    return a16 | (b16 << np.uint32(16))
 
 
 def window_hashes(
@@ -33,27 +91,9 @@ def window_hashes(
     """
     if length <= 0:
         raise ValueError(f"length must be positive, got {length}")
-    n = len(data)
-    if n < length:
+    if len(data) < length:
         return np.empty(0, dtype=np.uint32)
-    raw = np.frombuffer(data, dtype=np.uint8)
-    table = np.asarray(hasher.table, dtype=np.uint64)
-    mapped = table[raw]
-
-    prefix = np.zeros(n + 1, dtype=np.uint64)
-    np.cumsum(mapped, out=prefix[1:])
-    weighted = np.zeros(n + 1, dtype=np.uint64)
-    np.cumsum(mapped * np.arange(n, dtype=np.uint64), out=weighted[1:])
-
-    with np.errstate(over="ignore"):
-        window_sum = prefix[length:] - prefix[:-length]
-        starts = np.arange(n - length + 1, dtype=np.uint64)
-        b = (np.uint64(length) + starts) * window_sum - (
-            weighted[length:] - weighted[:-length]
-        )
-    a16 = (window_sum & _MASK16).astype(np.uint32)
-    b16 = (b & _MASK16).astype(np.uint32)
-    return a16 | (b16 << np.uint32(16))
+    return window_hashes_from_sums(prefix_sums(data, hasher), length)
 
 
 def pack_to_width(full: np.ndarray, width: int) -> np.ndarray:
@@ -76,18 +116,22 @@ class PrefixHasher:
     continuation hashes at expected positions.
     """
 
-    def __init__(self, data: bytes, hasher: DecomposableAdler) -> None:
+    def __init__(
+        self,
+        data: bytes,
+        hasher: DecomposableAdler,
+        sums: PrefixSums | None = None,
+    ) -> None:
         self._length = len(data)
-        raw = np.frombuffer(data, dtype=np.uint8)
-        table = np.asarray(hasher.table, dtype=np.uint64)
-        mapped = table[raw]
-        self._prefix = np.zeros(len(data) + 1, dtype=np.uint64)
-        np.cumsum(mapped, out=self._prefix[1:])
-        self._weighted = np.zeros(len(data) + 1, dtype=np.uint64)
-        np.cumsum(
-            mapped * np.arange(len(data), dtype=np.uint64),
-            out=self._weighted[1:],
-        )
+        if sums is None:
+            sums = prefix_sums(data, hasher)
+        elif sums.data_length != len(data):
+            raise ValueError(
+                f"prefix sums cover {sums.data_length} bytes, data has "
+                f"{len(data)}"
+            )
+        self._prefix = sums.prefix
+        self._weighted = sums.weighted
 
     @property
     def data_length(self) -> int:
@@ -142,13 +186,27 @@ class HashIndex:
     """
 
     def __init__(
-        self, data: bytes, length: int, hasher: DecomposableAdler
+        self,
+        data: bytes,
+        length: int,
+        hasher: DecomposableAdler,
+        full: np.ndarray | None = None,
     ) -> None:
         self._data = data
         self._length = length
         self._hasher = hasher
-        self._full = window_hashes(data, length, hasher)
+        if full is None:
+            full = window_hashes(data, length, hasher)
+        self._full = full
         self._by_width: dict[int, _WidthIndex] = {}
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the hash arrays (cache budgeting)."""
+        total = int(self._full.nbytes)
+        for index in self._by_width.values():
+            total += int(index._order.nbytes + index._sorted.nbytes)
+        return total
 
     @property
     def length(self) -> int:

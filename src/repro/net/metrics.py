@@ -86,13 +86,36 @@ class TransferStats:
         self.messages += 1
 
     def merge(self, other: "TransferStats") -> None:
-        """Fold another run's accounting into this one (collection sync)."""
+        """Fold another run's accounting into this one (collection sync).
+
+        Merging is order-insensitive: parallel collection sync folds
+        worker results in completion order, so after every merge the
+        phase buckets are re-canonicalised.  Any two merge orders of the
+        same runs therefore yield identical iteration order, ``str()``
+        output and breakdowns.
+        """
         self.bits_by.update(other.bits_by)
+        self._canonicalise()
         self.messages += other.messages
         self.roundtrips = max(self.roundtrips, other.roundtrips)
 
+    def _canonicalise(self) -> None:
+        """Rebuild ``bits_by`` in (direction, phase) sorted insertion order."""
+        ordered = sorted(
+            self.bits_by.items(),
+            key=lambda item: (item[0][0].value, item[0][1]),
+        )
+        self.bits_by.clear()
+        for key, bits in ordered:
+            self.bits_by[key] = bits
+
     def breakdown(self) -> dict[str, int]:
-        """Human-oriented ``{"s2c/map": bytes, ...}`` view."""
+        """Human-oriented ``{"s2c/map": bytes, ...}`` view.
+
+        Keys are sorted by (direction, phase) regardless of the order in
+        which phases recorded traffic — stable under out-of-order worker
+        completion.
+        """
         return {
             f"{direction.value}/{phase}": _bits_to_bytes(bits)
             for (direction, phase), bits in sorted(

@@ -1,0 +1,183 @@
+"""Process-local LRU cache of hash indexes and prefix-sum buffers.
+
+Every :class:`~repro.core.client.ClientSession` (and server session) used
+to rebuild its numpy window-hash indexes and prefix sums from scratch,
+even when synchronizing the same bytes again — the common case for
+version-chained syncs and benchmark repetitions over a large replicated
+collection.  This cache keys the expensive arrays by *content*, so any
+session observing the same data under the same hash function reuses them:
+
+* prefix-sum buffers are keyed by ``(file_fingerprint, hash_table_id)``;
+* :class:`~repro.hashing.scan.HashIndex` arrays additionally carry the
+  window ``block_length``.
+
+``hash_table_id`` is the (seed, substitution-table) identity of the
+:class:`~repro.hashing.decomposable.DecomposableAdler` in use, so the
+retry-with-a-fresh-seed path can never alias entries.  Because keys are
+content fingerprints, a hit is always byte-identical to a rebuild — the
+cache changes wall-clock, never wire traffic.
+
+The cache is process-local: each worker of the parallel
+:class:`~repro.parallel.executor.SyncExecutor` owns one (seeded by fork
+from the parent's), and hit/miss counters are folded back into the
+parent's accounting alongside the transfer statistics.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.hashing.decomposable import DecomposableAdler
+from repro.hashing.scan import (
+    HashIndex,
+    PrefixSums,
+    prefix_sums,
+    window_hashes_from_sums,
+)
+from repro.hashing.strong import file_fingerprint
+
+#: Default number of cached entries (prefix-sum pairs + hash indexes).
+DEFAULT_MAX_ENTRIES = 256
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting, mirroring ``TransferStats``-style breakdowns."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never used)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def snapshot(self) -> dict[str, int]:
+        """Counter view for reports, in stable key order."""
+        return {
+            "evictions": self.evictions,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+class HashIndexCache:
+    """LRU cache of :class:`PrefixSums` buffers and :class:`HashIndex` arrays.
+
+    Thread-safe; entries are immutable-by-convention numpy arrays so they
+    can be shared freely between sessions.  A ``HashIndex`` miss first
+    consults the prefix-sum entry for the same data, so indexing a file at
+    several window lengths pays the byte-substitution cumsum only once.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Keying
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _table_id(hasher: DecomposableAdler) -> tuple:
+        # The table tuple itself participates in the key: exact identity,
+        # no digest collisions, and the same tuple object is shared by all
+        # entries for one hasher.
+        return (hasher.seed, hasher.table)
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def _get_or_build(self, key: tuple, build) -> object:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return entry
+            self.stats.misses += 1
+        # Build outside the lock: misses on distinct keys proceed in
+        # parallel, and a racing duplicate build is merely redundant work.
+        entry = build()
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+        return entry
+
+    def prefix_sums(
+        self,
+        data: bytes,
+        hasher: DecomposableAdler,
+        fingerprint: bytes | None = None,
+    ) -> PrefixSums:
+        """Shared prefix-sum pair for ``data``, building it on first use."""
+        if fingerprint is None:
+            fingerprint = file_fingerprint(data)
+        key = ("sums", fingerprint, self._table_id(hasher))
+        return self._get_or_build(key, lambda: prefix_sums(data, hasher))
+
+    def hash_index(
+        self,
+        data: bytes,
+        length: int,
+        hasher: DecomposableAdler,
+        fingerprint: bytes | None = None,
+    ) -> HashIndex:
+        """Shared :class:`HashIndex` of ``data`` at window ``length``."""
+        if fingerprint is None:
+            fingerprint = file_fingerprint(data)
+        key = ("index", fingerprint, length, self._table_id(hasher))
+
+        def build() -> HashIndex:
+            sums = self.prefix_sums(data, hasher, fingerprint)
+            full = window_hashes_from_sums(sums, length)
+            return HashIndex(data, length, hasher, full=full)
+
+        return self._get_or_build(key, build)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Drop all entries (counters are kept; see :meth:`reset_stats`)."""
+        with self._lock:
+            self._entries.clear()
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_default_cache = HashIndexCache()
+
+
+def default_cache() -> HashIndexCache:
+    """The process-wide cache shared by all sessions by default."""
+    return _default_cache
+
+
+def reset_default_cache(max_entries: int | None = None) -> HashIndexCache:
+    """Replace the process-wide cache (tests, memory-pressure tuning)."""
+    global _default_cache
+    _default_cache = HashIndexCache(
+        max_entries if max_entries is not None else DEFAULT_MAX_ENTRIES
+    )
+    return _default_cache

@@ -106,3 +106,59 @@ class TestEndpointMirroring:
                 assert ours.width == theirs.width
                 assert ours.block.start == theirs.block.start
                 assert ours.block.length == theirs.block.length
+
+
+class TestIndexShortCircuit:
+    def test_oversized_block_length_yields_empty_index(self):
+        client = ClientSession(b"tiny", CONFIG)
+        index = client._index(100)
+        assert index.position_count == 0
+        assert index.lookup(0, 8) == []
+        assert index.lookup_in_range(0, 8, 0, 100) == []
+
+    def test_oversized_index_never_scans_the_data(self, monkeypatch):
+        import repro.hashing.scan as scan_module
+
+        client = ClientSession(b"some client data", CONFIG)
+
+        def _boom(*args, **kwargs):
+            raise AssertionError("oversized index touched the data scan")
+
+        monkeypatch.setattr(scan_module, "prefix_sums", _boom)
+        monkeypatch.setattr(scan_module, "window_hashes_from_sums", _boom)
+        index = client._index(len(b"some client data") + 1)
+        assert index.position_count == 0
+
+    def test_oversized_index_is_memoised_not_cached_globally(self):
+        from repro.parallel import HashIndexCache
+
+        cache = HashIndexCache()
+        client = ClientSession(b"abc", ProtocolConfig(), cache=cache)
+        lookups_before = cache.stats.lookups
+        first = client._index(50)
+        second = client._index(50)
+        assert first is second
+        # Only the session-local memo was used: no cache slot burned.
+        assert cache.stats.lookups == lookups_before
+
+
+class TestSessionCacheReuse:
+    def test_second_session_on_same_data_hits_cache(self):
+        from repro.parallel import HashIndexCache
+
+        cache = HashIndexCache()
+        data = b"identical client bytes" * 100
+        ClientSession(data, CONFIG, cache=cache)
+        assert cache.stats.hits == 0
+        ClientSession(data, CONFIG, cache=cache)
+        assert cache.stats.hits == 1  # prefix sums reused
+
+    def test_different_seed_never_shares_entries(self):
+        from repro.parallel import HashIndexCache
+
+        cache = HashIndexCache()
+        data = b"identical client bytes" * 100
+        ClientSession(data, CONFIG, cache=cache)
+        ClientSession(data, CONFIG.with_overrides(hash_seed=99), cache=cache)
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 2

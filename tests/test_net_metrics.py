@@ -71,3 +71,48 @@ class TestTransferStats:
         stats = TransferStats()
         stats.record(Direction.CLIENT_TO_SERVER, "map", 42)
         assert "42" in str(stats)
+
+
+class TestMergeOrderTolerance:
+    """Out-of-order worker completion must not perturb merged accounting."""
+
+    @staticmethod
+    def _phase_stats(phase: str, direction: Direction, nbytes: int) -> TransferStats:
+        stats = TransferStats()
+        stats.record(direction, phase, nbytes)
+        return stats
+
+    def _parts(self) -> list[TransferStats]:
+        return [
+            self._phase_stats("delta", Direction.SERVER_TO_CLIENT, 30),
+            self._phase_stats("map", Direction.CLIENT_TO_SERVER, 10),
+            self._phase_stats("fingerprint", Direction.SERVER_TO_CLIENT, 16),
+            self._phase_stats("map", Direction.SERVER_TO_CLIENT, 25),
+        ]
+
+    def test_merge_order_independent(self):
+        forward = TransferStats()
+        for part in self._parts():
+            forward.merge(part)
+        backward = TransferStats()
+        for part in reversed(self._parts()):
+            backward.merge(part)
+        assert forward.breakdown() == backward.breakdown()
+        assert list(forward.bits_by.items()) == list(backward.bits_by.items())
+        assert str(forward) == str(backward)
+        assert forward.total_bytes == backward.total_bytes
+
+    def test_merge_canonicalises_iteration_order(self):
+        stats = TransferStats()
+        stats.record(Direction.SERVER_TO_CLIENT, "zeta", 1)
+        stats.merge(self._phase_stats("alpha", Direction.CLIENT_TO_SERVER, 1))
+        keys = [
+            (direction.value, phase) for direction, phase in stats.bits_by
+        ]
+        assert keys == sorted(keys)
+
+    def test_breakdown_stable_without_merge(self):
+        stats = TransferStats()
+        stats.record(Direction.SERVER_TO_CLIENT, "map", 10)
+        stats.record(Direction.CLIENT_TO_SERVER, "ack", 1)
+        assert list(stats.breakdown()) == ["c2s/ack", "s2c/map"]
