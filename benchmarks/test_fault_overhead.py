@@ -1,0 +1,70 @@
+"""Retransmission overhead vs. fault rate for the resilient supervisor.
+
+Not a paper experiment — this measures the resilience layer itself: how
+much extra wire traffic (failed-attempt retransmissions, fallback-ladder
+descents) a given channel fault rate costs, on top of the clean-run
+payload.  One row per fault rate; rows are published as a table and
+exported to ``benchmarks/results/fault_overhead.csv`` like the
+parallel-scaling benchmark's rows.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import RESULTS_DIR, publish
+from repro.bench import OursMethod, render_table, run_method_on_collection
+from repro.bench.export import export_runs
+from repro.net import FaultPlan
+from repro.workloads import make_web_collection
+
+FAULT_RATES = (0.0, 0.02, 0.05, 0.10)
+SEED = 42
+
+
+def test_fault_overhead_vs_rate():
+    collection = make_web_collection(page_count=30, days=(0, 1), seed=SEED)
+    old, new = collection.snapshot(0), collection.snapshot(1)
+
+    runs = []
+    rows = []
+    baseline_bytes = None
+    for rate in FAULT_RATES:
+        plan = FaultPlan.uniform(rate, seed=SEED) if rate else None
+        run = run_method_on_collection(
+            OursMethod(), old, new,
+            on_error="fallback", fault_plan=plan,
+        )
+        assert run.failed_files == 0
+        if baseline_bytes is None:
+            baseline_bytes = run.total_bytes
+            assert run.retries == 0
+            assert run.retransmitted_bytes == 0
+        wire_total = run.total_bytes + run.retransmitted_bytes
+        overhead = wire_total / baseline_bytes - 1.0
+        runs.append(run)
+        rows.append([
+            f"{rate:.2f}",
+            f"{run.total_bytes:,}",
+            f"{run.retransmitted_bytes:,}",
+            f"{overhead:+.1%}",
+            str(run.retries),
+            str(run.fallback_files),
+            f"{run.recovery_seconds:.1f}",
+        ])
+
+    publish(
+        "fault_overhead",
+        render_table(
+            ["fault rate", "payload B", "retransmit B", "overhead",
+             "retries", "fallbacks", "recovery s"],
+            rows,
+            title=(
+                f"retransmission overhead vs. channel fault rate — "
+                f"{len(new)} files, method=ours+supervisor, seed={SEED}"
+            ),
+        ),
+    )
+    export_runs(runs, RESULTS_DIR / "fault_overhead.csv")
+
+    # Sanity: injected faults actually cost something at the top rate.
+    assert runs[-1].retries > 0
+    assert runs[-1].retransmitted_bytes > 0

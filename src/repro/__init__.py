@@ -26,23 +26,43 @@ from repro.delta import (
     zdelta_decode,
     zdelta_encode,
 )
-from repro.exceptions import ReproError
-from repro.net import Direction, LinkModel, SimulatedChannel, TransferStats
+from repro.exceptions import (
+    ChannelEmptyError,
+    FrameCorruptionError,
+    ReproError,
+    SyncFailedError,
+)
+from repro.net import (
+    Direction,
+    FaultPlan,
+    FaultyChannel,
+    LinkModel,
+    SimulatedChannel,
+    TransferStats,
+)
 from repro.parallel import HashIndexCache, SyncExecutor, default_cache
+from repro.resilience import RetryPolicy, SyncSupervisor
 from repro.rsync import rsync_optimal, rsync_sync
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ChannelEmptyError",
     "CollectionReport",
     "Direction",
+    "FaultPlan",
+    "FaultyChannel",
+    "FrameCorruptionError",
     "HashIndexCache",
     "LinkModel",
     "ProtocolConfig",
     "ReproError",
+    "RetryPolicy",
     "SimulatedChannel",
     "SyncExecutor",
+    "SyncFailedError",
     "SyncResult",
+    "SyncSupervisor",
     "TransferStats",
     "__version__",
     "default_cache",

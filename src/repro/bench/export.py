@@ -34,6 +34,11 @@ def run_to_row(run: CollectionRun) -> dict[str, object]:
         "p95_file_seconds": round(run.p95_file_seconds, 6),
         "cache_hits": run.cache_hits,
         "cache_misses": run.cache_misses,
+        "retries": run.retries,
+        "fallback_files": run.fallback_files,
+        "failed_files": run.failed_files,
+        "retransmitted_bytes": run.retransmitted_bytes,
+        "recovery_seconds": round(run.recovery_seconds, 4),
     }
     for key, value in sorted(run.breakdown.items()):
         row[f"breakdown.{key}"] = value

@@ -29,6 +29,17 @@ __all__ = [
 ]
 
 
+def _wire_outcome(result, new: bytes) -> MethodOutcome:
+    """Flatten a protocol result (with ``.stats``) into a MethodOutcome."""
+    return MethodOutcome(
+        total_bytes=result.total_bytes,
+        client_to_server=result.stats.client_to_server_bytes,
+        server_to_client=result.stats.server_to_client_bytes,
+        breakdown=dict(result.stats.breakdown()),
+        correct=result.reconstructed == new,
+    )
+
+
 class OursMethod(SyncMethod):
     """The paper's multi-round protocol."""
 
@@ -37,14 +48,10 @@ class OursMethod(SyncMethod):
         self.name = name
 
     def sync_file(self, old: bytes, new: bytes) -> MethodOutcome:
-        result = synchronize(old, new, self.config)
-        return MethodOutcome(
-            total_bytes=result.total_bytes,
-            client_to_server=result.stats.client_to_server_bytes,
-            server_to_client=result.stats.server_to_client_bytes,
-            breakdown=dict(result.stats.breakdown()),
-            correct=result.reconstructed == new,
-        )
+        return self.sync_file_over(old, new, None)
+
+    def sync_file_over(self, old: bytes, new: bytes, channel) -> MethodOutcome:
+        return _wire_outcome(synchronize(old, new, self.config, channel), new)
 
 
 class RsyncMethod(SyncMethod):
@@ -55,14 +62,13 @@ class RsyncMethod(SyncMethod):
         self.name = f"rsync(b={block_size})" if block_size != DEFAULT_BLOCK_SIZE else "rsync"
 
     def sync_file(self, old: bytes, new: bytes) -> MethodOutcome:
-        result = rsync_sync(old, new, block_size=self.block_size)
-        return MethodOutcome(
-            total_bytes=result.total_bytes,
-            client_to_server=result.stats.client_to_server_bytes,
-            server_to_client=result.stats.server_to_client_bytes,
-            breakdown=dict(result.stats.breakdown()),
-            correct=result.reconstructed == new,
+        return self.sync_file_over(old, new, None)
+
+    def sync_file_over(self, old: bytes, new: bytes, channel) -> MethodOutcome:
+        result = rsync_sync(
+            old, new, block_size=self.block_size, channel=channel
         )
+        return _wire_outcome(result, new)
 
 
 class RsyncOptimalMethod(SyncMethod):
@@ -75,13 +81,7 @@ class RsyncOptimalMethod(SyncMethod):
 
     def sync_file(self, old: bytes, new: bytes) -> MethodOutcome:
         result = rsync_optimal(old, new, block_sizes=self.block_sizes)
-        return MethodOutcome(
-            total_bytes=result.total_bytes,
-            client_to_server=result.stats.client_to_server_bytes,
-            server_to_client=result.stats.server_to_client_bytes,
-            breakdown=dict(result.stats.breakdown()),
-            correct=result.reconstructed == new,
-        )
+        return _wire_outcome(result, new)
 
 
 class MultiroundRsyncMethod(SyncMethod):
@@ -95,16 +95,13 @@ class MultiroundRsyncMethod(SyncMethod):
         self.config = config or MultiroundConfig()
 
     def sync_file(self, old: bytes, new: bytes) -> MethodOutcome:
+        return self.sync_file_over(old, new, None)
+
+    def sync_file_over(self, old: bytes, new: bytes, channel) -> MethodOutcome:
         from repro.multiround import multiround_rsync_sync
 
-        result = multiround_rsync_sync(old, new, self.config)
-        return MethodOutcome(
-            total_bytes=result.total_bytes,
-            client_to_server=result.stats.client_to_server_bytes,
-            server_to_client=result.stats.server_to_client_bytes,
-            breakdown=dict(result.stats.breakdown()),
-            correct=result.reconstructed == new,
-        )
+        result = multiround_rsync_sync(old, new, self.config, channel=channel)
+        return _wire_outcome(result, new)
 
 
 class AdaptiveMethod(SyncMethod):
@@ -119,13 +116,7 @@ class AdaptiveMethod(SyncMethod):
         from repro.core import adaptive_synchronize
 
         result, _config = adaptive_synchronize(old, new, link=self.link)
-        return MethodOutcome(
-            total_bytes=result.total_bytes,
-            client_to_server=result.stats.client_to_server_bytes,
-            server_to_client=result.stats.server_to_client_bytes,
-            breakdown=dict(result.stats.breakdown()),
-            correct=result.reconstructed == new,
-        )
+        return _wire_outcome(result, new)
 
 
 class ZdeltaMethod(SyncMethod):
@@ -167,6 +158,21 @@ class FullTransferMethod(SyncMethod):
             total_bytes=size,
             server_to_client=size,
             breakdown={"s2c/full": size},
+        )
+
+    def sync_file_over(self, old: bytes, new: bytes, channel) -> MethodOutcome:
+        if channel is None:
+            return self.sync_file(old, new)
+        from repro.net.metrics import Direction
+
+        payload = zlib.compress(new, 9)
+        channel.send(Direction.SERVER_TO_CLIENT, payload, "full")
+        received = channel.receive(Direction.SERVER_TO_CLIENT)
+        return MethodOutcome(
+            total_bytes=len(payload),
+            server_to_client=len(payload),
+            breakdown={"s2c/full": len(payload)},
+            correct=zlib.decompress(received) == new,
         )
 
 

@@ -44,6 +44,11 @@ class CollectionRun:
     p95_file_seconds: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    retries: int = 0
+    fallback_files: int = 0
+    failed_files: int = 0
+    retransmitted_bytes: int = 0
+    recovery_seconds: float = 0.0
 
     @property
     def total_kb(self) -> float:
@@ -61,11 +66,23 @@ def run_method_on_collection(
     new_files: dict[str, bytes],
     verify: bool = True,
     workers: int | None = 1,
+    on_error: str = "raise",
+    fault_plan=None,
+    retry_policy=None,
+    link=None,
 ) -> CollectionRun:
     """Synchronise one collection pair and flatten the report to a row."""
     started = time.perf_counter()
     report: CollectionReport = sync_collection(
-        old_files, new_files, method, verify=verify, workers=workers
+        old_files,
+        new_files,
+        method,
+        verify=verify,
+        workers=workers,
+        on_error=on_error,
+        fault_plan=fault_plan,
+        retry_policy=retry_policy,
+        link=link,
     )
     elapsed = time.perf_counter() - started
 
@@ -89,4 +106,9 @@ def run_method_on_collection(
         p95_file_seconds=_percentile(file_seconds, 0.95),
         cache_hits=report.cache_hits,
         cache_misses=report.cache_misses,
+        retries=report.total_retries,
+        fallback_files=report.files_fallback,
+        failed_files=report.files_failed,
+        retransmitted_bytes=report.retransmitted_bytes,
+        recovery_seconds=merged.recovery_seconds,
     )

@@ -77,6 +77,23 @@ def _load_side(path: Path) -> dict[str, bytes]:
     raise ReproError(f"{path} is neither a file nor a directory")
 
 
+def _fault_plan_from_args(args: argparse.Namespace):
+    """Build a FaultPlan from --fault-rate/--fault-seed (None if clean)."""
+    if not args.fault_rate:
+        return None
+    from repro.net.faults import FaultPlan
+
+    return FaultPlan.uniform(args.fault_rate, seed=args.fault_seed)
+
+
+def _retry_policy_from_args(args: argparse.Namespace):
+    if args.retries is None:
+        return None
+    from repro.resilience import RetryPolicy
+
+    return RetryPolicy(max_attempts=args.retries)
+
+
 def _cmd_sync(args: argparse.Namespace) -> int:
     old_path, new_path = Path(args.old), Path(args.new)
     if old_path.is_file() and new_path.is_file():
@@ -87,14 +104,25 @@ def _cmd_sync(args: argparse.Namespace) -> int:
         old_side = _load_side(old_path)
         new_side = _load_side(new_path)
 
+    fault_plan = _fault_plan_from_args(args)
     if args.batched:
         if args.method != "ours":
             print("error: --batched requires --method ours", file=sys.stderr)
             return 2
+        if fault_plan is not None:
+            print("error: --batched does not support fault injection",
+                  file=sys.stderr)
+            return 2
         return _sync_batched(args, old_side, new_side)
     method: SyncMethod = _METHOD_FACTORIES[args.method](args)
     run = run_method_on_collection(
-        method, old_side, new_side, workers=args.workers or None
+        method,
+        old_side,
+        new_side,
+        workers=args.workers or None,
+        on_error=args.on_error,
+        fault_plan=fault_plan,
+        retry_policy=_retry_policy_from_args(args),
     )
 
     if args.json:
@@ -113,6 +141,11 @@ def _cmd_sync(args: argparse.Namespace) -> int:
                     "cpu_seconds": round(run.cpu_seconds, 4),
                     "cache_hits": run.cache_hits,
                     "cache_misses": run.cache_misses,
+                    "retries": run.retries,
+                    "fallback_files": run.fallback_files,
+                    "failed_files": run.failed_files,
+                    "retransmitted_bytes": run.retransmitted_bytes,
+                    "recovery_seconds": round(run.recovery_seconds, 4),
                 },
                 indent=2,
             )
@@ -130,6 +163,12 @@ def _cmd_sync(args: argparse.Namespace) -> int:
         print(f"workers         : {run.workers} "
               f"(cpu {run.cpu_seconds:.2f}s, cache "
               f"{run.cache_hits}/{run.cache_hits + run.cache_misses} hits)")
+        if fault_plan is not None or run.retries or run.failed_files:
+            print(f"resilience      : {run.retries} retries, "
+                  f"{run.fallback_files} fallbacks, "
+                  f"{run.failed_files} failed, "
+                  f"{run.retransmitted_bytes:,} B retransmitted "
+                  f"(~{run.recovery_seconds:.1f}s recovery)")
     return 0
 
 
@@ -303,6 +342,18 @@ def build_parser() -> argparse.ArgumentParser:
     sync.add_argument("--batched", action="store_true",
                       help="share roundtrips across all changed files "
                            "(only with --method ours)")
+    sync.add_argument("--fault-rate", type=float, default=0.0,
+                      help="inject channel faults (corruption/truncation/"
+                           "drops) at this per-message rate")
+    sync.add_argument("--fault-seed", type=int, default=0,
+                      help="seed for the deterministic fault plan")
+    sync.add_argument("--on-error", choices=("raise", "skip", "fallback"),
+                      default="fallback",
+                      help="per-file error isolation: abort, keep the old "
+                           "copy, or rescue with a full transfer")
+    sync.add_argument("--retries", type=int, default=None,
+                      help="retry attempts per ladder rung before "
+                           "degrading (default: supervisor default of 3)")
     sync.set_defaults(handler=_cmd_sync)
 
     trace = sub.add_parser(

@@ -19,6 +19,11 @@ class CollectionReport:
     deterministic and identical across serial and parallel execution; the
     compute-cost fields (``per_file_seconds``, ``cpu_seconds``, cache
     counters) describe where and how the work actually ran.
+
+    The resilience fields stay empty on a clean run: ``retries`` maps a
+    file to the failed attempts its sync burnt, ``fallbacks`` to the
+    ladder rung (or collection-level rescue) that finally moved it, and
+    ``failed`` to the error that stopped it (``on_error="skip"`` only).
     """
 
     method: str
@@ -32,6 +37,9 @@ class CollectionReport:
     cpu_seconds: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    retries: dict[str, int] = field(default_factory=dict)
+    fallbacks: dict[str, str] = field(default_factory=dict)
+    failed: dict[str, str] = field(default_factory=dict)
 
     @property
     def changed_transfer_bytes(self) -> int:
@@ -48,6 +56,24 @@ class CollectionReport:
     @property
     def files_unchanged(self) -> int:
         return len(self.diff.unchanged)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(self.retries.values())
+
+    @property
+    def files_fallback(self) -> int:
+        return len(self.fallbacks)
+
+    @property
+    def files_failed(self) -> int:
+        return len(self.failed)
+
+    @property
+    def retransmitted_bytes(self) -> int:
+        return sum(
+            outcome.retransmitted_bytes for outcome in self.per_file.values()
+        )
 
     def summary(self) -> dict[str, int]:
         return {
@@ -122,6 +148,10 @@ def sync_collection(
     change_detection: str = "manifest",
     workers: int | None = 1,
     executor: SyncExecutor | None = None,
+    on_error: str = "raise",
+    fault_plan=None,
+    retry_policy=None,
+    link=None,
 ) -> CollectionReport:
     """Update ``client_files`` to ``server_files`` using ``method``.
 
@@ -137,7 +167,34 @@ def sync_collection(
     out over a process pool; results are reassembled in manifest order so
     the report's byte accounting is identical to the serial run.
     ``workers=None`` uses one process per CPU.
+
+    Resilience: passing a ``fault_plan``
+    (:class:`~repro.net.faults.FaultPlan`) and/or a ``retry_policy``
+    (:class:`~repro.resilience.RetryPolicy`) wraps ``method`` in a
+    :class:`~repro.resilience.SyncSupervisor` that retries and degrades
+    down a fallback ladder per file.  ``on_error`` controls per-file
+    error isolation when a file still cannot be synchronised:
+
+    * ``"raise"`` (default) — propagate the error, aborting the update;
+    * ``"skip"`` — keep the client's copy, record the error in
+      ``report.failed``;
+    * ``"fallback"`` — rescue the file with a reliable compressed full
+      transfer, charged to its outcome and recorded in
+      ``report.fallbacks``; the update never raises.
     """
+    if on_error not in ("raise", "skip", "fallback"):
+        raise ValueError(
+            f"on_error must be 'raise', 'skip' or 'fallback', "
+            f"got {on_error!r}"
+        )
+    if fault_plan is not None or retry_policy is not None:
+        from repro.resilience import SyncSupervisor
+
+        if not isinstance(method, SyncSupervisor):
+            method = SyncSupervisor(
+                method, retry=retry_policy, fault_plan=fault_plan, link=link
+            )
+
     client_manifest = Manifest.of_collection(client_files)
     server_manifest = Manifest.of_collection(server_files)
     if change_detection == "manifest":
@@ -175,20 +232,56 @@ def sync_collection(
             FileTask(name, client_files[name], server_files[name])
             for name in diff.changed
         ],
+        capture_errors=(on_error != "raise"),
     )
     report.workers = batch.workers_used
     report.cache_hits = batch.cache_hits
     report.cache_misses = batch.cache_misses
     for result in batch.files:
-        report.per_file[result.name] = result.outcome
-        report.per_file_seconds[result.name] = result.elapsed_seconds
+        name = result.name
+        report.per_file_seconds[name] = result.elapsed_seconds
         report.cpu_seconds += result.cpu_seconds
-        report.reconstructed[result.name] = server_files[result.name]
+        failed = result.error is not None or not result.outcome.correct
+        if failed and on_error == "skip":
+            report.failed[name] = result.error or "IntegrityError: bad bytes"
+            report.per_file[name] = result.outcome
+            report.reconstructed[name] = client_files[name]
+            continue
+        if failed and on_error == "fallback":
+            # Out-of-band rescue: a reliable compressed full transfer.
+            # Everything the doomed attempts sent is charged as
+            # retransmission on top of the rescue payload.
+            payload_bytes = len(zlib.compress(server_files[name], 9))
+            report.per_file[name] = MethodOutcome(
+                total_bytes=payload_bytes,
+                server_to_client=payload_bytes,
+                breakdown={"s2c/rescue": payload_bytes},
+                retries=result.outcome.retries,
+                fallback_method="rescue-full",
+                retransmitted_bytes=(
+                    result.outcome.retransmitted_bytes
+                    + result.outcome.total_bytes
+                ),
+                recovery_seconds=result.outcome.recovery_seconds,
+            )
+            report.fallbacks[name] = "rescue-full"
+            if result.outcome.retries:
+                report.retries[name] = result.outcome.retries
+            report.reconstructed[name] = server_files[name]
+            continue
+        report.per_file[name] = result.outcome
+        report.reconstructed[name] = server_files[name]
+        if result.outcome.retries:
+            report.retries[name] = result.outcome.retries
+        if result.outcome.fallback_method:
+            report.fallbacks[name] = result.outcome.fallback_method
         if verify and not result.outcome.correct:
-            raise IntegrityError(f"method {method.name} failed on {result.name}")
+            raise IntegrityError(f"method {method.name} failed on {name}")
 
     if verify:
         for name, data in server_files.items():
+            if name in report.failed:
+                continue  # explicitly skipped; the client keeps its copy
             if report.reconstructed.get(name) != data:
                 raise IntegrityError(f"collection reconstruction differs at {name}")
     return report

@@ -20,6 +20,26 @@ class ChannelClosedError(ReproError):
     """An endpoint attempted to use a channel that has been closed."""
 
 
+class ChannelEmptyError(ChannelClosedError):
+    """A receive found no pending message in the requested direction.
+
+    Historically the channel raised :class:`ChannelClosedError` for this
+    case even when the channel was open; the subclass keeps existing
+    ``except ChannelClosedError`` handlers working while letting new code
+    distinguish "nothing arrived" (a dropped message, a protocol running
+    ahead of its peer) from "the link is gone".
+    """
+
+
+class FrameCorruptionError(ReproError):
+    """A framed message failed its length or CRC32 check.
+
+    Raised at the receiving end of a checksummed channel
+    (:mod:`repro.net.frame`) when bit-flips or truncation mangled a frame
+    in flight.  Recoverable: the supervisor retries the round.
+    """
+
+
 class DeltaFormatError(ReproError):
     """A delta stream could not be decoded."""
 
@@ -39,3 +59,17 @@ class ConfigError(ReproError):
 
 class WorkloadError(ReproError):
     """A synthetic workload could not be generated as requested."""
+
+
+class SyncFailedError(ReproError):
+    """Every rung of the resilience ladder failed for one file.
+
+    Carries the retry/fallback history so callers (and per-file error
+    isolation in the collection layer) can report what was attempted.
+    """
+
+    def __init__(self, message: str, attempts: int = 0,
+                 history: tuple[str, ...] = ()) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.history = history

@@ -6,9 +6,27 @@ delta).  :class:`~repro.net.channel.SimulatedChannel` performs exact
 accounting of framed messages, counts roundtrips, and can estimate
 wall-clock transfer time for a configured latency/bandwidth — the honest
 stand-in for the authors' slow-network testbed.
+
+For links that are slow *and* flaky, :class:`~repro.net.faults.FaultyChannel`
+layers CRC32 framing (:mod:`repro.net.frame`) and a seeded
+:class:`~repro.net.faults.FaultPlan` of corruption, truncation, drops and
+disconnects on top of the same accounting.
 """
 
 from repro.net.channel import Direction, LinkModel, SimulatedChannel
+from repro.net.faults import FaultKind, FaultPlan, FaultyChannel
+from repro.net.frame import FRAME_OVERHEAD, decode_frame, encode_frame
 from repro.net.metrics import TransferStats
 
-__all__ = ["Direction", "LinkModel", "SimulatedChannel", "TransferStats"]
+__all__ = [
+    "Direction",
+    "FRAME_OVERHEAD",
+    "FaultKind",
+    "FaultPlan",
+    "FaultyChannel",
+    "LinkModel",
+    "SimulatedChannel",
+    "TransferStats",
+    "decode_frame",
+    "encode_frame",
+]

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.exceptions import ChannelClosedError
+from repro.exceptions import ChannelClosedError, ChannelEmptyError
 from repro.net.metrics import Direction, TransferStats
 
 
@@ -32,14 +32,29 @@ class LinkModel:
     latency_s: float = 0.05
     uplink_bps: float | None = None
 
+    def __post_init__(self) -> None:
+        # Fail at construction, not lazily inside transfer_time*: a link
+        # built from bad config should be rejected before any protocol
+        # charges wall-clock estimates against it.
+        if self.bandwidth_bps <= 0:
+            raise ValueError(
+                f"bandwidth_bps must be positive, got {self.bandwidth_bps}"
+            )
+        if self.uplink_bps is not None and self.uplink_bps <= 0:
+            raise ValueError(
+                f"uplink_bps must be positive, got {self.uplink_bps}"
+            )
+        if self.latency_s < 0:
+            raise ValueError(
+                f"latency_s must be non-negative, got {self.latency_s}"
+            )
+
     @property
     def effective_uplink_bps(self) -> float:
         return self.uplink_bps if self.uplink_bps is not None else self.bandwidth_bps
 
     def transfer_time(self, total_bytes: int, roundtrips: int) -> float:
         """Estimated wall-clock seconds to move ``total_bytes`` downlink."""
-        if self.bandwidth_bps <= 0:
-            raise ValueError("bandwidth must be positive")
         serialization = 8.0 * total_bytes / self.bandwidth_bps
         propagation = 2.0 * self.latency_s * roundtrips
         return serialization + propagation
@@ -51,8 +66,6 @@ class LinkModel:
         roundtrips: int,
     ) -> float:
         """Wall-clock estimate with per-direction bandwidths."""
-        if self.bandwidth_bps <= 0 or self.effective_uplink_bps <= 0:
-            raise ValueError("bandwidths must be positive")
         up = 8.0 * client_to_server_bytes / self.effective_uplink_bps
         down = 8.0 * server_to_client_bytes / self.bandwidth_bps
         propagation = 2.0 * self.latency_s * roundtrips
@@ -124,7 +137,7 @@ class SimulatedChannel:
             raise ChannelClosedError("receive on a closed channel")
         queue = self._queues[direction]
         if not queue:
-            raise ChannelClosedError(f"no pending message in {direction.value}")
+            raise ChannelEmptyError(f"no pending message in {direction.value}")
         return queue.pop(0)
 
     def pending(self, direction: Direction) -> int:

@@ -1,0 +1,195 @@
+"""Deterministic fault injection for the simulated channel.
+
+The paper's protocols assume a lossless ordered transport; a production
+replica-maintenance system over flaky links cannot.  This module makes
+the failure modes of such links *reproducible*:
+
+* :class:`FaultPlan` — a seeded schedule deciding, per transmitted
+  message, whether to corrupt it (bit-flip), truncate it, drop it, or
+  tear the connection down, optionally restricted to specific protocol
+  phases (``"map"``, ``"delta"``, ...).
+* :class:`FaultyChannel` — a :class:`~repro.net.channel.SimulatedChannel`
+  that frames every payload with a length + CRC32 header
+  (:mod:`repro.net.frame`) and executes the plan.  Corruption and
+  truncation surface as :class:`~repro.exceptions.FrameCorruptionError`
+  at the receiver; a dropped message leaves the receiver staring at an
+  empty queue (:class:`~repro.exceptions.ChannelEmptyError`); a
+  disconnect closes the channel mid-send
+  (:class:`~repro.exceptions.ChannelClosedError`).
+
+Every decision comes from one seeded RNG consumed in send order, so a
+given plan replays the exact same fault sequence — including across the
+retry attempts of a supervisor sharing the plan, which therefore see
+*fresh* randomness rather than deterministically re-hitting the same
+fault forever.
+
+Byte accounting: a mangled or dropped message still crossed (part of)
+the wire, so its payload bits are recorded exactly as on a clean
+channel.  What recovery *additionally* costs is charged separately — see
+:meth:`repro.net.metrics.TransferStats.record_retransmission`.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.exceptions import ChannelClosedError
+from repro.net.channel import LinkModel, SimulatedChannel
+from repro.net.frame import decode_frame, encode_frame
+from repro.net.metrics import Direction
+
+
+class FaultKind(Enum):
+    """What happens to one transmitted message."""
+
+    CORRUPT = "corrupt"
+    TRUNCATE = "truncate"
+    DROP = "drop"
+    DISCONNECT = "disconnect"
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, deterministic schedule of channel faults.
+
+    Rates are per-message probabilities, drawn once per send in transmit
+    order; their sum must not exceed 1.  ``phases`` (``None`` = all)
+    restricts probabilistic faults to the named protocol phases, which is
+    how tests target "corruption in the map phase" or "a drop in the
+    delta phase".  ``disconnect_after_sends`` fires exactly once, on the
+    Nth send overall — modelling a mid-protocol link loss — and is
+    disarmed afterwards so retries can complete.  ``max_faults`` caps the
+    number of probabilistic faults injected in total.
+    """
+
+    seed: int = 0
+    corrupt_rate: float = 0.0
+    truncate_rate: float = 0.0
+    drop_rate: float = 0.0
+    disconnect_after_sends: int | None = None
+    phases: frozenset[str] | None = None
+    max_faults: int | None = None
+
+    sends_seen: int = field(default=0, init=False, repr=False)
+    injected: Counter = field(default_factory=Counter, init=False, repr=False)
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        for label in ("corrupt_rate", "truncate_rate", "drop_rate"):
+            rate = getattr(self, label)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{label} must be in [0, 1], got {rate}")
+        if self.corrupt_rate + self.truncate_rate + self.drop_rate > 1.0:
+            raise ValueError("fault rates must sum to at most 1")
+        if (self.disconnect_after_sends is not None
+                and self.disconnect_after_sends < 1):
+            raise ValueError("disconnect_after_sends must be >= 1")
+        if self.phases is not None:
+            self.phases = frozenset(self.phases)
+        self._rng = random.Random(self.seed)
+
+    @classmethod
+    def uniform(cls, rate: float, seed: int = 0, **overrides) -> "FaultPlan":
+        """An all-phase mix at a single headline rate.
+
+        Splits ``rate`` as half corruption, a quarter truncation and a
+        quarter drops — the blend the CLI's ``--fault-rate`` uses.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        return cls(
+            seed=seed,
+            corrupt_rate=rate / 2,
+            truncate_rate=rate / 4,
+            drop_rate=rate / 4,
+            **overrides,
+        )
+
+    @property
+    def faults_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def next_fault(self, phase: str) -> FaultKind | None:
+        """Decide the fate of the next message sent under this plan."""
+        self.sends_seen += 1
+        if self.sends_seen == self.disconnect_after_sends:
+            self.injected[FaultKind.DISCONNECT] += 1
+            return FaultKind.DISCONNECT
+        if self.phases is not None and phase not in self.phases:
+            return None
+        if (self.max_faults is not None
+                and self.faults_injected >= self.max_faults):
+            return None
+        draw = self._rng.random()
+        if draw < self.corrupt_rate:
+            kind = FaultKind.CORRUPT
+        elif draw < self.corrupt_rate + self.truncate_rate:
+            kind = FaultKind.TRUNCATE
+        elif draw < self.corrupt_rate + self.truncate_rate + self.drop_rate:
+            kind = FaultKind.DROP
+        else:
+            return None
+        self.injected[kind] += 1
+        return kind
+
+    def mangle(self, frame: bytes, kind: FaultKind) -> bytes:
+        """Apply ``kind`` to one encoded frame."""
+        if kind is FaultKind.CORRUPT:
+            corrupted = bytearray(frame)
+            bit = self._rng.randrange(8 * len(corrupted))
+            corrupted[bit // 8] ^= 1 << (bit % 8)
+            return bytes(corrupted)
+        if kind is FaultKind.TRUNCATE:
+            return frame[: self._rng.randrange(len(frame))]
+        raise ValueError(f"{kind} does not mangle payloads")
+
+    def channel(self, link: LinkModel | None = None) -> "FaultyChannel":
+        """A fresh channel driven by (and advancing) this plan."""
+        return FaultyChannel(self, link)
+
+
+class FaultyChannel(SimulatedChannel):
+    """A simulated channel whose messages suffer a :class:`FaultPlan`.
+
+    Payloads are CRC32-framed on send and verified on receive, so
+    injected corruption is detected rather than silently delivered.
+    Framing overhead is not charged to the stats — accounting stays
+    byte-identical to a clean :class:`SimulatedChannel` carrying the
+    same traffic, which keeps faulty benchmark rows comparable.
+    """
+
+    def __init__(self, plan: FaultPlan, link: LinkModel | None = None) -> None:
+        super().__init__(link)
+        self.plan = plan
+
+    def send(
+        self,
+        direction: Direction,
+        payload: bytes,
+        phase: str,
+        bits: int | None = None,
+    ) -> None:
+        if self._closed:
+            raise ChannelClosedError("send on a closed channel")
+        fault = self.plan.next_fault(phase)
+        if fault is FaultKind.DISCONNECT:
+            self.close()
+            raise ChannelClosedError(
+                f"link dropped during {phase!r} send "
+                f"#{self.plan.sends_seen} (injected disconnect)"
+            )
+        # Base-class send performs the exact accounting (bits, roundtrips)
+        # and enqueues the raw payload; swap it for the (possibly mangled)
+        # frame so the receiver can check integrity.
+        super().send(direction, payload, phase, bits)
+        frame = encode_frame(self._queues[direction].pop())
+        if fault in (FaultKind.CORRUPT, FaultKind.TRUNCATE):
+            frame = self.plan.mangle(frame, fault)
+        if fault is not FaultKind.DROP:
+            self._queues[direction].append(frame)
+
+    def receive(self, direction: Direction) -> bytes:
+        return decode_frame(super().receive(direction))

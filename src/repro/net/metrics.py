@@ -41,10 +41,19 @@ class TransferStats:
     bits_by: Counter = field(default_factory=Counter)
     messages: int = 0
     roundtrips: int = 0
+    #: Wire bits burnt by failed protocol attempts that had to be redone.
+    #: Kept *separate* from ``bits_by`` so ``total_bytes`` still reports
+    #: the useful payload (comparable across methods) while benchmarks can
+    #: surface the true cost of recovery on a faulty link.
+    retransmitted_bits: int = 0
 
     @property
     def total_bytes(self) -> int:
         return sum(_bits_to_bytes(bits) for bits in self.bits_by.values())
+
+    @property
+    def retransmitted_bytes(self) -> int:
+        return _bits_to_bytes(self.retransmitted_bits)
 
     def bytes_in_direction(self, direction: Direction) -> int:
         return sum(
@@ -85,6 +94,18 @@ class TransferStats:
         self.bits_by[(direction, phase)] += nbits
         self.messages += 1
 
+    def record_retransmission(self, wasted: "TransferStats") -> None:
+        """Fold a failed attempt's traffic into the retransmission bucket.
+
+        The wasted attempt's bytes crossed the wire but bought nothing;
+        they are charged to ``retransmitted_bits`` (including anything the
+        failed attempt itself already wrote there) rather than to the
+        per-phase payload accounting.
+        """
+        self.retransmitted_bits += (
+            sum(wasted.bits_by.values()) + wasted.retransmitted_bits
+        )
+
     def merge(self, other: "TransferStats") -> None:
         """Fold another run's accounting into this one (collection sync).
 
@@ -98,6 +119,7 @@ class TransferStats:
         self._canonicalise()
         self.messages += other.messages
         self.roundtrips = max(self.roundtrips, other.roundtrips)
+        self.retransmitted_bits += other.retransmitted_bits
 
     def _canonicalise(self) -> None:
         """Rebuild ``bits_by`` in (direction, phase) sorted insertion order."""

@@ -17,6 +17,13 @@ split the manifest, so the collection phase parallelises embarrassingly.
 * **Serial fallback** — ``workers=1``, a single task, an unpicklable
   method, or a pool that cannot be created (restricted environments) all
   degrade to the plain in-process loop with identical results.
+* **Crash isolation** — a chunk whose worker dies (or whose future
+  raises) is retried serially in the parent process instead of aborting
+  the whole run; ``BatchResult.chunk_retries`` counts how often.
+* **Error capture** — with ``capture_errors=True`` a per-file
+  :class:`~repro.exceptions.ReproError` becomes a ``FileResult`` with
+  ``error`` set rather than an exception, so one poisoned file cannot
+  take down a collection update (per-file error isolation).
 
 Workers report per-file wall-clock and CPU time plus their hash-index
 cache hit/miss deltas, so speedups show up in benchmark rows rather than
@@ -31,6 +38,7 @@ import pickle
 import time
 from dataclasses import dataclass, field
 
+from repro.exceptions import ReproError
 from repro.syncmethod import MethodOutcome, SyncMethod
 
 
@@ -45,12 +53,18 @@ class FileTask:
 
 @dataclass
 class FileResult:
-    """Outcome plus compute cost of one per-file synchronization."""
+    """Outcome plus compute cost of one per-file synchronization.
+
+    ``error`` is ``None`` on success; under ``capture_errors`` it holds
+    ``"ExceptionType: message"`` for a file whose sync failed, and the
+    outcome is an empty placeholder with ``correct=False``.
+    """
 
     name: str
     outcome: MethodOutcome
     elapsed_seconds: float
     cpu_seconds: float
+    error: str | None = None
 
 
 @dataclass
@@ -61,6 +75,7 @@ class BatchResult:
     workers_used: int = 1
     cache_hits: int = 0
     cache_misses: int = 0
+    chunk_retries: int = 0
 
     @property
     def cpu_seconds(self) -> float:
@@ -68,20 +83,31 @@ class BatchResult:
 
 
 def _sync_one(
-    method: SyncMethod, task: FileTask
-) -> tuple[MethodOutcome, float, float]:
+    method: SyncMethod, task: FileTask, capture_errors: bool
+) -> FileResult:
     started = time.perf_counter()
     cpu_started = time.process_time()
-    outcome = method.sync_file(task.old, task.new)
-    return (
+    try:
+        outcome = method.sync_file(task.old, task.new)
+        error = None
+    except ReproError as exc:
+        if not capture_errors:
+            raise
+        outcome = MethodOutcome(total_bytes=0, correct=False)
+        error = f"{type(exc).__name__}: {exc}"
+    return FileResult(
+        task.name,
         outcome,
         time.perf_counter() - started,
         time.process_time() - cpu_started,
+        error=error,
     )
 
 
 def _run_chunk(
-    method: SyncMethod, chunk: list[tuple[int, FileTask]]
+    method: SyncMethod,
+    chunk: list[tuple[int, FileTask]],
+    capture_errors: bool = False,
 ) -> tuple[list[tuple[int, FileResult]], int, int]:
     """Worker entry point: run one chunk, report cache counter deltas."""
     from repro.parallel.cache import default_cache
@@ -90,8 +116,7 @@ def _run_chunk(
     hits_before, misses_before = stats.hits, stats.misses
     rows: list[tuple[int, FileResult]] = []
     for index, task in chunk:
-        outcome, elapsed, cpu = _sync_one(method, task)
-        rows.append((index, FileResult(task.name, outcome, elapsed, cpu)))
+        rows.append((index, _sync_one(method, task, capture_errors)))
     return rows, stats.hits - hits_before, stats.misses - misses_before
 
 
@@ -128,33 +153,52 @@ class SyncExecutor:
         self.chunk_size = chunk_size
 
     # ------------------------------------------------------------------
-    def run(self, method: SyncMethod, tasks: list[FileTask]) -> BatchResult:
-        """Synchronise every task; results come back in input order."""
+    def run(
+        self,
+        method: SyncMethod,
+        tasks: list[FileTask],
+        capture_errors: bool = False,
+    ) -> BatchResult:
+        """Synchronise every task; results come back in input order.
+
+        With ``capture_errors`` a per-file :class:`ReproError` is
+        reported in ``FileResult.error`` instead of raised, isolating
+        failures to the file that caused them.
+        """
         tasks = list(tasks)
         if self.workers == 1 or len(tasks) <= 1 or not _is_picklable(method):
-            return self._run_serial(method, tasks)
+            return self._run_serial(method, tasks, capture_errors)
         try:
-            return self._run_parallel(method, tasks)
+            return self._run_parallel(method, tasks, capture_errors)
         except Exception:
-            # Pool unavailable (sandboxed semaphores, fork limits) or died
-            # mid-run: the serial path recomputes deterministically.
-            return self._run_serial(method, tasks)
+            # Pool unavailable (sandboxed semaphores, fork limits):
+            # the serial path recomputes deterministically.
+            return self._run_serial(method, tasks, capture_errors)
 
     # ------------------------------------------------------------------
-    def _run_serial(self, method: SyncMethod, tasks: list[FileTask]) -> BatchResult:
+    def _run_serial(
+        self,
+        method: SyncMethod,
+        tasks: list[FileTask],
+        capture_errors: bool = False,
+    ) -> BatchResult:
         from repro.parallel.cache import default_cache
 
         stats = default_cache().stats
         hits_before, misses_before = stats.hits, stats.misses
         result = BatchResult(workers_used=1)
         for task in tasks:
-            outcome, elapsed, cpu = _sync_one(method, task)
-            result.files.append(FileResult(task.name, outcome, elapsed, cpu))
+            result.files.append(_sync_one(method, task, capture_errors))
         result.cache_hits = stats.hits - hits_before
         result.cache_misses = stats.misses - misses_before
         return result
 
-    def _run_parallel(self, method: SyncMethod, tasks: list[FileTask]) -> BatchResult:
+    def _run_parallel(
+        self,
+        method: SyncMethod,
+        tasks: list[FileTask],
+        capture_errors: bool = False,
+    ) -> BatchResult:
         from concurrent.futures import ProcessPoolExecutor
 
         indexed = list(enumerate(tasks))
@@ -167,15 +211,28 @@ class SyncExecutor:
         ]
         workers_used = min(self.workers, len(chunks))
         gathered = []
+        failed_chunks: list[list[tuple[int, FileTask]]] = []
         with ProcessPoolExecutor(max_workers=workers_used) as pool:
             futures = [
-                pool.submit(_run_chunk, method, chunk) for chunk in chunks
+                pool.submit(_run_chunk, method, chunk, capture_errors)
+                for chunk in chunks
             ]
-            for future in futures:
-                gathered.append(future.result())
+            for future, chunk in zip(futures, chunks):
+                try:
+                    gathered.append(future.result())
+                except Exception:
+                    # A crashed worker (or broken pool) loses its chunk —
+                    # and, once the pool is broken, every chunk after it.
+                    # Those files are retried serially below instead of
+                    # aborting the whole run.
+                    failed_chunks.append(chunk)
+
+        result = BatchResult(workers_used=workers_used)
+        for chunk in failed_chunks:
+            gathered.append(_run_chunk(method, chunk, capture_errors))
+            result.chunk_retries += 1
 
         rows: list[tuple[int, FileResult]] = []
-        result = BatchResult(workers_used=workers_used)
         for chunk_rows, hits, misses in gathered:
             rows.extend(chunk_rows)
             result.cache_hits += hits

@@ -1,0 +1,31 @@
+"""Resilient synchronization over faulty links.
+
+The protocols in :mod:`repro.core`, :mod:`repro.multiround` and
+:mod:`repro.rsync` assume a lossless ordered channel; this package makes
+a whole collection update survive the channel breaking that promise:
+
+* :class:`~repro.resilience.retry.RetryPolicy` — bounded attempts with
+  exponential backoff, charged to :class:`~repro.net.LinkModel`
+  wall-clock estimates (the simulation never sleeps).
+* :class:`~repro.resilience.supervisor.SyncSupervisor` — wraps any
+  :class:`~repro.syncmethod.SyncMethod`; on a recoverable failure it
+  retries the attempt, then degrades down a fallback ladder
+  (multiround → rsync → full transfer), recording which rung finally
+  succeeded plus the retry and retransmission cost.
+
+See DESIGN.md §9 ("Failure model & recovery").
+"""
+
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.supervisor import (
+    RECOVERABLE_ERRORS,
+    SyncSupervisor,
+    default_ladder,
+)
+
+__all__ = [
+    "RECOVERABLE_ERRORS",
+    "RetryPolicy",
+    "SyncSupervisor",
+    "default_ladder",
+]

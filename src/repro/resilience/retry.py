@@ -1,0 +1,61 @@
+"""Bounded retry with exponential backoff, in simulated time.
+
+Nothing here sleeps: the simulation charges backoff to the same
+wall-clock estimate that :class:`~repro.net.LinkModel` produces for
+transfers, so benchmark rows can report how long recovery *would* take
+on a given link without the test suite actually waiting for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often and how patiently one ladder rung is retried.
+
+    ``max_attempts`` bounds tries per rung (1 = no retry, fail straight
+    to the next rung); after failed attempt *k* (1-based) the protocol
+    backs off ``base_backoff_s * multiplier**(k-1)`` seconds, capped at
+    ``max_backoff_s``.
+    """
+
+    max_attempts: int = 3
+    base_backoff_s: float = 0.5
+    multiplier: float = 2.0
+    max_backoff_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_backoff_s < 0:
+            raise ValueError(
+                f"base_backoff_s must be non-negative, got "
+                f"{self.base_backoff_s}"
+            )
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if self.max_backoff_s < self.base_backoff_s:
+            raise ValueError("max_backoff_s must be >= base_backoff_s")
+
+    def backoff_seconds(self, failed_attempts: int) -> float:
+        """Backoff charged after the ``failed_attempts``-th failure."""
+        if failed_attempts < 1:
+            raise ValueError(
+                f"failed_attempts must be >= 1, got {failed_attempts}"
+            )
+        return min(
+            self.base_backoff_s * self.multiplier ** (failed_attempts - 1),
+            self.max_backoff_s,
+        )
+
+    def total_backoff_seconds(self, failed_attempts: int) -> float:
+        """Cumulative backoff across ``failed_attempts`` failures."""
+        return sum(
+            self.backoff_seconds(k) for k in range(1, failed_attempts + 1)
+        )

@@ -1,0 +1,149 @@
+"""A supervisor that drives any sync method to completion on faulty links.
+
+One file, one :class:`SyncSupervisor.sync_file` call.  The supervisor
+runs the primary method over a fresh channel; when the attempt dies of a
+recoverable error — a corrupted or truncated frame, a dropped message, a
+mid-protocol disconnect, a failed integrity check — it retries under the
+:class:`~repro.resilience.retry.RetryPolicy`, then walks down a fallback
+ladder of progressively coarser (and progressively harder to kill)
+methods: multiround rsync → plain rsync → compressed full transfer.
+Multi-round reconciliation only pays off if a failed round degrades
+gracefully instead of restarting the world; the ladder is that
+degradation made explicit, and the returned
+:class:`~repro.syncmethod.MethodOutcome` records which rung succeeded,
+how many attempts were burnt, and what the recovery cost on the wire and
+in (estimated) wall-clock.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import (
+    ChannelClosedError,
+    DeltaFormatError,
+    FrameCorruptionError,
+    IntegrityError,
+    ProtocolError,
+    SyncFailedError,
+)
+from repro.net.channel import LinkModel, SimulatedChannel
+from repro.net.faults import FaultPlan
+from repro.resilience.retry import RetryPolicy
+from repro.syncmethod import MethodOutcome, SyncMethod
+
+#: Errors a retry can plausibly cure.  Everything else (ConfigError,
+#: programming errors) propagates immediately.
+RECOVERABLE_ERRORS = (
+    FrameCorruptionError,
+    ProtocolError,
+    ChannelClosedError,  # includes ChannelEmptyError (dropped messages)
+    IntegrityError,
+    DeltaFormatError,
+)
+
+
+def default_ladder(primary: SyncMethod) -> list[SyncMethod]:
+    """The degradation ladder below ``primary``: multiround → rsync → full.
+
+    Rungs sharing the primary's name are dropped, so e.g. supervising
+    plain rsync degrades straight to the full transfer.
+    """
+    from repro.bench.methods import (
+        FullTransferMethod,
+        MultiroundRsyncMethod,
+        RsyncMethod,
+    )
+
+    ladder: list[SyncMethod] = [
+        MultiroundRsyncMethod(),
+        RsyncMethod(),
+        FullTransferMethod(),
+    ]
+    return [rung for rung in ladder if rung.name != primary.name]
+
+
+class SyncSupervisor(SyncMethod):
+    """Wrap a :class:`SyncMethod` with retry, backoff and fallback.
+
+    Parameters
+    ----------
+    method:
+        The primary per-file method.
+    retry:
+        Attempt budget and backoff schedule *per ladder rung*.
+    ladder:
+        Fallback methods tried in order once the primary's attempts are
+        exhausted; defaults to :func:`default_ladder`.
+    fault_plan:
+        Optional :class:`~repro.net.faults.FaultPlan`; when given, every
+        attempt runs over a fresh fault-injected channel advancing the
+        shared plan (so retries see fresh randomness, not the same fault
+        replayed).  Without a plan, attempts run over clean channels and
+        the supervisor is pure pass-through on the happy path.
+    link:
+        Link model used for the channels and for pricing recovery time.
+    """
+
+    def __init__(
+        self,
+        method: SyncMethod,
+        retry: RetryPolicy | None = None,
+        ladder: list[SyncMethod] | None = None,
+        fault_plan: FaultPlan | None = None,
+        link: LinkModel | None = None,
+    ) -> None:
+        self.method = method
+        self.retry = retry or RetryPolicy()
+        self.ladder = default_ladder(method) if ladder is None else ladder
+        self.fault_plan = fault_plan
+        self.link = link
+        self.name = f"supervised({method.name})"
+
+    # ------------------------------------------------------------------
+    def _make_channel(self) -> SimulatedChannel:
+        if self.fault_plan is not None:
+            return self.fault_plan.channel(self.link)
+        return SimulatedChannel(self.link)
+
+    def sync_file(self, old: bytes, new: bytes) -> MethodOutcome:
+        """Synchronise one file pair, surviving recoverable failures."""
+        retries = 0
+        retransmitted_bytes = 0
+        recovery_seconds = 0.0
+        history: list[str] = []
+
+        for rung in [self.method, *self.ladder]:
+            for _attempt in range(self.retry.max_attempts):
+                channel = self._make_channel()
+                try:
+                    outcome = rung.sync_file_over(old, new, channel)
+                    if not outcome.correct:
+                        raise IntegrityError(
+                            f"{rung.name} reconstructed the wrong bytes"
+                        )
+                except RECOVERABLE_ERRORS as error:
+                    retries += 1
+                    history.append(f"{rung.name}: {type(error).__name__}")
+                    # The failed attempt's bytes crossed the wire for
+                    # nothing; charge them (and the backoff) to recovery.
+                    retransmitted_bytes += (
+                        channel.stats.total_bytes
+                        + channel.stats.retransmitted_bytes
+                    )
+                    recovery_seconds += (
+                        self.retry.backoff_seconds(retries)
+                        + channel.estimated_transfer_time()
+                    )
+                    continue
+                outcome.retries += retries
+                outcome.retransmitted_bytes += retransmitted_bytes
+                outcome.recovery_seconds += recovery_seconds
+                if rung is not self.method:
+                    outcome.fallback_method = rung.name
+                return outcome
+
+        raise SyncFailedError(
+            f"all ladder rungs failed after {retries} attempts "
+            f"({' -> '.join(history)})",
+            attempts=retries,
+            history=tuple(history),
+        )

@@ -13,13 +13,26 @@ from dataclasses import dataclass, field
 
 @dataclass
 class MethodOutcome:
-    """Bandwidth accounting for one file synchronised by one method."""
+    """Bandwidth accounting for one file synchronised by one method.
+
+    The resilience fields default to "nothing went wrong" so outcomes
+    from a clean run are unchanged: ``retries`` counts failed attempts
+    that preceded this result, ``fallback_method`` names the ladder rung
+    that finally succeeded (``None`` = the primary method),
+    ``retransmitted_bytes`` is the wire cost of the failed attempts and
+    ``recovery_seconds`` the estimated wall-clock they burnt (backoff
+    plus wasted transfer time on the configured link).
+    """
 
     total_bytes: int
     client_to_server: int = 0
     server_to_client: int = 0
     breakdown: dict[str, int] = field(default_factory=dict)
     correct: bool = True
+    retries: int = 0
+    fallback_method: str | None = None
+    retransmitted_bytes: int = 0
+    recovery_seconds: float = 0.0
 
     def __add__(self, other: "MethodOutcome") -> "MethodOutcome":
         merged = dict(self.breakdown)
@@ -31,6 +44,12 @@ class MethodOutcome:
             server_to_client=self.server_to_client + other.server_to_client,
             breakdown=merged,
             correct=self.correct and other.correct,
+            retries=self.retries + other.retries,
+            fallback_method=self.fallback_method or other.fallback_method,
+            retransmitted_bytes=(
+                self.retransmitted_bytes + other.retransmitted_bytes
+            ),
+            recovery_seconds=self.recovery_seconds + other.recovery_seconds,
         )
 
 
@@ -42,3 +61,14 @@ class SyncMethod(ABC):
     @abstractmethod
     def sync_file(self, old: bytes, new: bytes) -> MethodOutcome:
         """Synchronise one file pair; return the transfer accounting."""
+
+    def sync_file_over(self, old: bytes, new: bytes, channel) -> MethodOutcome:
+        """Synchronise one file pair over a caller-supplied channel.
+
+        Wire methods override this to route their traffic through
+        ``channel`` (a :class:`~repro.net.channel.SimulatedChannel`,
+        possibly fault-injected) so a supervisor can observe and retry
+        failures.  The default ignores the channel — correct for local
+        methods (delta coders) that never touch the wire.
+        """
+        return self.sync_file(old, new)

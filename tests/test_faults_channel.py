@@ -1,0 +1,199 @@
+"""FaultyChannel and FaultPlan: deterministic, targeted, honestly accounted.
+
+Also covers the two channel-layer satellites: ``ChannelEmptyError`` for
+receives on an *open* but empty channel, and ``LinkModel`` validation at
+construction time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    ChannelClosedError,
+    ChannelEmptyError,
+    FrameCorruptionError,
+)
+from repro.net import (
+    Direction,
+    FaultKind,
+    FaultPlan,
+    FaultyChannel,
+    LinkModel,
+    SimulatedChannel,
+)
+
+
+class TestChannelEmptyError:
+    def test_empty_open_channel_raises_empty_error(self):
+        channel = SimulatedChannel()
+        with pytest.raises(ChannelEmptyError):
+            channel.receive(Direction.CLIENT_TO_SERVER)
+
+    def test_back_compat_with_closed_error_handlers(self):
+        """Old code catching ChannelClosedError keeps working."""
+        assert issubclass(ChannelEmptyError, ChannelClosedError)
+        with pytest.raises(ChannelClosedError):
+            SimulatedChannel().receive(Direction.SERVER_TO_CLIENT)
+
+    def test_closed_channel_still_raises_closed_error(self):
+        channel = SimulatedChannel()
+        channel.close()
+        with pytest.raises(ChannelClosedError) as info:
+            channel.receive(Direction.CLIENT_TO_SERVER)
+        assert not isinstance(info.value, ChannelEmptyError)
+
+
+class TestLinkModelValidation:
+    @pytest.mark.parametrize("bandwidth", [0, -1, -1e6])
+    def test_non_positive_bandwidth_rejected_at_construction(self, bandwidth):
+        with pytest.raises(ValueError):
+            LinkModel(bandwidth_bps=bandwidth)
+
+    @pytest.mark.parametrize("uplink", [0, -256_000])
+    def test_non_positive_uplink_rejected(self, uplink):
+        with pytest.raises(ValueError):
+            LinkModel(uplink_bps=uplink)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LinkModel(latency_s=-0.001)
+
+    def test_valid_links_construct(self):
+        LinkModel()
+        LinkModel(bandwidth_bps=1e9, uplink_bps=800.0, latency_s=0.0)
+
+
+class TestFaultPlanValidation:
+    def test_rates_bounded(self):
+        with pytest.raises(ValueError):
+            FaultPlan(corrupt_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(drop_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(corrupt_rate=0.6, truncate_rate=0.3, drop_rate=0.3)
+
+    def test_disconnect_count_positive(self):
+        with pytest.raises(ValueError):
+            FaultPlan(disconnect_after_sends=0)
+
+    def test_uniform_split(self):
+        plan = FaultPlan.uniform(0.2, seed=9)
+        assert plan.corrupt_rate == pytest.approx(0.1)
+        assert plan.truncate_rate == pytest.approx(0.05)
+        assert plan.drop_rate == pytest.approx(0.05)
+        with pytest.raises(ValueError):
+            FaultPlan.uniform(1.5)
+
+
+class TestFaultlessChannel:
+    def test_payloads_roundtrip(self):
+        channel = FaultPlan(seed=1).channel()
+        channel.send(Direction.CLIENT_TO_SERVER, b"hello", "map")
+        assert channel.receive(Direction.CLIENT_TO_SERVER) == b"hello"
+
+    def test_accounting_identical_to_clean_channel(self):
+        """Framing overhead must NOT show up in the stats: faulty rows
+        stay comparable to clean benchmark rows."""
+        faulty = FaultPlan(seed=1).channel()
+        clean = SimulatedChannel()
+        for channel in (faulty, clean):
+            channel.send(Direction.CLIENT_TO_SERVER, b"abcdef", "map", bits=44)
+            channel.send(Direction.SERVER_TO_CLIENT, b"xy", "delta")
+        assert faulty.stats.bits_by == clean.stats.bits_by
+        assert faulty.stats.total_bytes == clean.stats.total_bytes
+        assert faulty.roundtrips == clean.roundtrips
+
+
+class TestInjectedFaults:
+    def test_corruption_detected_at_receive(self):
+        plan = FaultPlan(seed=2, corrupt_rate=1.0)
+        channel = plan.channel()
+        channel.send(Direction.SERVER_TO_CLIENT, b"payload", "delta")
+        with pytest.raises(FrameCorruptionError):
+            channel.receive(Direction.SERVER_TO_CLIENT)
+        assert plan.injected[FaultKind.CORRUPT] == 1
+
+    def test_truncation_detected_at_receive(self):
+        plan = FaultPlan(seed=3, truncate_rate=1.0)
+        channel = plan.channel()
+        channel.send(Direction.SERVER_TO_CLIENT, b"payload", "delta")
+        with pytest.raises(FrameCorruptionError):
+            channel.receive(Direction.SERVER_TO_CLIENT)
+
+    def test_drop_leaves_queue_empty_but_charges_bytes(self):
+        plan = FaultPlan(seed=4, drop_rate=1.0)
+        channel = plan.channel()
+        channel.send(Direction.CLIENT_TO_SERVER, b"gone", "map")
+        # The bytes crossed the wire even though they never arrived.
+        assert channel.stats.total_bytes == 4
+        assert channel.pending(Direction.CLIENT_TO_SERVER) == 0
+        with pytest.raises(ChannelEmptyError):
+            channel.receive(Direction.CLIENT_TO_SERVER)
+
+    def test_disconnect_after_n_sends(self):
+        plan = FaultPlan(seed=5, disconnect_after_sends=3)
+        channel = plan.channel()
+        channel.send(Direction.CLIENT_TO_SERVER, b"1", "map")
+        channel.send(Direction.SERVER_TO_CLIENT, b"2", "map")
+        with pytest.raises(ChannelClosedError):
+            channel.send(Direction.CLIENT_TO_SERVER, b"3", "map")
+        # The channel is now closed for good.
+        with pytest.raises(ChannelClosedError):
+            channel.send(Direction.CLIENT_TO_SERVER, b"4", "map")
+
+    def test_disconnect_is_one_shot_across_channels(self):
+        """A retry over a fresh channel of the same plan survives: the
+        mid-protocol link loss fires exactly once."""
+        plan = FaultPlan(seed=6, disconnect_after_sends=2)
+        first = plan.channel()
+        first.send(Direction.CLIENT_TO_SERVER, b"1", "map")
+        with pytest.raises(ChannelClosedError):
+            first.send(Direction.CLIENT_TO_SERVER, b"2", "map")
+        retry = plan.channel()
+        for index in range(5):
+            retry.send(Direction.CLIENT_TO_SERVER, b"ok", "map")
+        assert retry.pending(Direction.CLIENT_TO_SERVER) == 5
+
+    def test_phase_targeting(self):
+        """Faults restricted to the delta phase never touch map traffic."""
+        plan = FaultPlan(seed=7, corrupt_rate=1.0, phases=frozenset({"delta"}))
+        channel = plan.channel()
+        for _ in range(10):
+            channel.send(Direction.CLIENT_TO_SERVER, b"m", "map")
+            assert channel.receive(Direction.CLIENT_TO_SERVER) == b"m"
+        channel.send(Direction.SERVER_TO_CLIENT, b"d", "delta")
+        with pytest.raises(FrameCorruptionError):
+            channel.receive(Direction.SERVER_TO_CLIENT)
+
+    def test_max_faults_cap(self):
+        plan = FaultPlan(seed=8, corrupt_rate=1.0, max_faults=2)
+        channel = plan.channel()
+        failures = 0
+        for _ in range(10):
+            channel.send(Direction.CLIENT_TO_SERVER, b"x", "map")
+            try:
+                channel.receive(Direction.CLIENT_TO_SERVER)
+            except FrameCorruptionError:
+                failures += 1
+        assert failures == 2
+
+    def test_deterministic_given_seed(self):
+        def fault_signature(seed):
+            plan = FaultPlan.uniform(0.4, seed=seed)
+            channel = plan.channel()
+            outcomes = []
+            for index in range(50):
+                try:
+                    channel.send(
+                        Direction.CLIENT_TO_SERVER, b"payload", "map"
+                    )
+                    outcomes.append(
+                        channel.receive(Direction.CLIENT_TO_SERVER)
+                    )
+                except Exception as error:  # noqa: BLE001 - recording kinds
+                    outcomes.append(type(error).__name__)
+            return outcomes
+
+        assert fault_signature(11) == fault_signature(11)
+        assert fault_signature(11) != fault_signature(12)

@@ -1,0 +1,259 @@
+"""Collection sync under injected faults: per-file isolation end to end.
+
+The degradation-ladder scenarios the issue calls out — corruption in the
+map phase, drops in the delta phase, a disconnect mid-split — must all
+end in byte-identical reconstruction with monotone retry counters, and
+the happy path must stay byte-identical to a run without the resilience
+layer.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.methods import OursMethod, ZdeltaMethod
+from repro.collection import sync_collection
+from repro.exceptions import IntegrityError, ReproError, SyncFailedError
+from repro.net import FaultPlan
+from repro.parallel import FileTask, SyncExecutor
+from repro.resilience import RetryPolicy
+from repro.syncmethod import MethodOutcome, SyncMethod
+from repro.workloads import gcc_like
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return gcc_like(scale=0.05, seed=21)
+
+
+class TestHappyPathUnchanged:
+    def test_resilient_run_matches_plain_run(self, tree):
+        """With no faults, wrapping in the supervisor changes nothing:
+        same summary, same per-file byte accounting, zero counters."""
+        plain = sync_collection(tree.old, tree.new, OursMethod())
+        resilient = sync_collection(
+            tree.old, tree.new, OursMethod(),
+            retry_policy=RetryPolicy(), on_error="fallback",
+        )
+        assert resilient.summary() == plain.summary()
+        assert {
+            name: outcome.total_bytes
+            for name, outcome in resilient.per_file.items()
+        } == {
+            name: outcome.total_bytes
+            for name, outcome in plain.per_file.items()
+        }
+        assert resilient.total_retries == 0
+        assert resilient.files_fallback == 0
+        assert resilient.files_failed == 0
+        assert resilient.retransmitted_bytes == 0
+
+
+SCENARIOS = {
+    "corruption in map phase": FaultPlan(
+        seed=31, corrupt_rate=0.2, phases=frozenset({"map"})
+    ),
+    "drops in delta phase": FaultPlan(
+        seed=32, drop_rate=0.3, phases=frozenset({"delta"})
+    ),
+    "disconnect mid split": FaultPlan(seed=33, disconnect_after_sends=40),
+    "uniform mix at 0.1": FaultPlan.uniform(0.1, seed=34),
+}
+
+
+class TestDegradationLadder:
+    @pytest.mark.parametrize("plan", SCENARIOS.values(), ids=SCENARIOS)
+    def test_byte_identical_reconstruction_under_faults(self, tree, plan):
+        report = sync_collection(
+            tree.old, tree.new, OursMethod(),
+            fault_plan=plan, on_error="fallback",
+        )
+        assert report.reconstructed == tree.new
+        assert report.files_failed == 0
+        # Counters are consistent: every fallback implies retries burnt.
+        assert report.total_retries == sum(report.retries.values())
+        for name in report.fallbacks:
+            assert report.retries.get(name, 0) >= 1
+
+    def test_retry_counters_monotone_in_fault_rate(self, tree):
+        """More injected faults can only mean more recovery work: with
+        the same seed, retries and retransmitted bytes never shrink as
+        the fault rate rises."""
+        totals = []
+        for rate in (0.0, 0.05, 0.15):
+            report = sync_collection(
+                tree.old, tree.new, OursMethod(),
+                fault_plan=FaultPlan.uniform(rate, seed=35),
+                on_error="fallback",
+            )
+            assert report.reconstructed == tree.new
+            totals.append(
+                (report.total_retries, report.retransmitted_bytes)
+            )
+        assert totals[0] == (0, 0)
+        retries = [t[0] for t in totals]
+        assert retries == sorted(retries)
+        assert retries[-1] > 0
+        # Retransmission cost is positive whenever retries were burnt
+        # (but not monotone in the rate: at higher rates attempts die
+        # earlier, wasting fewer bytes per failure).
+        for count, wasted in totals[1:]:
+            assert (wasted > 0) == (count > 0)
+
+    def test_never_raises_with_fallback_across_seeds(self, tree):
+        for seed in range(5):
+            report = sync_collection(
+                tree.old, tree.new, OursMethod(),
+                fault_plan=FaultPlan.uniform(0.1, seed=seed),
+                on_error="fallback",
+            )
+            assert report.reconstructed == tree.new
+
+
+class _DoomedMethod(SyncMethod):
+    """Fails permanently on one file, succeeds elsewhere."""
+
+    name = "doomed"
+
+    def __init__(self, poison: str) -> None:
+        self.poison = poison
+
+    def sync_file(self, old: bytes, new: bytes) -> MethodOutcome:
+        # Keyed on content because methods only see bytes, not names.
+        if new.startswith(self.poison.encode()):
+            raise IntegrityError("this file can never be synchronised")
+        return MethodOutcome(total_bytes=len(new), server_to_client=len(new))
+
+
+class TestPerFileErrorIsolation:
+    files_old = {"good.txt": b"old-good", "bad.txt": b"POISON old"}
+    files_new = {"good.txt": b"new-good", "bad.txt": b"POISON new"}
+
+    def test_on_error_raise_propagates(self):
+        with pytest.raises(ReproError):
+            sync_collection(
+                self.files_old, self.files_new, _DoomedMethod("POISON")
+            )
+
+    def test_on_error_skip_keeps_client_copy(self):
+        report = sync_collection(
+            self.files_old, self.files_new, _DoomedMethod("POISON"),
+            on_error="skip",
+        )
+        assert report.files_failed == 1
+        assert "IntegrityError" in report.failed["bad.txt"]
+        assert report.reconstructed["bad.txt"] == b"POISON old"
+        assert report.reconstructed["good.txt"] == b"new-good"
+
+    def test_on_error_fallback_rescues_with_full_transfer(self):
+        report = sync_collection(
+            self.files_old, self.files_new, _DoomedMethod("POISON"),
+            on_error="fallback",
+        )
+        assert report.files_failed == 0
+        assert report.fallbacks["bad.txt"] == "rescue-full"
+        assert report.reconstructed == self.files_new
+        assert report.per_file["bad.txt"].breakdown.get("s2c/rescue", 0) > 0
+
+    def test_supervisor_failure_is_isolated_too(self):
+        """Even a SyncFailedError (whole ladder dead) only costs that
+        file when on_error='fallback'."""
+
+        class AlwaysFailing(SyncMethod):
+            name = "always-failing"
+
+            def sync_file(self, old, new):
+                raise SyncFailedError("ladder exhausted", attempts=9)
+
+        report = sync_collection(
+            self.files_old, self.files_new, AlwaysFailing(),
+            on_error="fallback",
+        )
+        assert report.reconstructed == self.files_new
+        assert set(report.fallbacks) == {"good.txt", "bad.txt"}
+
+    def test_invalid_on_error_rejected(self):
+        with pytest.raises(ValueError):
+            sync_collection(
+                self.files_old, self.files_new, ZdeltaMethod(),
+                on_error="explode",
+            )
+
+
+class _CrashOutsideParent(SyncMethod):
+    """Dies hard in any process other than the one that built it —
+    simulating a worker crash that a serial retry in the parent cures."""
+
+    name = "crash-outside-parent"
+
+    def __init__(self) -> None:
+        self.parent_pid = os.getpid()
+
+    def sync_file(self, old: bytes, new: bytes) -> MethodOutcome:
+        if os.getpid() != self.parent_pid:
+            os._exit(13)  # hard crash: no exception, no cleanup
+        return MethodOutcome(total_bytes=len(new), server_to_client=len(new))
+
+
+class TestExecutorCrashIsolation:
+    def test_crashed_workers_retried_serially(self):
+        tasks = [
+            FileTask(f"f{index}", b"old", f"new-{index}".encode())
+            for index in range(8)
+        ]
+        executor = SyncExecutor(workers=2, chunk_size=2)
+        batch = executor.run(_CrashOutsideParent(), tasks)
+        assert len(batch.files) == len(tasks)
+        assert [result.name for result in batch.files] == [
+            task.name for task in tasks
+        ]
+        assert all(result.error is None for result in batch.files)
+        assert batch.chunk_retries >= 1
+
+    def test_capture_errors_isolates_poisoned_file(self):
+        tasks = [
+            FileTask("ok", b"o", b"fine"),
+            FileTask("bad", b"o", b"POISON"),
+            FileTask("ok2", b"o", b"fine2"),
+        ]
+        batch = SyncExecutor(workers=1).run(
+            _DoomedMethod("POISON"), tasks, capture_errors=True
+        )
+        errors = {result.name: result.error for result in batch.files}
+        assert errors["ok"] is None and errors["ok2"] is None
+        assert "IntegrityError" in errors["bad"]
+        assert not batch.files[1].outcome.correct
+
+    def test_capture_errors_false_still_raises(self):
+        tasks = [FileTask("bad", b"o", b"POISON")]
+        with pytest.raises(IntegrityError):
+            SyncExecutor(workers=1).run(_DoomedMethod("POISON"), tasks)
+
+
+class TestCliFaultFlags:
+    def test_sync_with_fault_rate_smokes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        old_dir, new_dir = tmp_path / "old", tmp_path / "new"
+        old_dir.mkdir()
+        new_dir.mkdir()
+        for index in range(4):
+            (old_dir / f"f{index}.txt").write_bytes(
+                (f"content {index} " * 200).encode()
+            )
+            (new_dir / f"f{index}.txt").write_bytes(
+                (f"content {index} " * 199 + "changed ").encode()
+            )
+        code = main([
+            "sync", str(old_dir), str(new_dir),
+            "--fault-rate", "0.05", "--fault-seed", "7", "--json",
+        ])
+        assert code == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["failed_files"] == 0
+        assert payload["retries"] >= 0
+        assert "retransmitted_bytes" in payload

@@ -54,9 +54,10 @@ class TestAsymmetricLinks:
         assert link.transfer_time_directional(100, 1000, 0) == pytest.approx(2.0)
 
     def test_bad_uplink_rejected(self):
-        link = LinkModel(uplink_bps=0.0)
+        # Validation moved to construction time: a zero uplink never
+        # produces a usable LinkModel in the first place.
         with pytest.raises(ValueError):
-            link.transfer_time_directional(1, 1, 0)
+            LinkModel(uplink_bps=0.0)
 
     def test_channel_estimate_uses_uplink(self):
         link = LinkModel(bandwidth_bps=1e9, uplink_bps=800.0, latency_s=0.0)
