@@ -1,0 +1,91 @@
+"""Resume-from-checkpoint savings vs. restart-from-scratch.
+
+Not a paper experiment — this measures the checkpoint subsystem: when a
+session dies after round *k*, how much of the already-paid-for traffic
+does the resume handshake salvage, net of its own cost (the handshake
+bits plus re-sending nothing)?  One row per disconnect point; the
+comparison is against the same fault under PR-2 semantics (restart the
+rung from round 0).  Rows land in ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import publish
+from repro.bench import OursMethod, render_table
+from repro.net import FaultPlan
+from repro.resilience import CheckpointStore, SyncSupervisor
+from repro.workloads import EditProfile, TextGenerator, mutate
+
+SEED = 42
+NBYTES = 60_000
+DISCONNECT_POINTS = (3, 8, 14, 20, 28, 38, 50)
+
+
+def make_pair():
+    import random
+
+    generator = TextGenerator(SEED)
+    rng = random.Random(SEED)
+    old = generator.generate(NBYTES, rng)
+    profile = EditProfile(edit_count=14, cluster_count=4,
+                          cluster_spread=220.0, min_size=6, max_size=200)
+    new = mutate(old, rng, profile, content=generator.snippet)
+    return old, new
+
+
+def grand_total(outcome) -> int:
+    return outcome.total_bytes + outcome.retransmitted_bytes
+
+
+def test_resume_savings_vs_restart():
+    old, new = make_pair()
+    clean = OursMethod().sync_file(old, new)
+
+    rows = []
+    salvage_rows = 0
+    for cutoff in DISCONNECT_POINTS:
+        restart = SyncSupervisor(
+            OursMethod(),
+            fault_plan=FaultPlan(seed=SEED, disconnect_after_sends=cutoff),
+        ).sync_file(old, new)
+        resumed = SyncSupervisor(
+            OursMethod(),
+            fault_plan=FaultPlan(seed=SEED, disconnect_after_sends=cutoff),
+            checkpoints=CheckpointStore.in_memory(),
+        ).sync_file(old, new)
+        assert restart.correct and resumed.correct
+
+        saved = grand_total(restart) - grand_total(resumed)
+        rows.append([
+            str(cutoff),
+            str(resumed.rounds_salvaged),
+            f"{grand_total(restart):,}",
+            f"{grand_total(resumed):,}",
+            str(resumed.resume_handshake_bits),
+            f"{saved:+,}",
+            f"{saved / grand_total(restart):+.1%}",
+        ])
+        if resumed.rounds_salvaged >= 1:
+            salvage_rows += 1
+            # The acceptance property: salvaging any round must beat
+            # restarting, handshake included.
+            assert grand_total(resumed) < grand_total(restart), (
+                f"cutoff={cutoff}: resume did not pay for itself"
+            )
+
+    publish(
+        "resume_savings",
+        render_table(
+            ["disconnect @send", "rounds salvaged", "restart B",
+             "resume B", "handshake bits", "saved B", "saved %"],
+            rows,
+            title=(
+                f"checkpoint resume vs. restart after a mid-session "
+                f"disconnect — {NBYTES // 1000} KB file, clean run "
+                f"{clean.total_bytes:,} B, method=ours, seed={SEED}"
+            ),
+        ),
+    )
+
+    # The sweep must include disconnects late enough to salvage rounds.
+    assert salvage_rows >= 3

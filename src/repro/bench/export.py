@@ -39,6 +39,9 @@ def run_to_row(run: CollectionRun) -> dict[str, object]:
         "failed_files": run.failed_files,
         "retransmitted_bytes": run.retransmitted_bytes,
         "recovery_seconds": round(run.recovery_seconds, 4),
+        "rounds_salvaged": run.rounds_salvaged,
+        "resume_handshake_bits": run.resume_handshake_bits,
+        "checkpoint_bytes_written": run.checkpoint_bytes_written,
     }
     for key, value in sorted(run.breakdown.items()):
         row[f"breakdown.{key}"] = value

@@ -43,6 +43,8 @@ def _wire_outcome(result, new: bytes) -> MethodOutcome:
 class OursMethod(SyncMethod):
     """The paper's multi-round protocol."""
 
+    supports_checkpoint = True
+
     def __init__(self, config: ProtocolConfig | None = None, name: str = "ours") -> None:
         self.config = config or ProtocolConfig()
         self.name = name
@@ -52,6 +54,32 @@ class OursMethod(SyncMethod):
 
     def sync_file_over(self, old: bytes, new: bytes, channel) -> MethodOutcome:
         return _wire_outcome(synchronize(old, new, self.config, channel), new)
+
+    def checkpoint_identity(self, old: bytes, new: bytes):
+        from repro.hashing.strong import file_fingerprint
+        from repro.resilience.checkpoint import SessionIdentity, config_digest
+
+        return SessionIdentity(
+            self.name,
+            file_fingerprint(old),
+            file_fingerprint(new),
+            config_digest(self.config),
+        )
+
+    def sync_file_resumable(
+        self, old: bytes, new: bytes, channel, checkpointer=None, resume_from=None
+    ) -> MethodOutcome:
+        return _wire_outcome(
+            synchronize(
+                old,
+                new,
+                self.config,
+                channel,
+                checkpointer=checkpointer,
+                resume_from=resume_from,
+            ),
+            new,
+        )
 
 
 class RsyncMethod(SyncMethod):
@@ -88,6 +116,7 @@ class MultiroundRsyncMethod(SyncMethod):
     """Recursive splitting without the paper's refinements (Langford [25])."""
 
     name = "multiround"
+    supports_checkpoint = True
 
     def __init__(self, config=None) -> None:
         from repro.multiround import MultiroundConfig
@@ -101,6 +130,32 @@ class MultiroundRsyncMethod(SyncMethod):
         from repro.multiround import multiround_rsync_sync
 
         result = multiround_rsync_sync(old, new, self.config, channel=channel)
+        return _wire_outcome(result, new)
+
+    def checkpoint_identity(self, old: bytes, new: bytes):
+        from repro.hashing.strong import file_fingerprint
+        from repro.resilience.checkpoint import SessionIdentity, config_digest
+
+        return SessionIdentity(
+            self.name,
+            file_fingerprint(old),
+            file_fingerprint(new),
+            config_digest(self.config),
+        )
+
+    def sync_file_resumable(
+        self, old: bytes, new: bytes, channel, checkpointer=None, resume_from=None
+    ) -> MethodOutcome:
+        from repro.multiround import multiround_rsync_sync
+
+        result = multiround_rsync_sync(
+            old,
+            new,
+            self.config,
+            channel=channel,
+            checkpointer=checkpointer,
+            resume_from=resume_from,
+        )
         return _wire_outcome(result, new)
 
 

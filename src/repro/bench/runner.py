@@ -49,6 +49,9 @@ class CollectionRun:
     failed_files: int = 0
     retransmitted_bytes: int = 0
     recovery_seconds: float = 0.0
+    rounds_salvaged: int = 0
+    resume_handshake_bits: int = 0
+    checkpoint_bytes_written: int = 0
 
     @property
     def total_kb(self) -> float:
@@ -70,6 +73,9 @@ def run_method_on_collection(
     fault_plan=None,
     retry_policy=None,
     link=None,
+    checkpoint_dir=None,
+    resume: bool = False,
+    store=None,
 ) -> CollectionRun:
     """Synchronise one collection pair and flatten the report to a row."""
     started = time.perf_counter()
@@ -83,6 +89,9 @@ def run_method_on_collection(
         fault_plan=fault_plan,
         retry_policy=retry_policy,
         link=link,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        store=store,
     )
     elapsed = time.perf_counter() - started
 
@@ -111,4 +120,7 @@ def run_method_on_collection(
         failed_files=report.files_failed,
         retransmitted_bytes=report.retransmitted_bytes,
         recovery_seconds=merged.recovery_seconds,
+        rounds_salvaged=report.rounds_salvaged,
+        resume_handshake_bits=report.resume_handshake_bits,
+        checkpoint_bytes_written=report.checkpoint_bytes_written,
     )

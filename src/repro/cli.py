@@ -20,6 +20,7 @@ from pathlib import Path
 from repro.bench import run_method_on_collection, render_table
 from repro.bench.methods import (
     FullTransferMethod,
+    MultiroundRsyncMethod,
     OursMethod,
     RsyncMethod,
     RsyncOptimalMethod,
@@ -35,6 +36,7 @@ from repro.workloads import emacs_like, gcc_like, make_web_collection
 
 _METHOD_FACTORIES = {
     "ours": lambda args: OursMethod(_config_from_args(args)),
+    "multiround": lambda args: MultiroundRsyncMethod(),
     "rsync": lambda args: RsyncMethod(block_size=args.rsync_block),
     "rsync-opt": lambda args: RsyncOptimalMethod(),
     "zdelta": lambda args: ZdeltaMethod(),
@@ -113,6 +115,10 @@ def _cmd_sync(args: argparse.Namespace) -> int:
             print("error: --batched does not support fault injection",
                   file=sys.stderr)
             return 2
+        if args.checkpoint_dir is not None or args.resume:
+            print("error: --batched does not support checkpoints",
+                  file=sys.stderr)
+            return 2
         return _sync_batched(args, old_side, new_side)
     method: SyncMethod = _METHOD_FACTORIES[args.method](args)
     run = run_method_on_collection(
@@ -123,6 +129,9 @@ def _cmd_sync(args: argparse.Namespace) -> int:
         on_error=args.on_error,
         fault_plan=fault_plan,
         retry_policy=_retry_policy_from_args(args),
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        store=args.output,
     )
 
     if args.json:
@@ -146,6 +155,9 @@ def _cmd_sync(args: argparse.Namespace) -> int:
                     "failed_files": run.failed_files,
                     "retransmitted_bytes": run.retransmitted_bytes,
                     "recovery_seconds": round(run.recovery_seconds, 4),
+                    "rounds_salvaged": run.rounds_salvaged,
+                    "resume_handshake_bits": run.resume_handshake_bits,
+                    "checkpoint_bytes_written": run.checkpoint_bytes_written,
                 },
                 indent=2,
             )
@@ -169,6 +181,10 @@ def _cmd_sync(args: argparse.Namespace) -> int:
                   f"{run.failed_files} failed, "
                   f"{run.retransmitted_bytes:,} B retransmitted "
                   f"(~{run.recovery_seconds:.1f}s recovery)")
+        if args.checkpoint_dir is not None:
+            print(f"checkpoints     : {run.rounds_salvaged} rounds salvaged, "
+                  f"{run.resume_handshake_bits} handshake bits, "
+                  f"{run.checkpoint_bytes_written:,} B journalled locally")
     return 0
 
 
@@ -202,6 +218,54 @@ def _sync_batched(
         print(f"files           : {report.files_changed} changed, "
               f"{report.files_unchanged} unchanged")
         print(f"bytes on wire   : {report.total_bytes:,}")
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    """Post-crash sweep: quarantine temporaries, list resumable journals."""
+    from repro.collection import load_manifest
+    from repro.resilience import recover_store
+
+    manifest = load_manifest(args.manifest) if args.manifest else None
+    report = recover_store(
+        args.path, manifest=manifest, checkpoint_dir=args.checkpoint_dir
+    )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "root": str(report.root),
+                    "clean": report.clean,
+                    "quarantined": [str(p) for p in report.quarantined],
+                    "missing": report.missing,
+                    "stale": report.stale,
+                    "pending_journals": [
+                        str(p) for p in report.pending_journals
+                    ],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for path in report.quarantined:
+            print(f"Q {path}")
+        for name in report.missing:
+            print(f"! missing {name}")
+        for name in report.stale:
+            print(f"! stale   {name}")
+        for path in report.pending_journals:
+            print(f"R {path}")
+        if report.clean:
+            print(f"{report.root}: clean")
+        else:
+            print(
+                f"{len(report.quarantined)} quarantined, "
+                f"{len(report.missing)} missing, {len(report.stale)} stale, "
+                f"{len(report.pending_journals)} resumable journals"
+            )
+            if report.pending_journals:
+                print("rerun the sync with --resume to salvage the "
+                      "journalled rounds")
     return 0
 
 
@@ -354,6 +418,16 @@ def build_parser() -> argparse.ArgumentParser:
     sync.add_argument("--retries", type=int, default=None,
                       help="retry attempts per ladder rung before "
                            "degrading (default: supervisor default of 3)")
+    sync.add_argument("--checkpoint-dir", default=None,
+                      help="journal completed protocol rounds here so "
+                           "interrupted sessions can resume instead of "
+                           "restarting")
+    sync.add_argument("--resume", action="store_true",
+                      help="honour checkpoint journals left by a previous "
+                           "(crashed) run; requires --checkpoint-dir")
+    sync.add_argument("--output", default=None,
+                      help="materialise the reconstructed collection into "
+                           "this directory (every file written atomically)")
     sync.set_defaults(handler=_cmd_sync)
 
     trace = sub.add_parser(
@@ -396,6 +470,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="process count for changed-file fan-out "
                             "(0 = one per CPU)")
     bench.set_defaults(handler=_cmd_bench)
+
+    recover = sub.add_parser(
+        "recover", help="sweep a replica directory after a crash: "
+                        "quarantine orphaned temporaries, report pending "
+                        "checkpoint journals"
+    )
+    recover.add_argument("path", help="replica root to sweep")
+    recover.add_argument("--manifest", default=None,
+                         help="stored manifest to verify files against")
+    recover.add_argument("--checkpoint-dir", default=None,
+                         help="checkpoint directory to scan for resumable "
+                              "session journals")
+    recover.add_argument("--json", action="store_true")
+    recover.set_defaults(handler=_cmd_recover)
     return parser
 
 

@@ -9,7 +9,14 @@ costs aggregated.
 
 from repro.collection.manifest import Manifest, ManifestDiff, diff_manifests
 from repro.collection.reconcile import reconcile_manifests
-from repro.collection.store import ManifestFormatError, load_manifest, save_manifest
+from repro.collection.store import (
+    TMP_SUFFIX,
+    CollectionStore,
+    ManifestFormatError,
+    atomic_write_bytes,
+    load_manifest,
+    save_manifest,
+)
 from repro.collection.sync import (
     CollectionReport,
     sync_collection,
@@ -18,8 +25,11 @@ from repro.collection.sync import (
 
 __all__ = [
     "CollectionReport",
+    "CollectionStore",
     "Manifest",
     "ManifestDiff",
+    "TMP_SUFFIX",
+    "atomic_write_bytes",
     "diff_manifests",
     "ManifestFormatError",
     "load_manifest",

@@ -75,6 +75,28 @@ class CollectionReport:
             outcome.retransmitted_bytes for outcome in self.per_file.values()
         )
 
+    @property
+    def rounds_salvaged(self) -> int:
+        """Protocol rounds resumed from checkpoints instead of re-run."""
+        return sum(
+            outcome.rounds_salvaged for outcome in self.per_file.values()
+        )
+
+    @property
+    def resume_handshake_bits(self) -> int:
+        """Wire cost of every resume handshake across the collection."""
+        return sum(
+            outcome.resume_handshake_bits for outcome in self.per_file.values()
+        )
+
+    @property
+    def checkpoint_bytes_written(self) -> int:
+        """Local journal bytes fsynced (disk cost, never wire cost)."""
+        return sum(
+            outcome.checkpoint_bytes_written
+            for outcome in self.per_file.values()
+        )
+
     def summary(self) -> dict[str, int]:
         return {
             "manifest": self.manifest_bytes,
@@ -152,6 +174,10 @@ def sync_collection(
     fault_plan=None,
     retry_policy=None,
     link=None,
+    checkpoint_dir=None,
+    resume: bool = False,
+    checkpoints=None,
+    store=None,
 ) -> CollectionReport:
     """Update ``client_files`` to ``server_files`` using ``method``.
 
@@ -181,18 +207,52 @@ def sync_collection(
     * ``"fallback"`` — rescue the file with a reliable compressed full
       transfer, charged to its outcome and recorded in
       ``report.fallbacks``; the update never raises.
+
+    Resumable sessions: ``checkpoint_dir`` (or a preconfigured
+    ``checkpoints`` :class:`~repro.resilience.CheckpointStore`) makes
+    every checkpoint-capable file session journal its round boundaries
+    there, one file per entry; retries resume from the last completed
+    round.  ``resume=True`` additionally honours journals left by a
+    *previous* (crashed) run — it requires a durable checkpoint location
+    and raises :class:`~repro.exceptions.ResumeRefusedError` without one.
+    All three parameters default to off, leaving behaviour and byte
+    accounting identical to a run without them.
+
+    ``store`` (a :class:`~repro.collection.store.CollectionStore` or a
+    directory path) materialises the reconstructed collection on disk,
+    every file written atomically — a crash mid-update can orphan
+    temporaries but never tear a visible file.
     """
     if on_error not in ("raise", "skip", "fallback"):
         raise ValueError(
             f"on_error must be 'raise', 'skip' or 'fallback', "
             f"got {on_error!r}"
         )
-    if fault_plan is not None or retry_policy is not None:
+    if checkpoints is None and checkpoint_dir is not None:
+        from repro.resilience import CheckpointStore
+
+        checkpoints = CheckpointStore(checkpoint_dir, resume=resume)
+    if resume and (checkpoints is None or checkpoints.root is None):
+        from repro.exceptions import ResumeRefusedError
+
+        raise ResumeRefusedError(
+            "resume=True needs a durable checkpoint location "
+            "(checkpoint_dir or a CheckpointStore with a root)"
+        )
+    if (
+        fault_plan is not None
+        or retry_policy is not None
+        or checkpoints is not None
+    ):
         from repro.resilience import SyncSupervisor
 
         if not isinstance(method, SyncSupervisor):
             method = SyncSupervisor(
-                method, retry=retry_policy, fault_plan=fault_plan, link=link
+                method,
+                retry=retry_policy,
+                fault_plan=fault_plan,
+                link=link,
+                checkpoints=checkpoints,
             )
 
     client_manifest = Manifest.of_collection(client_files)
@@ -263,6 +323,11 @@ def sync_collection(
                     + result.outcome.total_bytes
                 ),
                 recovery_seconds=result.outcome.recovery_seconds,
+                rounds_salvaged=result.outcome.rounds_salvaged,
+                resume_handshake_bits=result.outcome.resume_handshake_bits,
+                checkpoint_bytes_written=(
+                    result.outcome.checkpoint_bytes_written
+                ),
             )
             report.fallbacks[name] = "rescue-full"
             if result.outcome.retries:
@@ -284,4 +349,11 @@ def sync_collection(
                 continue  # explicitly skipped; the client keeps its copy
             if report.reconstructed.get(name) != data:
                 raise IntegrityError(f"collection reconstruction differs at {name}")
+
+    if store is not None:
+        from repro.collection.store import CollectionStore
+
+        if not isinstance(store, CollectionStore):
+            store = CollectionStore(store)
+        store.write_collection(report.reconstructed)
     return report

@@ -263,12 +263,23 @@ def synchronize(
     server_data: bytes,
     config: ProtocolConfig | None = None,
     channel: SimulatedChannel | None = None,
+    checkpointer=None,
+    resume_from=None,
 ) -> SyncResult:
     """Synchronise the client's file to the server's current version.
 
     Always returns a reconstruction equal to ``server_data``; the
     whole-file fingerprint plus the full-transfer fallback guarantee it
     even under (engineered) hash collisions.
+
+    ``checkpointer`` (an opened
+    :class:`~repro.resilience.checkpoint.SessionJournal`) snapshots both
+    endpoints after every completed round; ``resume_from`` (a
+    :class:`~repro.resilience.checkpoint.RoundCheckpoint`) rebuilds that
+    state and continues, skipping the handshake and the already-completed
+    rounds.  The caller of a resumed run is expected to have seeded
+    ``channel.stats`` with the checkpoint's counters so the returned
+    stats cover the whole logical session.
     """
     if config is None:
         config = ProtocolConfig()
@@ -278,55 +289,68 @@ def synchronize(
     server = ServerSession(server_data, config)
     client = ClientSession(client_data, config)
 
-    # --- Handshake -----------------------------------------------------
-    request = BitWriter()
-    request.write_uvarint(len(client_data))
-    channel.send(
-        Direction.CLIENT_TO_SERVER,
-        request.getvalue(),
-        PHASE_HANDSHAKE,
-        bits=request.bit_length,
-    )
-    server.set_client_length(
-        BitReader(channel.receive(Direction.CLIENT_TO_SERVER)).read_uvarint()
-    )
+    trace: list[SubphaseTrace] = []
+    if resume_from is not None:
+        from repro.core.snapshot import restore_round_state
 
-    hello = BitWriter()
-    hello.write_bytes(server.fingerprint())
-    hello.write_uvarint(len(server_data))
-    channel.send(Direction.SERVER_TO_CLIENT, hello.getvalue(), PHASE_HANDSHAKE)
-    hello_reader = BitReader(channel.receive(Direction.SERVER_TO_CLIENT))
-    unchanged = client.process_handshake(
-        hello_reader.read_bytes(16), hello_reader.read_uvarint()
-    )
-
-    channel.send(
-        Direction.CLIENT_TO_SERVER,
-        b"\x00" if unchanged else b"\x01",
-        PHASE_HANDSHAKE,
-        bits=1,
-    )
-    channel.receive(Direction.CLIENT_TO_SERVER)
-    if unchanged:
-        return SyncResult(
-            reconstructed=client_data,
-            stats=channel.stats,
-            unchanged=True,
-            used_fallback=False,
-            matched_blocks=0,
-            known_fraction=1.0,
-            rounds=0,
-            trace=[],
+        rounds, continuation_candidates, continuation_accepted = (
+            restore_round_state(resume_from.payload, client, server)
         )
+    else:
+        # --- Handshake -------------------------------------------------
+        request = BitWriter()
+        request.write_uvarint(len(client_data))
+        channel.send(
+            Direction.CLIENT_TO_SERVER,
+            request.getvalue(),
+            PHASE_HANDSHAKE,
+            bits=request.bit_length,
+        )
+        server.set_client_length(
+            BitReader(channel.receive(Direction.CLIENT_TO_SERVER)).read_uvarint()
+        )
+
+        hello = BitWriter()
+        hello.write_bytes(server.fingerprint())
+        hello.write_uvarint(len(server_data))
+        channel.send(Direction.SERVER_TO_CLIENT, hello.getvalue(), PHASE_HANDSHAKE)
+        hello_reader = BitReader(channel.receive(Direction.SERVER_TO_CLIENT))
+        unchanged = client.process_handshake(
+            hello_reader.read_bytes(16), hello_reader.read_uvarint()
+        )
+
+        channel.send(
+            Direction.CLIENT_TO_SERVER,
+            b"\x00" if unchanged else b"\x01",
+            PHASE_HANDSHAKE,
+            bits=1,
+        )
+        channel.receive(Direction.CLIENT_TO_SERVER)
+        if unchanged:
+            return SyncResult(
+                reconstructed=client_data,
+                stats=channel.stats,
+                unchanged=True,
+                used_fallback=False,
+                matched_blocks=0,
+                known_fraction=1.0,
+                rounds=0,
+                trace=[],
+            )
+        rounds = 0
+        continuation_candidates = 0
+        continuation_accepted = 0
 
     # --- Map construction ----------------------------------------------
     assert server.global_bits is not None
-    rounds = 0
-    continuation_candidates = 0
-    continuation_accepted = 0
-    trace: list[SubphaseTrace] = []
-    while server.tracker.has_active() or client._require_tracker().has_active():
+    # The max_rounds guard doubles as the loop condition so a run resumed
+    # *at* the cap does not buy extra rounds; for fresh runs the in-loop
+    # break below fires first and behaviour is unchanged.
+    while (
+        server.tracker.has_active() or client._require_tracker().has_active()
+    ) and not (config.max_rounds is not None and rounds >= config.max_rounds):
         rounds += 1
+        channel.mark_round(rounds)
         client_tracker = client._require_tracker()
         if config.continuation_first and config.continuation_enabled:
             planners = [
@@ -355,6 +379,20 @@ def synchronize(
         more_client = client_tracker.advance_level()
         if more_server != more_client:
             raise ProtocolError("endpoint trees diverged while splitting")
+        if checkpointer is not None:
+            from repro.core.snapshot import snapshot_round_state
+
+            checkpointer.record_round(
+                rounds,
+                snapshot_round_state(
+                    client,
+                    server,
+                    rounds,
+                    continuation_candidates,
+                    continuation_accepted,
+                ),
+                channel.stats,
+            )
         if not more_server:
             break
         if config.max_rounds is not None and rounds >= config.max_rounds:

@@ -1,0 +1,152 @@
+"""Round-boundary snapshots of the core protocol's endpoint state.
+
+At a round boundary — both trackers freshly advanced — the live state of
+:func:`~repro.core.protocol.synchronize` is small and flat, because the
+protocol's mirroring discipline already forces everything to be derivable
+from a few facts:
+
+* every *current* block is a just-split child, so the frontier is fully
+  described by the parent geometry plus the parent's known (global) hash
+  value, and :meth:`~repro.core.blocks.Block.split` deterministically
+  rebuilds the children (including sibling links for derived hashes);
+* the confirmed-match adjacency sets are projections of the ordered
+  ``confirmed_regions`` list (order preserved — ``local_anchor`` breaks
+  distance ties first-wins);
+* the client's source-position dictionaries are projections of its
+  :class:`~repro.core.filemap.FileMap` entries.
+
+:func:`snapshot_round_state` serializes exactly those facts (varint
+format, opaque to the journal layer); :func:`restore_round_state` rebuilds
+two fresh sessions into the identical mid-protocol state, so a resumed
+run continues with the same plans, the same hash widths and the same
+delta reference as the interrupted one would have.
+"""
+
+from __future__ import annotations
+
+from repro.core.blocks import Block, BlockTracker
+from repro.core.client import ClientSession
+from repro.core.server import ServerSession
+from repro.exceptions import ProtocolError
+from repro.io.varint import decode_uvarint, encode_uvarint
+
+
+def _pack_bytes(out: bytearray, data: bytes) -> None:
+    out += encode_uvarint(len(data))
+    out += data
+
+
+def _unpack_bytes(data: bytes, offset: int) -> tuple[bytes, int]:
+    length, offset = decode_uvarint(data, offset)
+    if offset + length > len(data):
+        raise ProtocolError("truncated snapshot field")
+    return data[offset : offset + length], offset + length
+
+
+def _encode_tracker(out: bytearray, tracker: BlockTracker) -> None:
+    out += encode_uvarint(tracker.level)
+    current = tracker.current
+    if len(current) % 2:
+        raise ProtocolError("frontier is not made of sibling pairs")
+    out += encode_uvarint(len(current) // 2)
+    for index in range(0, len(current), 2):
+        parent = current[index].parent
+        if parent is None or parent is not current[index + 1].parent:
+            raise ProtocolError("frontier is not made of sibling pairs")
+        out += encode_uvarint(parent.start)
+        out += encode_uvarint(parent.length)
+        out += encode_uvarint(parent.known_width)
+        out += encode_uvarint(parent.known_value)
+    out += encode_uvarint(len(tracker.confirmed_regions))
+    for start, length in tracker.confirmed_regions:
+        out += encode_uvarint(start)
+        out += encode_uvarint(length)
+
+
+def _decode_tracker(
+    tracker: BlockTracker, data: bytes, offset: int
+) -> int:
+    level, offset = decode_uvarint(data, offset)
+    pair_count, offset = decode_uvarint(data, offset)
+    current: list[Block] = []
+    for _ in range(pair_count):
+        start, offset = decode_uvarint(data, offset)
+        length, offset = decode_uvarint(data, offset)
+        known_width, offset = decode_uvarint(data, offset)
+        known_value, offset = decode_uvarint(data, offset)
+        parent = Block(start=start, length=length, level=level - 1)
+        parent.known_width = known_width
+        parent.known_value = known_value
+        current.extend(parent.split())
+    region_count, offset = decode_uvarint(data, offset)
+    regions: list[tuple[int, int]] = []
+    for _ in range(region_count):
+        start, offset = decode_uvarint(data, offset)
+        length, offset = decode_uvarint(data, offset)
+        regions.append((start, length))
+    tracker.level = level
+    tracker.current = current
+    tracker.confirmed_regions = regions
+    tracker.confirmed_starts = {start for start, _length in regions}
+    tracker.confirmed_ends = {start + length for start, length in regions}
+    return offset
+
+
+def snapshot_round_state(
+    client: ClientSession,
+    server: ServerSession,
+    rounds: int,
+    continuation_candidates: int,
+    continuation_accepted: int,
+) -> bytes:
+    """Serialize both endpoints' state at a completed round boundary."""
+    if client.server_fingerprint is None:
+        raise ProtocolError("cannot snapshot before the handshake")
+    out = bytearray()
+    out += encode_uvarint(rounds)
+    out += encode_uvarint(continuation_candidates)
+    out += encode_uvarint(continuation_accepted)
+    _pack_bytes(out, client.server_fingerprint)
+    _encode_tracker(out, server.tracker)
+    _encode_tracker(out, client._require_tracker())
+    file_map = client._require_map()
+    entries = file_map.entries()
+    out += encode_uvarint(len(entries))
+    for entry in entries:
+        out += encode_uvarint(entry.start)
+        out += encode_uvarint(entry.length)
+        out += encode_uvarint(entry.source)
+    return bytes(out)
+
+
+def restore_round_state(
+    payload: bytes, client: ClientSession, server: ServerSession
+) -> tuple[int, int, int]:
+    """Rebuild two *fresh* sessions into the snapshotted state.
+
+    Returns ``(rounds, continuation_candidates, continuation_accepted)``
+    so the protocol loop continues its counters where they stopped.
+    """
+    rounds, offset = decode_uvarint(payload, 0)
+    continuation_candidates, offset = decode_uvarint(payload, offset)
+    continuation_accepted, offset = decode_uvarint(payload, offset)
+    fingerprint, offset = _unpack_bytes(payload, offset)
+
+    # Replay the handshake's effects from local knowledge: the lengths
+    # both sides exchanged are the lengths of the files they still hold.
+    server.set_client_length(len(client.data))
+    client.process_handshake(fingerprint, len(server.data))
+
+    offset = _decode_tracker(server.tracker, payload, offset)
+    offset = _decode_tracker(client._require_tracker(), payload, offset)
+
+    file_map = client._require_map()
+    entry_count, offset = decode_uvarint(payload, offset)
+    for _ in range(entry_count):
+        start, offset = decode_uvarint(payload, offset)
+        length, offset = decode_uvarint(payload, offset)
+        source, offset = decode_uvarint(payload, offset)
+        file_map.add(start, length, source)
+        client._source_after_end[start + length] = source + length
+        client._source_at_start[start] = source
+    return rounds, continuation_candidates, continuation_accepted

@@ -61,6 +61,15 @@ class WorkloadError(ReproError):
     """A synthetic workload could not be generated as requested."""
 
 
+class ResumeRefusedError(ReproError):
+    """A resumable run was requested but cannot be honoured.
+
+    Raised when ``resume=True`` is asked for without a durable checkpoint
+    location to resume *from* — silently starting over would hide exactly
+    the restart cost the caller tried to avoid.
+    """
+
+
 class SyncFailedError(ReproError):
     """Every rung of the resilience ladder failed for one file.
 

@@ -14,6 +14,12 @@ After the final round the server covers ``F_new`` with pinned client
 blocks where possible and compressed literals elsewhere, and the client
 reconstructs.  A whole-file checksum plus full-transfer fallback handles
 hash collisions, as everywhere in this repository.
+
+Checkpointing: the state both endpoints carry across a round boundary is
+tiny and flat — the active block frontier, the pinned matches, and the
+round index — so ``multiround_rsync_sync`` can snapshot it after every
+completed round (``checkpointer``) and continue from such a snapshot
+(``resume_from``) instead of restarting a torn session from round 0.
 """
 
 from __future__ import annotations
@@ -91,13 +97,66 @@ def _initial_blocks(length: int, block_size: int) -> list[Block]:
     return blocks
 
 
+def encode_round_state(
+    expected_fingerprint: bytes, blocks: list[Block], pinned: list[_Pinned]
+) -> bytes:
+    """Serialize the cross-round reconciliation state (varint format)."""
+    out = bytearray()
+    out += expected_fingerprint
+    out += encode_uvarint(len(blocks))
+    for block in blocks:
+        out += encode_uvarint(block.start)
+        out += encode_uvarint(block.length)
+    out += encode_uvarint(len(pinned))
+    for pin in pinned:
+        out += encode_uvarint(pin.client_start)
+        out += encode_uvarint(pin.length)
+        out += encode_uvarint(pin.server_start)
+    return bytes(out)
+
+
+def decode_round_state(
+    payload: bytes,
+) -> tuple[bytes, list[Block], list[_Pinned]]:
+    """Inverse of :func:`encode_round_state`."""
+    expected_fingerprint = payload[:16]
+    offset = 16
+    count, offset = decode_uvarint(payload, offset)
+    blocks = []
+    for _ in range(count):
+        start, offset = decode_uvarint(payload, offset)
+        length, offset = decode_uvarint(payload, offset)
+        blocks.append(Block(start=start, length=length, level=0))
+    count, offset = decode_uvarint(payload, offset)
+    pinned = []
+    for _ in range(count):
+        client_start, offset = decode_uvarint(payload, offset)
+        length, offset = decode_uvarint(payload, offset)
+        server_start, offset = decode_uvarint(payload, offset)
+        pinned.append(_Pinned(client_start, length, server_start))
+    return expected_fingerprint, blocks, pinned
+
+
 def multiround_rsync_sync(
     old_data: bytes,
     new_data: bytes,
     config: MultiroundConfig | None = None,
     channel: SimulatedChannel | None = None,
+    checkpointer=None,
+    resume_from=None,
 ) -> MultiroundResult:
-    """Synchronise ``old_data`` to ``new_data`` with multiround rsync."""
+    """Synchronise ``old_data`` to ``new_data`` with multiround rsync.
+
+    ``checkpointer`` (a
+    :class:`~repro.resilience.checkpoint.SessionJournal`, already opened)
+    records the reconciliation state after every completed round;
+    ``resume_from`` (a
+    :class:`~repro.resilience.checkpoint.RoundCheckpoint`) continues from
+    such a record, skipping the handshake and every already-paid-for
+    round.  A resumed call assumes the caller seeded ``channel.stats``
+    with the checkpoint's counters (the supervisor's resume handshake
+    does), so the returned stats describe the whole logical session.
+    """
     if config is None:
         config = MultiroundConfig()
     if channel is None:
@@ -107,23 +166,30 @@ def multiround_rsync_sync(
     client_prefix = PrefixHasher(old_data, hasher)
     server_index_cache: dict[int, HashIndex] = {}
 
-    # Handshake: fingerprint for the final integrity check.
-    hello = BitWriter()
-    hello.write_bytes(file_fingerprint(new_data))
-    channel.send(
-        Direction.SERVER_TO_CLIENT, hello.getvalue(), PHASE_HANDSHAKE,
-        bits=hello.bit_length,
-    )
-    expected_fingerprint = BitReader(
-        channel.receive(Direction.SERVER_TO_CLIENT)
-    ).read_bytes(16)
+    if resume_from is not None:
+        expected_fingerprint, blocks, pinned = decode_round_state(
+            resume_from.payload
+        )
+        rounds = resume_from.round_index
+    else:
+        # Handshake: fingerprint for the final integrity check.
+        hello = BitWriter()
+        hello.write_bytes(file_fingerprint(new_data))
+        channel.send(
+            Direction.SERVER_TO_CLIENT, hello.getvalue(), PHASE_HANDSHAKE,
+            bits=hello.bit_length,
+        )
+        expected_fingerprint = BitReader(
+            channel.receive(Direction.SERVER_TO_CLIENT)
+        ).read_bytes(16)
+        blocks = _initial_blocks(len(old_data), config.start_block_size)
+        pinned = []
+        rounds = 0
 
     # --- Rounds ----------------------------------------------------------
-    blocks = _initial_blocks(len(old_data), config.start_block_size)
-    pinned: list[_Pinned] = []
-    rounds = 0
     while blocks:
         rounds += 1
+        channel.mark_round(rounds)
         message = BitWriter()
         for block in blocks:
             packed = DecomposableAdler.pack(
@@ -172,6 +238,12 @@ def multiround_rsync_sync(
             else:
                 block.status = BlockStatus.EXHAUSTED
         blocks = next_blocks
+        if checkpointer is not None:
+            checkpointer.record_round(
+                rounds,
+                encode_round_state(expected_fingerprint, blocks, pinned),
+                channel.stats,
+            )
 
     # --- Delta: cover F_new with pinned client blocks + literals ---------
     by_server_position = sorted(

@@ -14,13 +14,14 @@ disconnects on top of the same accounting.
 """
 
 from repro.net.channel import Direction, LinkModel, SimulatedChannel
-from repro.net.faults import FaultKind, FaultPlan, FaultyChannel
+from repro.net.faults import FaultEvent, FaultKind, FaultPlan, FaultyChannel
 from repro.net.frame import FRAME_OVERHEAD, decode_frame, encode_frame
 from repro.net.metrics import TransferStats
 
 __all__ = [
     "Direction",
     "FRAME_OVERHEAD",
+    "FaultEvent",
     "FaultKind",
     "FaultPlan",
     "FaultyChannel",

@@ -91,10 +91,20 @@ class SimulatedChannel:
         }
         self._last_direction: Direction | None = None
         self._closed = False
+        #: Protocol round the traffic currently belongs to (0 = before the
+        #: first round); protocols advance it via :meth:`mark_round` so
+        #: fault injection can report *where* in the exchange a fault hit.
+        self.current_round = 0
 
     def close(self) -> None:
         """Close the channel; further sends raise ``ChannelClosedError``."""
         self._closed = True
+
+    def mark_round(self, index: int) -> None:
+        """Tag subsequent traffic as belonging to protocol round ``index``."""
+        if index < 0:
+            raise ValueError(f"round index must be non-negative, got {index}")
+        self.current_round = index
 
     @property
     def roundtrips(self) -> int:

@@ -35,6 +35,7 @@ import random
 from collections import Counter
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import NamedTuple
 
 from repro.exceptions import ChannelClosedError
 from repro.net.channel import LinkModel, SimulatedChannel
@@ -49,6 +50,17 @@ class FaultKind(Enum):
     TRUNCATE = "truncate"
     DROP = "drop"
     DISCONNECT = "disconnect"
+
+
+class FaultEvent(NamedTuple):
+    """One injected fault, with enough context to correlate failure point
+    with recovery cost: which send it hit, in which protocol phase, and —
+    when the protocol marks rounds on its channel — in which round."""
+
+    kind: FaultKind
+    phase: str
+    send_index: int
+    round_index: int
 
 
 @dataclass
@@ -75,6 +87,10 @@ class FaultPlan:
 
     sends_seen: int = field(default=0, init=False, repr=False)
     injected: Counter = field(default_factory=Counter, init=False, repr=False)
+    #: Every injected fault in transmit order, with phase/round context.
+    fault_log: "list[FaultEvent]" = field(
+        default_factory=list, init=False, repr=False
+    )
     _rng: random.Random = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -112,11 +128,25 @@ class FaultPlan:
     def faults_injected(self) -> int:
         return sum(self.injected.values())
 
-    def next_fault(self, phase: str) -> FaultKind | None:
+    @property
+    def disconnect_rounds(self) -> list[int]:
+        """Protocol round index at which each disconnect fired.
+
+        Round 0 means "before the first round" (handshake traffic, or a
+        protocol that does not mark rounds on its channel).  Fault-matrix
+        rows use this to correlate the failure point with recovery cost.
+        """
+        return [
+            event.round_index
+            for event in self.fault_log
+            if event.kind is FaultKind.DISCONNECT
+        ]
+
+    def next_fault(self, phase: str, round_index: int = 0) -> FaultKind | None:
         """Decide the fate of the next message sent under this plan."""
         self.sends_seen += 1
         if self.sends_seen == self.disconnect_after_sends:
-            self.injected[FaultKind.DISCONNECT] += 1
+            self._record(FaultKind.DISCONNECT, phase, round_index)
             return FaultKind.DISCONNECT
         if self.phases is not None and phase not in self.phases:
             return None
@@ -132,8 +162,14 @@ class FaultPlan:
             kind = FaultKind.DROP
         else:
             return None
-        self.injected[kind] += 1
+        self._record(kind, phase, round_index)
         return kind
+
+    def _record(self, kind: FaultKind, phase: str, round_index: int) -> None:
+        self.injected[kind] += 1
+        self.fault_log.append(
+            FaultEvent(kind, phase, self.sends_seen, round_index)
+        )
 
     def mangle(self, frame: bytes, kind: FaultKind) -> bytes:
         """Apply ``kind`` to one encoded frame."""
@@ -174,7 +210,7 @@ class FaultyChannel(SimulatedChannel):
     ) -> None:
         if self._closed:
             raise ChannelClosedError("send on a closed channel")
-        fault = self.plan.next_fault(phase)
+        fault = self.plan.next_fault(phase, round_index=self.current_round)
         if fault is FaultKind.DISCONNECT:
             self.close()
             raise ChannelClosedError(

@@ -88,7 +88,10 @@ def _sync_one(
     started = time.perf_counter()
     cpu_started = time.process_time()
     try:
-        outcome = method.sync_file(task.old, task.new)
+        # Route the entry's name through so wrappers with durable
+        # per-file state (checkpoint journals) can key it; plain methods
+        # ignore it via the SyncMethod default.
+        outcome = method.sync_named_file(task.name, task.old, task.new)
         error = None
     except ReproError as exc:
         if not capture_errors:

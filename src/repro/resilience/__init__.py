@@ -12,10 +12,31 @@ a whole collection update survive the channel breaking that promise:
   retries the attempt, then degrades down a fallback ladder
   (multiround → rsync → full transfer), recording which rung finally
   succeeded plus the retry and retransmission cost.
+* :mod:`~repro.resilience.checkpoint` — durable, CRC-guarded per-file
+  journals of round-boundary protocol state, so a retry (or a restarted
+  process) resumes from the last completed round instead of round 0.
+* :mod:`~repro.resilience.recovery` — the resume handshake that lets two
+  endpoints agree on a journal head, and the startup sweep that cleans a
+  replica directory after a crash (quarantining interrupted atomic
+  writes, listing resumable journals).
 
-See DESIGN.md §9 ("Failure model & recovery").
+See DESIGN.md §9 ("Failure model & recovery") and §10 ("Resumable
+sessions & crash recovery").
 """
 
+from repro.resilience.checkpoint import (
+    CheckpointStore,
+    RoundCheckpoint,
+    SessionIdentity,
+    SessionJournal,
+    config_digest,
+)
+from repro.resilience.recovery import (
+    PHASE_RESUME,
+    RecoveryReport,
+    attempt_resume,
+    recover_store,
+)
 from repro.resilience.retry import RetryPolicy
 from repro.resilience.supervisor import (
     RECOVERABLE_ERRORS,
@@ -24,8 +45,17 @@ from repro.resilience.supervisor import (
 )
 
 __all__ = [
+    "CheckpointStore",
+    "PHASE_RESUME",
     "RECOVERABLE_ERRORS",
+    "RecoveryReport",
     "RetryPolicy",
+    "RoundCheckpoint",
+    "SessionIdentity",
+    "SessionJournal",
     "SyncSupervisor",
+    "attempt_resume",
+    "config_digest",
     "default_ladder",
+    "recover_store",
 ]

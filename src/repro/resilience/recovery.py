@@ -1,0 +1,169 @@
+"""Crash recovery: the resume handshake and the store startup sweep.
+
+Two recovery paths live here, both *cheap relative to what they save*:
+
+* :func:`attempt_resume` — before re-running a torn session from round 0,
+  the endpoints spend a few bytes agreeing that their checkpoint journals
+  describe the same boundary (round index + a 16-byte digest of the round
+  record).  On agreement the session continues from the last completed
+  round; on any disagreement — or no checkpoint at all — the caller falls
+  back to the ordinary restart, having lost only the handshake.
+* :func:`recover_store` — after a process crash, the replica directory
+  may hold orphaned temporaries from interrupted atomic writes (never
+  torn *visible* files — see :mod:`repro.collection.store`).  The sweep
+  quarantines them and reports which manifest entries are missing or
+  stale, so the next sync knows exactly what is left to do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.io.bitstream import BitReader, BitWriter
+from repro.net.channel import SimulatedChannel
+from repro.net.metrics import Direction
+from repro.resilience.checkpoint import (
+    RoundCheckpoint,
+    SessionIdentity,
+    SessionJournal,
+)
+
+#: Phase label the resume handshake's traffic is charged under, so its
+#: cost is visible (and attributable) in every breakdown.
+PHASE_RESUME = "resume"
+
+
+def attempt_resume(
+    journal: SessionJournal,
+    identity: SessionIdentity,
+    channel: SimulatedChannel,
+) -> tuple[RoundCheckpoint | None, int]:
+    """Try to agree on resuming ``journal``'s head over ``channel``.
+
+    Returns ``(checkpoint, handshake_bits)``.  ``checkpoint`` is ``None``
+    when there is nothing to salvage (no head, or the journal describes a
+    different session) — the caller then runs the session from scratch.
+    On success the checkpoint's cumulative transfer counters are folded
+    into ``channel.stats``, so the resumed run's accounting continues
+    exactly where the interrupted run's stopped, with the handshake
+    charged on top under :data:`PHASE_RESUME`.
+
+    The handshake itself crosses the (possibly faulty) channel, so it can
+    die of the same recoverable errors as any round — callers supervise
+    it together with the attempt it precedes.
+    """
+    head = journal.head()
+    if head is None or journal.identity != identity:
+        return None, 0
+
+    # client → server: the boundary I can restart from.
+    proposal = BitWriter()
+    proposal.write_uvarint(head.round_index)
+    proposal.write_bytes(head.digest())
+    channel.send(
+        Direction.CLIENT_TO_SERVER,
+        proposal.getvalue(),
+        PHASE_RESUME,
+        bits=proposal.bit_length,
+    )
+    reader = BitReader(channel.receive(Direction.CLIENT_TO_SERVER))
+    proposed_round = reader.read_uvarint()
+    proposed_digest = reader.read_bytes(16)
+
+    # server → client: one bit — my journal head agrees (both endpoints
+    # share the journal in this in-process simulation, but the check is
+    # performed on the *received* values, as a real deployment would).
+    agreed = (
+        proposed_round == head.round_index and proposed_digest == head.digest()
+    )
+    channel.send(
+        Direction.SERVER_TO_CLIENT,
+        b"\x01" if agreed else b"\x00",
+        PHASE_RESUME,
+        bits=1,
+    )
+    ack = channel.receive(Direction.SERVER_TO_CLIENT) == b"\x01"
+    handshake_bits = proposal.bit_length + 1
+    if not ack:
+        return None, handshake_bits
+    head.seed_stats(channel.stats)
+    return head, handshake_bits
+
+
+# ----------------------------------------------------------------------
+# Store recovery
+# ----------------------------------------------------------------------
+
+QUARANTINE_DIR = ".repro-quarantine"
+
+
+@dataclass
+class RecoveryReport:
+    """What a startup sweep of a replica directory found and did."""
+
+    root: Path
+    #: Orphaned atomic-write temporaries moved into the quarantine dir.
+    quarantined: list[Path] = field(default_factory=list)
+    #: Manifest entries with no visible file (the crash preceded them).
+    missing: list[str] = field(default_factory=list)
+    #: Manifest entries whose visible bytes mismatch the fingerprint.
+    stale: list[str] = field(default_factory=list)
+    #: Checkpoint journals left by interrupted sessions (resumable).
+    pending_journals: list[Path] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not (
+            self.quarantined or self.missing or self.stale
+            or self.pending_journals
+        )
+
+
+def recover_store(
+    root: str | Path,
+    manifest=None,
+    checkpoint_dir: str | Path | None = None,
+) -> RecoveryReport:
+    """Sweep a replica directory after a crash.
+
+    Every ``*.repro.tmp`` temporary is an interrupted atomic write — its
+    visible counterpart is either the intact previous version or absent,
+    never torn — and is moved under ``root/.repro-quarantine/`` (contents
+    preserved for post-mortems, name suffixed to avoid collisions).  With
+    a ``manifest`` the visible files are checked against their recorded
+    fingerprints; with a ``checkpoint_dir`` the leftover session journals
+    are listed so the caller can rerun with ``resume=True``.
+    """
+    from repro.collection.store import TMP_SUFFIX
+    from repro.hashing.strong import file_fingerprint
+
+    root = Path(root)
+    report = RecoveryReport(root=root)
+    if root.is_dir():
+        quarantine = root / QUARANTINE_DIR
+        for temp in sorted(root.rglob(f"*{TMP_SUFFIX}")):
+            if quarantine in temp.parents:
+                continue
+            quarantine.mkdir(parents=True, exist_ok=True)
+            target = quarantine / temp.name
+            serial = 0
+            while target.exists():
+                serial += 1
+                target = quarantine / f"{temp.name}.{serial}"
+            temp.replace(target)
+            report.quarantined.append(target)
+
+    if manifest is not None:
+        for name in sorted(manifest.entries):
+            path = root / name
+            if not path.is_file():
+                report.missing.append(name)
+            elif file_fingerprint(path.read_bytes()) != manifest.entries[name]:
+                report.stale.append(name)
+
+    if checkpoint_dir is not None:
+        checkpoint_root = Path(checkpoint_dir)
+        if checkpoint_root.is_dir():
+            report.pending_journals = sorted(checkpoint_root.glob("*.ckpt"))
+    return report

@@ -13,6 +13,14 @@ degradation made explicit, and the returned
 :class:`~repro.syncmethod.MethodOutcome` records which rung succeeded,
 how many attempts were burnt, and what the recovery cost on the wire and
 in (estimated) wall-clock.
+
+With a :class:`~repro.resilience.checkpoint.CheckpointStore` the
+supervisor additionally makes retries *cheap*: checkpoint-capable rungs
+journal their state at every round boundary, and each retry first runs
+the resume handshake (:func:`~repro.resilience.recovery.attempt_resume`)
+to continue from the last completed round instead of restarting.  Only
+the traffic past the newest durable checkpoint is then charged as
+retransmission — the salvaged rounds were *not* wasted.
 """
 
 from __future__ import annotations
@@ -27,6 +35,8 @@ from repro.exceptions import (
 )
 from repro.net.channel import LinkModel, SimulatedChannel
 from repro.net.faults import FaultPlan
+from repro.net.metrics import Direction
+from repro.resilience.checkpoint import CheckpointStore, RoundCheckpoint
 from repro.resilience.retry import RetryPolicy
 from repro.syncmethod import MethodOutcome, SyncMethod
 
@@ -61,6 +71,39 @@ def default_ladder(primary: SyncMethod) -> list[SyncMethod]:
     return [rung for rung in ladder if rung.name != primary.name]
 
 
+def _waste_after(
+    channel: SimulatedChannel, head: "RoundCheckpoint | None"
+) -> tuple[int, float]:
+    """Wire bytes and wall-clock a failed attempt definitively burnt.
+
+    Without a checkpoint head, everything the channel carried is waste
+    (the PR-2 accounting, unchanged).  With one, traffic up to the head
+    will be salvaged by the next attempt's resume — only the tail past
+    the last durable boundary, plus link-level retransmissions, is lost.
+    """
+    stats = channel.stats
+    if head is None:
+        return (
+            stats.total_bytes + stats.retransmitted_bytes,
+            channel.estimated_transfer_time(),
+        )
+    c2s = max(
+        0,
+        stats.client_to_server_bytes
+        - head.bytes_in_direction(Direction.CLIENT_TO_SERVER),
+    )
+    s2c = max(
+        0,
+        stats.server_to_client_bytes
+        - head.bytes_in_direction(Direction.SERVER_TO_CLIENT),
+    )
+    roundtrips = max(0, stats.roundtrips - head.roundtrips)
+    return (
+        c2s + s2c + stats.retransmitted_bytes,
+        channel.link.transfer_time_directional(c2s, s2c, roundtrips),
+    )
+
+
 class SyncSupervisor(SyncMethod):
     """Wrap a :class:`SyncMethod` with retry, backoff and fallback.
 
@@ -81,6 +124,12 @@ class SyncSupervisor(SyncMethod):
         the supervisor is pure pass-through on the happy path.
     link:
         Link model used for the channels and for pricing recovery time.
+    checkpoints:
+        Optional :class:`~repro.resilience.checkpoint.CheckpointStore`.
+        When given, checkpoint-capable rungs journal every completed
+        round and each retry attempts the resume handshake first,
+        continuing from the last durable boundary.  ``None`` (default)
+        reproduces PR-2 behaviour byte for byte.
     """
 
     def __init__(
@@ -90,12 +139,14 @@ class SyncSupervisor(SyncMethod):
         ladder: list[SyncMethod] | None = None,
         fault_plan: FaultPlan | None = None,
         link: LinkModel | None = None,
+        checkpoints: CheckpointStore | None = None,
     ) -> None:
         self.method = method
         self.retry = retry or RetryPolicy()
         self.ladder = default_ladder(method) if ladder is None else ladder
         self.fault_plan = fault_plan
         self.link = link
+        self.checkpoints = checkpoints
         self.name = f"supervised({method.name})"
 
     # ------------------------------------------------------------------
@@ -106,16 +157,51 @@ class SyncSupervisor(SyncMethod):
 
     def sync_file(self, old: bytes, new: bytes) -> MethodOutcome:
         """Synchronise one file pair, surviving recoverable failures."""
+        return self.sync_named_file(None, old, new)
+
+    def sync_named_file(
+        self, name: str | None, old: bytes, new: bytes
+    ) -> MethodOutcome:
+        """Synchronise one named file pair, surviving recoverable failures.
+
+        ``name`` keys the per-file checkpoint journal (when a store is
+        configured); ``None`` is valid and shares the anonymous journal.
+        """
+        from repro.resilience.recovery import attempt_resume
+
         retries = 0
         retransmitted_bytes = 0
         recovery_seconds = 0.0
+        rounds_salvaged = 0
+        resume_handshake_bits = 0
+        checkpoint_bytes = 0
         history: list[str] = []
 
         for rung in [self.method, *self.ladder]:
+            journal = None
+            identity = None
+            if self.checkpoints is not None and rung.supports_checkpoint:
+                journal = self.checkpoints.journal(name)
+                identity = rung.checkpoint_identity(old, new)
+                journal.open(identity, resume=self.checkpoints.resume)
             for _attempt in range(self.retry.max_attempts):
                 channel = self._make_channel()
+                resume_state: RoundCheckpoint | None = None
                 try:
-                    outcome = rung.sync_file_over(old, new, channel)
+                    if journal is not None:
+                        resume_state, handshake_bits = attempt_resume(
+                            journal, identity, channel
+                        )
+                        resume_handshake_bits += handshake_bits
+                        outcome = rung.sync_file_resumable(
+                            old,
+                            new,
+                            channel,
+                            checkpointer=journal,
+                            resume_from=resume_state,
+                        )
+                    else:
+                        outcome = rung.sync_file_over(old, new, channel)
                     if not outcome.correct:
                         raise IntegrityError(
                             f"{rung.name} reconstructed the wrong bytes"
@@ -124,22 +210,45 @@ class SyncSupervisor(SyncMethod):
                     retries += 1
                     history.append(f"{rung.name}: {type(error).__name__}")
                     # The failed attempt's bytes crossed the wire for
-                    # nothing; charge them (and the backoff) to recovery.
-                    retransmitted_bytes += (
-                        channel.stats.total_bytes
-                        + channel.stats.retransmitted_bytes
+                    # nothing — minus whatever a checkpointed resume will
+                    # salvage; charge the rest (and the backoff) to
+                    # recovery.
+                    wasted_bytes, wasted_seconds = _waste_after(
+                        channel, journal.head() if journal else None
                     )
+                    retransmitted_bytes += wasted_bytes
                     recovery_seconds += (
-                        self.retry.backoff_seconds(retries)
-                        + channel.estimated_transfer_time()
+                        self.retry.backoff_seconds(retries) + wasted_seconds
                     )
                     continue
+                if resume_state is not None:
+                    rounds_salvaged += resume_state.round_index
+                if journal is not None:
+                    checkpoint_bytes += journal.bytes_written
+                    journal.commit()
                 outcome.retries += retries
                 outcome.retransmitted_bytes += retransmitted_bytes
                 outcome.recovery_seconds += recovery_seconds
+                outcome.rounds_salvaged += rounds_salvaged
+                outcome.resume_handshake_bits += resume_handshake_bits
+                outcome.checkpoint_bytes_written += checkpoint_bytes
                 if rung is not self.method:
                     outcome.fallback_method = rung.name
                 return outcome
+            if journal is not None:
+                # Abandoning this rung abandons its checkpoints: traffic
+                # previously excluded from waste as "salvageable" is now
+                # definitively lost — settle the bill before descending.
+                checkpoint_bytes += journal.bytes_written
+                head = journal.head()
+                if head is not None:
+                    link = self.link or LinkModel()
+                    retransmitted_bytes += head.total_bytes
+                    recovery_seconds += link.transfer_time_directional(
+                        head.bytes_in_direction(Direction.CLIENT_TO_SERVER),
+                        head.bytes_in_direction(Direction.SERVER_TO_CLIENT),
+                        head.roundtrips,
+                    )
 
         raise SyncFailedError(
             f"all ladder rungs failed after {retries} attempts "

@@ -22,6 +22,12 @@ class MethodOutcome:
     ``retransmitted_bytes`` is the wire cost of the failed attempts and
     ``recovery_seconds`` the estimated wall-clock they burnt (backoff
     plus wasted transfer time on the configured link).
+
+    The checkpoint fields likewise stay zero unless a supervisor ran
+    with durable round checkpoints: ``rounds_salvaged`` counts protocol
+    rounds a resume skipped instead of re-buying, ``resume_handshake_bits``
+    the wire cost of agreeing to resume, and ``checkpoint_bytes_written``
+    the *local* journal bytes fsynced (disk cost, never wire cost).
     """
 
     total_bytes: int
@@ -33,6 +39,9 @@ class MethodOutcome:
     fallback_method: str | None = None
     retransmitted_bytes: int = 0
     recovery_seconds: float = 0.0
+    rounds_salvaged: int = 0
+    resume_handshake_bits: int = 0
+    checkpoint_bytes_written: int = 0
 
     def __add__(self, other: "MethodOutcome") -> "MethodOutcome":
         merged = dict(self.breakdown)
@@ -50,6 +59,13 @@ class MethodOutcome:
                 self.retransmitted_bytes + other.retransmitted_bytes
             ),
             recovery_seconds=self.recovery_seconds + other.recovery_seconds,
+            rounds_salvaged=self.rounds_salvaged + other.rounds_salvaged,
+            resume_handshake_bits=(
+                self.resume_handshake_bits + other.resume_handshake_bits
+            ),
+            checkpoint_bytes_written=(
+                self.checkpoint_bytes_written + other.checkpoint_bytes_written
+            ),
         )
 
 
@@ -57,10 +73,24 @@ class SyncMethod(ABC):
     """One row of the paper's comparison tables."""
 
     name: str
+    #: True for methods whose protocol can snapshot round state into a
+    #: :class:`~repro.resilience.checkpoint.SessionJournal` and resume
+    #: from it (they then also implement ``checkpoint_identity`` and
+    #: ``sync_file_resumable``).
+    supports_checkpoint: bool = False
 
     @abstractmethod
     def sync_file(self, old: bytes, new: bytes) -> MethodOutcome:
         """Synchronise one file pair; return the transfer accounting."""
+
+    def sync_named_file(self, name: str | None, old: bytes, new: bytes) -> MethodOutcome:
+        """Synchronise one *named* file pair.
+
+        The collection layer calls this with the entry's name so wrappers
+        keeping durable per-file state (checkpoint journals) can key it.
+        The default ignores the name.
+        """
+        return self.sync_file(old, new)
 
     def sync_file_over(self, old: bytes, new: bytes, channel) -> MethodOutcome:
         """Synchronise one file pair over a caller-supplied channel.

@@ -1,0 +1,181 @@
+"""End-to-end crash recovery: real SIGKILLs, real restarts, real disks.
+
+These tests run the CLI in a subprocess with the two crash hooks armed:
+
+* ``REPRO_CRASH_AFTER_CHECKPOINTS=N`` — SIGKILL right after the Nth
+  durable round checkpoint, i.e. between two protocol rounds;
+* ``REPRO_CRASH_AFTER_WRITES=N`` — SIGKILL during the Nth atomic store
+  write, after the temp is fsynced but *before* the rename (the worst
+  instant for a non-atomic writer).
+
+A rerun with ``--resume`` must salvage the journalled rounds, the
+recovery sweep must quarantine the orphaned temporaries, and at no point
+may a *visible* file hold torn bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.collection import TMP_SUFFIX
+from tests.conftest import make_version_pair
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def run_cli(*args, crash_env=None, cwd=None):
+    env = {k: v for k, v in os.environ.items()
+           if not k.startswith("REPRO_CRASH")}
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    if crash_env:
+        env.update(crash_env)
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *map(str, args)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=cwd,
+        timeout=120,
+    )
+
+
+@pytest.fixture
+def collection_pair(tmp_path):
+    """Two multi-round files plus a small one, laid out as directories."""
+    old_dir = tmp_path / "old"
+    new_dir = tmp_path / "new"
+    new_side = {}
+    for index, (seed, nbytes) in enumerate([(501, 15000), (502, 12000)]):
+        old, new = make_version_pair(seed=seed, nbytes=nbytes, edits=8)
+        (old_dir / f"f{index}.bin").parent.mkdir(parents=True, exist_ok=True)
+        (old_dir / f"f{index}.bin").write_bytes(old)
+        (new_dir / f"f{index}.bin").parent.mkdir(parents=True, exist_ok=True)
+        (new_dir / f"f{index}.bin").write_bytes(new)
+        new_side[f"f{index}.bin"] = new
+    return old_dir, new_dir, new_side
+
+
+def assert_was_sigkilled(proc):
+    assert proc.returncode == -signal.SIGKILL, (
+        f"expected SIGKILL, got rc={proc.returncode}\n"
+        f"stdout: {proc.stdout}\nstderr: {proc.stderr}"
+    )
+
+
+class TestCrashBetweenRounds:
+    def test_kill_then_resume_salvages_rounds(self, tmp_path,
+                                              collection_pair):
+        old_dir, new_dir, new_side = collection_pair
+        ckpt = tmp_path / "ckpt"
+        out = tmp_path / "out"
+
+        # First run: killed after the 4th durable checkpoint.
+        proc = run_cli(
+            "sync", old_dir, new_dir,
+            "--checkpoint-dir", ckpt, "--output", out,
+            crash_env={"REPRO_CRASH_AFTER_CHECKPOINTS": "4"},
+        )
+        assert_was_sigkilled(proc)
+        journals = sorted(ckpt.glob("*.ckpt"))
+        assert journals, "the crashed run must leave a journal behind"
+
+        # The recovery sweep points at the resumable journals.
+        swept = run_cli("recover", out, "--checkpoint-dir", ckpt, "--json")
+        assert swept.returncode == 0, swept.stderr
+        report = json.loads(swept.stdout)
+        assert report["pending_journals"]
+
+        # Second run: --resume picks the session up mid-file.
+        proc = run_cli(
+            "sync", old_dir, new_dir,
+            "--checkpoint-dir", ckpt, "--output", out,
+            "--resume", "--json",
+        )
+        assert proc.returncode == 0, proc.stderr
+        run = json.loads(proc.stdout)
+        assert run["rounds_salvaged"] >= 1
+        assert run["resume_handshake_bits"] > 0
+
+        # The collection is fully and correctly materialised...
+        for name, data in new_side.items():
+            assert (out / name).read_bytes() == data
+        # ...and every journal was committed away.
+        assert sorted(ckpt.glob("*.ckpt")) == []
+
+    def test_resume_costs_less_than_restart(self, tmp_path,
+                                            collection_pair):
+        """The crashed-then-resumed pair of runs transfers fewer total
+        bytes (sum of both attempts' new traffic) than crashing and
+        restarting from scratch would: the salvaged rounds are not
+        re-bought.  We compare the resumed run against a clean run — the
+        resumed one must cost at most the handshake more than *finishing*
+        a clean run, despite having started over a dead process."""
+        old_dir, new_dir, _ = collection_pair
+        ckpt = tmp_path / "ckpt"
+
+        clean = run_cli("sync", old_dir, new_dir, "--json")
+        clean_total = json.loads(clean.stdout)["total_bytes"]
+
+        proc = run_cli(
+            "sync", old_dir, new_dir, "--checkpoint-dir", ckpt,
+            crash_env={"REPRO_CRASH_AFTER_CHECKPOINTS": "4"},
+        )
+        assert_was_sigkilled(proc)
+        proc = run_cli(
+            "sync", old_dir, new_dir, "--checkpoint-dir", ckpt,
+            "--resume", "--json",
+        )
+        resumed = json.loads(proc.stdout)
+        handshake_bytes = resumed["resume_handshake_bits"] // 8 + 2
+        assert resumed["rounds_salvaged"] >= 1
+        assert resumed["total_bytes"] <= clean_total + handshake_bytes
+
+
+class TestCrashDuringStoreWrite:
+    @pytest.mark.parametrize("nth_write", [1, 2])
+    def test_no_torn_visible_file(self, tmp_path, collection_pair,
+                                  nth_write):
+        old_dir, new_dir, new_side = collection_pair
+        out = tmp_path / "out"
+
+        proc = run_cli(
+            "sync", old_dir, new_dir, "--output", out,
+            crash_env={"REPRO_CRASH_AFTER_WRITES": str(nth_write)},
+        )
+        assert_was_sigkilled(proc)
+
+        # The interrupted write left its fsynced temporary behind...
+        orphans = sorted(out.rglob(f"*{TMP_SUFFIX}"))
+        assert len(orphans) == 1
+        # ...and every *visible* file is complete, never torn: writes go
+        # in sorted order, so the first nth_write-1 files are finished.
+        visible = [
+            p for p in sorted(out.rglob("*"))
+            if p.is_file() and not p.name.endswith(TMP_SUFFIX)
+        ]
+        assert len(visible) == nth_write - 1
+        for path in visible:
+            name = str(path.relative_to(out))
+            assert path.read_bytes() == new_side[name], (
+                f"{name} is torn after the crash"
+            )
+
+        # Sweep, then rerun: the replica converges byte-for-byte.
+        swept = run_cli("recover", out, "--json")
+        report = json.loads(swept.stdout)
+        assert len(report["quarantined"]) == 1
+        assert sorted(out.rglob(f"*{TMP_SUFFIX}"))[0].parent.name == (
+            ".repro-quarantine"
+        )
+
+        proc = run_cli("sync", old_dir, new_dir, "--output", out)
+        assert proc.returncode == 0, proc.stderr
+        for name, data in new_side.items():
+            assert (out / name).read_bytes() == data

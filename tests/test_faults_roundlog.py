@@ -1,0 +1,76 @@
+"""FaultPlan's fault log: which round did the failure actually hit?"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import synchronize
+from repro.exceptions import ChannelClosedError
+from repro.multiround import multiround_rsync_sync
+from repro.net import FaultPlan
+from repro.net.faults import FaultEvent, FaultKind
+from tests.conftest import make_version_pair
+
+
+class TestFaultEventRecords:
+    def test_disconnect_is_logged_with_send_index(self):
+        plan = FaultPlan(disconnect_after_sends=2)
+        channel = plan.channel()
+        from repro.net.metrics import Direction
+
+        channel.send(Direction.CLIENT_TO_SERVER, b"a", "map", bits=8)
+        with pytest.raises(ChannelClosedError):
+            channel.send(Direction.CLIENT_TO_SERVER, b"b", "map", bits=8)
+        assert plan.fault_log == [
+            FaultEvent(FaultKind.DISCONNECT, "map", send_index=2,
+                       round_index=0)
+        ]
+
+    def test_probabilistic_faults_carry_their_phase(self):
+        plan = FaultPlan(seed=3, corrupt_rate=1.0, max_faults=2)
+        channel = plan.channel()
+        from repro.net.metrics import Direction
+
+        channel.send(Direction.CLIENT_TO_SERVER, b"a", "map", bits=8)
+        channel.send(Direction.SERVER_TO_CLIENT, b"b", "delta", bits=8)
+        assert [e.kind for e in plan.fault_log] == [FaultKind.CORRUPT] * 2
+        assert [e.phase for e in plan.fault_log] == ["map", "delta"]
+
+
+class TestRoundAttribution:
+    def test_handshake_disconnect_is_round_zero(self):
+        old, new = make_version_pair(seed=510, nbytes=10000, edits=5)
+        plan = FaultPlan(disconnect_after_sends=1)
+        with pytest.raises(ChannelClosedError):
+            synchronize(old, new, channel=plan.channel())
+        assert plan.disconnect_rounds == [0]
+
+    def test_late_disconnect_lands_in_a_real_round(self):
+        """Our protocol marks each round on the channel, so a disconnect
+        deep into the session is attributed to the round it interrupted."""
+        old, new = make_version_pair(seed=511, nbytes=15000, edits=8)
+        baseline = synchronize(old, new)
+        plan = FaultPlan(disconnect_after_sends=20)
+        with pytest.raises(ChannelClosedError):
+            synchronize(old, new, channel=plan.channel())
+        (round_hit,) = plan.disconnect_rounds
+        assert 1 <= round_hit <= baseline.rounds
+
+    def test_multiround_rsync_marks_rounds_too(self):
+        old, new = make_version_pair(seed=512, nbytes=15000, edits=8)
+        plan = FaultPlan(disconnect_after_sends=6)
+        with pytest.raises(ChannelClosedError):
+            multiround_rsync_sync(old, new, channel=plan.channel())
+        (round_hit,) = plan.disconnect_rounds
+        assert round_hit >= 1
+
+    def test_rounds_are_monotonic_across_the_log(self):
+        old, new = make_version_pair(seed=513, nbytes=12000, edits=6)
+        plan = FaultPlan(seed=5, corrupt_rate=0.3, max_faults=100)
+        try:
+            synchronize(old, new, channel=plan.channel())
+        except Exception:
+            pass  # faults may or may not kill the run; the log is the point
+        rounds = [event.round_index for event in plan.fault_log]
+        assert rounds == sorted(rounds)
+        assert plan.faults_injected == len(plan.fault_log)
