@@ -1,0 +1,92 @@
+"""Perf-regression gate: current substrate timings vs BENCH_parallel.json.
+
+Runs the same measurement that produced the committed baseline (see
+``repro.bench.perfbaseline``) and fails if any op has slowed past the
+tolerance, or if the zero-copy arena dispatch has lost its edge over the
+pickle path.
+
+Environment knobs (CI machines differ from the reference box):
+
+* ``REPRO_PERF_WORKERS``     executor workers (default 4)
+* ``REPRO_PERF_TOLERANCE``   allowed slowdown fraction vs the committed
+  baseline (default 2.0, i.e. 3x budget — generous for shared runners)
+* ``REPRO_PERF_MIN_SPEEDUP`` arena-over-pickle floor for the *current*
+  machine (default 1.05; the committed baseline itself must show >= 1.3)
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from conftest import publish
+from repro.bench.perfbaseline import (
+    DEFAULT_BASELINE_NAME,
+    compare_baselines,
+    load_baseline,
+    measure,
+    render_baseline,
+    save_baseline,
+)
+from repro.parallel import arena_available
+
+REPO_ROOT = Path(__file__).parent.parent
+BASELINE_PATH = REPO_ROOT / DEFAULT_BASELINE_NAME
+
+WORKERS = int(os.environ.get("REPRO_PERF_WORKERS", "4"))
+TOLERANCE = float(os.environ.get("REPRO_PERF_TOLERANCE", "2.0"))
+MIN_SPEEDUP = float(os.environ.get("REPRO_PERF_MIN_SPEEDUP", "1.05"))
+
+#: The committed reference baseline must demonstrate this dispatch
+#: speedup (the PR 4 acceptance floor), independent of this machine.
+COMMITTED_SPEEDUP_FLOOR = 1.3
+
+
+@pytest.fixture(scope="module")
+def committed():
+    if not BASELINE_PATH.exists():
+        pytest.fail(f"missing committed baseline {BASELINE_PATH}")
+    return load_baseline(BASELINE_PATH)
+
+
+@pytest.fixture(scope="module")
+def current():
+    baseline = measure(workers=WORKERS)
+    # Persist this machine's numbers for the CI artifact.
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    save_baseline(baseline, results_dir / "BENCH_parallel.current.json")
+    return baseline
+
+
+def test_committed_baseline_demonstrates_arena_speedup(committed):
+    """The checked-in trajectory point must show the >= 1.3x dispatch win."""
+    assert committed.arena_speedup >= COMMITTED_SPEEDUP_FLOOR, (
+        f"committed BENCH_parallel.json records arena speedup "
+        f"{committed.arena_speedup:.2f}x < {COMMITTED_SPEEDUP_FLOOR}x"
+    )
+    assert committed.ops["executor_arena"].payload_bytes == (
+        committed.ops["executor_pickle"].payload_bytes
+    )
+
+
+def test_no_op_regressed_past_tolerance(current, committed):
+    publish("perf_baseline", render_baseline(current))
+    findings = compare_baselines(current, committed, tolerance=TOLERANCE)
+    assert not findings, "\n".join(findings)
+
+
+@pytest.mark.skipif(
+    not arena_available(), reason="POSIX shared memory unavailable"
+)
+def test_arena_dispatch_still_faster_than_pickle(current):
+    """The zero-copy path must keep beating pickling on this machine."""
+    assert "executor_arena" in current.ops, (
+        "arena path did not engage despite arena_available()"
+    )
+    assert current.arena_speedup >= MIN_SPEEDUP, (
+        f"arena dispatch speedup {current.arena_speedup:.2f}x fell below "
+        f"the {MIN_SPEEDUP}x floor on this machine"
+    )

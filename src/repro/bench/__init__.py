@@ -20,26 +20,46 @@ from repro.bench.methods import (
     standard_methods,
 )
 from repro.bench.export import export_runs, run_to_row
+from repro.bench.perfbaseline import (
+    DEFAULT_BASELINE_NAME,
+    FingerprintProbeMethod,
+    OpTiming,
+    PerfBaseline,
+    compare_baselines,
+    load_baseline,
+    measure,
+    render_baseline,
+    save_baseline,
+)
 from repro.bench.runner import CollectionRun, run_method_on_collection
 from repro.bench.report import format_kb, render_grouped_bars, render_table
 
 __all__ = [
     "AdaptiveMethod",
     "CollectionRun",
+    "DEFAULT_BASELINE_NAME",
+    "FingerprintProbeMethod",
     "FullTransferMethod",
     "MethodOutcome",
     "MultiroundRsyncMethod",
+    "OpTiming",
     "OursMethod",
+    "PerfBaseline",
     "RsyncMethod",
     "RsyncOptimalMethod",
     "SyncMethod",
     "VcdiffMethod",
     "ZdeltaMethod",
+    "compare_baselines",
     "export_runs",
     "format_kb",
+    "load_baseline",
+    "measure",
+    "render_baseline",
     "render_grouped_bars",
     "render_table",
     "run_method_on_collection",
     "run_to_row",
+    "save_baseline",
     "standard_methods",
 ]

@@ -34,6 +34,8 @@ def run_to_row(run: CollectionRun) -> dict[str, object]:
         "p95_file_seconds": round(run.p95_file_seconds, 6),
         "cache_hits": run.cache_hits,
         "cache_misses": run.cache_misses,
+        "arena_used": run.arena_used,
+        "arena_bytes": run.arena_bytes,
         "retries": run.retries,
         "fallback_files": run.fallback_files,
         "failed_files": run.failed_files,

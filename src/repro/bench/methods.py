@@ -44,6 +44,7 @@ class OursMethod(SyncMethod):
     """The paper's multi-round protocol."""
 
     supports_checkpoint = True
+    supports_pickle = True
 
     def __init__(self, config: ProtocolConfig | None = None, name: str = "ours") -> None:
         self.config = config or ProtocolConfig()
@@ -85,6 +86,8 @@ class OursMethod(SyncMethod):
 class RsyncMethod(SyncMethod):
     """rsync with a fixed block size (the tool's default by default)."""
 
+    supports_pickle = True
+
     def __init__(self, block_size: int = DEFAULT_BLOCK_SIZE) -> None:
         self.block_size = block_size
         self.name = f"rsync(b={block_size})" if block_size != DEFAULT_BLOCK_SIZE else "rsync"
@@ -103,6 +106,7 @@ class RsyncOptimalMethod(SyncMethod):
     """Idealised rsync: per-file best block size (an oracle baseline)."""
 
     name = "rsync-opt"
+    supports_pickle = True
 
     def __init__(self, block_sizes: tuple[int, ...] = DEFAULT_SEARCH_BLOCK_SIZES) -> None:
         self.block_sizes = block_sizes
@@ -117,6 +121,7 @@ class MultiroundRsyncMethod(SyncMethod):
 
     name = "multiround"
     supports_checkpoint = True
+    supports_pickle = True
 
     def __init__(self, config=None) -> None:
         from repro.multiround import MultiroundConfig
@@ -178,6 +183,7 @@ class ZdeltaMethod(SyncMethod):
     """Local delta compression — the paper's practical lower bound."""
 
     name = "zdelta"
+    supports_pickle = True
 
     def sync_file(self, old: bytes, new: bytes) -> MethodOutcome:
         size = zdelta_size(old, new)
@@ -192,6 +198,7 @@ class VcdiffMethod(SyncMethod):
     """The second delta-compressor baseline."""
 
     name = "vcdiff"
+    supports_pickle = True
 
     def sync_file(self, old: bytes, new: bytes) -> MethodOutcome:
         size = vcdiff_size(old, new)
@@ -206,6 +213,7 @@ class FullTransferMethod(SyncMethod):
     """Send the new file compressed — what non-delta tools do."""
 
     name = "gzip-full"
+    supports_pickle = True
 
     def sync_file(self, old: bytes, new: bytes) -> MethodOutcome:
         size = len(zlib.compress(new, 9))

@@ -1,0 +1,359 @@
+"""Perf-regression baseline for the parallel substrate (BENCH_parallel.json).
+
+The paper's closing note (§6.2) concedes the prototype "runs at a speed
+of up to a few MB of raw data per second" — CPU throughput, not wire
+bytes, is the deployment bottleneck.  This harness pins that throughput
+down so it cannot silently regress: it times the core substrate ops
+(vectorised window-hash scan, rsync token matching, zdelta encoding, the
+end-to-end protocol) and the collection executor's two dispatch
+substrates (zero-copy shared-memory arena vs. classic pickle) on fixed
+seeded workloads, then writes or compares a JSON baseline.
+
+The executor measurement uses a fingerprint *probe* method — it MD5s
+both payloads and nothing else — so the number isolates the dispatch
+substrate itself (serialization, page traffic, scheduling) rather than
+protocol compute.  Timings are best-of-``rounds`` wall clock, which is
+the steady-state figure the arena pool is designed for.
+
+Baselines are machine-specific: compare runs against a baseline recorded
+on comparable hardware and use a generous tolerance in CI (the committed
+file records the reference machine's numbers).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.syncmethod import MethodOutcome, SyncMethod
+
+#: Format marker for BENCH_parallel.json.
+SCHEMA_VERSION = 1
+
+#: Repo-root baseline file name (the committed trajectory point).
+DEFAULT_BASELINE_NAME = "BENCH_parallel.json"
+
+#: Seeded workload defaults: 64 changed files, ~48 MB of payload.
+DEFAULT_FILES = 64
+DEFAULT_FILE_KB = 384
+DEFAULT_WORKERS = 4
+DEFAULT_ROUNDS = 3
+DEFAULT_SEED = 20240806
+
+#: Comparison tolerance: an op regresses when it is slower than
+#: ``committed * (1 + tolerance)``.  0.5 locally; CI uses 2.0 (3x).
+DEFAULT_TOLERANCE = 0.5
+
+
+class FingerprintProbeMethod(SyncMethod):
+    """Reads every payload byte (MD5) and does nothing else.
+
+    The cheapest *honest* per-file method: every byte of ``old`` and
+    ``new`` is touched exactly once, so executor timings measure the
+    dispatch substrate, not protocol compute.
+    """
+
+    name = "fingerprint-probe"
+    supports_pickle = True
+
+    def sync_file(self, old: bytes, new: bytes) -> MethodOutcome:
+        digest_bytes = len(hashlib.md5(old).digest()) + len(
+            hashlib.md5(new).digest()
+        )
+        return MethodOutcome(
+            total_bytes=digest_bytes,
+            server_to_client=digest_bytes,
+            breakdown={"s2c/probe": digest_bytes},
+        )
+
+
+@dataclass
+class OpTiming:
+    """Best-of-rounds timing of one substrate operation."""
+
+    name: str
+    seconds: float
+    payload_bytes: int
+    rounds: int
+
+    @property
+    def mb_per_s(self) -> float:
+        if self.seconds <= 0.0:
+            return 0.0
+        return self.payload_bytes / self.seconds / 1e6
+
+    def to_row(self) -> dict[str, object]:
+        return {
+            "seconds": round(self.seconds, 6),
+            "mb_per_s": round(self.mb_per_s, 3),
+            "payload_bytes": self.payload_bytes,
+            "rounds": self.rounds,
+        }
+
+    @classmethod
+    def from_row(cls, name: str, row: dict) -> "OpTiming":
+        return cls(
+            name=name,
+            seconds=float(row["seconds"]),
+            payload_bytes=int(row["payload_bytes"]),
+            rounds=int(row.get("rounds", 1)),
+        )
+
+
+@dataclass
+class PerfBaseline:
+    """One full measurement of the substrate (the BENCH_parallel row)."""
+
+    workload: dict[str, int]
+    ops: dict[str, OpTiming]
+    environment: dict[str, object] = field(default_factory=dict)
+    schema: int = SCHEMA_VERSION
+
+    @property
+    def arena_speedup(self) -> float:
+        """Collection-sync dispatch speedup: pickle time / arena time."""
+        pickle_op = self.ops.get("executor_pickle")
+        arena_op = self.ops.get("executor_arena")
+        if pickle_op is None or arena_op is None or arena_op.seconds <= 0:
+            return 0.0
+        return pickle_op.seconds / arena_op.seconds
+
+    def to_json(self) -> str:
+        payload = {
+            "schema": self.schema,
+            "workload": dict(self.workload),
+            "environment": dict(self.environment),
+            "ops": {name: op.to_row() for name, op in sorted(self.ops.items())},
+            "derived": {
+                "executor_arena_speedup": round(self.arena_speedup, 3),
+            },
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "PerfBaseline":
+        payload = json.loads(text)
+        return cls(
+            schema=int(payload.get("schema", 0)),
+            workload={k: int(v) for k, v in payload["workload"].items()},
+            environment=dict(payload.get("environment", {})),
+            ops={
+                name: OpTiming.from_row(name, row)
+                for name, row in payload["ops"].items()
+            },
+        )
+
+
+def save_baseline(baseline: PerfBaseline, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(baseline.to_json())
+    return path
+
+
+def load_baseline(path: str | Path) -> PerfBaseline:
+    return PerfBaseline.from_json(Path(path).read_text())
+
+
+def compare_baselines(
+    current: PerfBaseline,
+    committed: PerfBaseline,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> list[str]:
+    """Regression report: ops slower than ``committed * (1 + tolerance)``.
+
+    Returns human-readable findings (empty = no regression).  Ops present
+    only on one side are skipped — the baseline schema may grow.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    findings: list[str] = []
+    for name, committed_op in sorted(committed.ops.items()):
+        current_op = current.ops.get(name)
+        if current_op is None or committed_op.seconds <= 0:
+            continue
+        budget = committed_op.seconds * (1.0 + tolerance)
+        if current_op.seconds > budget:
+            findings.append(
+                f"{name}: {current_op.seconds:.4f}s exceeds "
+                f"{committed_op.seconds:.4f}s baseline "
+                f"(+{tolerance:.0%} budget = {budget:.4f}s)"
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Workload construction (seeded, deterministic)
+# ----------------------------------------------------------------------
+def build_workload(
+    files: int = DEFAULT_FILES,
+    file_kb: int = DEFAULT_FILE_KB,
+    edits: int = 12,
+    seed: int = DEFAULT_SEED,
+) -> tuple[dict[str, bytes], dict[str, bytes]]:
+    """``files`` distinct pseudo-random file pairs, every file changed."""
+    rng = random.Random(seed)
+    size = file_kb * 1024
+    old_side: dict[str, bytes] = {}
+    new_side: dict[str, bytes] = {}
+    for index in range(files):
+        old = rng.randbytes(size)
+        new = bytearray(old)
+        for _ in range(edits):
+            at = rng.randrange(max(1, size - 256))
+            new[at : at + 64] = rng.randbytes(96)
+        name = f"f{index:03d}.bin"
+        old_side[name] = old
+        new_side[name] = bytes(new)
+    return old_side, new_side
+
+
+def _best_of(rounds: int, run) -> float:
+    best = float("inf")
+    for _ in range(max(1, rounds)):
+        started = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+# ----------------------------------------------------------------------
+# Measurement
+# ----------------------------------------------------------------------
+def measure(
+    files: int = DEFAULT_FILES,
+    file_kb: int = DEFAULT_FILE_KB,
+    workers: int = DEFAULT_WORKERS,
+    rounds: int = DEFAULT_ROUNDS,
+    seed: int = DEFAULT_SEED,
+    include_protocol: bool = True,
+) -> PerfBaseline:
+    """Time every substrate op on the seeded workload; return the record."""
+    from repro.delta import zdelta_encode
+    from repro.hashing import DecomposableAdler, window_hashes
+    from repro.parallel import FileTask, SyncExecutor, arena_available
+    from repro.rsync import compute_signatures, match_tokens
+
+    old_side, new_side = build_workload(files=files, file_kb=file_kb, seed=seed)
+    tasks = [
+        FileTask(name, old_side[name], new_side[name]) for name in old_side
+    ]
+    payload = sum(task.total_bytes for task in tasks)
+    ops: dict[str, OpTiming] = {}
+
+    def record(name: str, seconds: float, nbytes: int, used_rounds: int) -> None:
+        ops[name] = OpTiming(name, seconds, nbytes, used_rounds)
+
+    # --- core substrate micro-ops on one representative pair ----------
+    sample_old = tasks[0].old
+    sample_new = tasks[0].new
+    hasher = DecomposableAdler(seed=1)
+
+    scan_rounds = max(rounds, 3)
+    record(
+        "window_hash_scan",
+        _best_of(scan_rounds, lambda: window_hashes(sample_old, 64, hasher)),
+        len(sample_old),
+        scan_rounds,
+    )
+
+    signatures = compute_signatures(sample_old, 700)
+    record(
+        "match_tokens",
+        _best_of(rounds, lambda: match_tokens(sample_new, signatures, 2)),
+        len(sample_new),
+        rounds,
+    )
+
+    delta_old = sample_old[: 128 * 1024]
+    delta_new = sample_new[: 128 * 1024]
+    record(
+        "zdelta_encode",
+        _best_of(rounds, lambda: zdelta_encode(delta_old, delta_new)),
+        len(delta_new),
+        rounds,
+    )
+
+    if include_protocol:
+        from repro.core import ProtocolConfig, synchronize
+
+        protocol_old = sample_old[: 256 * 1024]
+        protocol_new = sample_new[: 256 * 1024]
+        record(
+            "protocol_sync",
+            _best_of(
+                1, lambda: synchronize(protocol_old, protocol_new, ProtocolConfig())
+            ),
+            len(protocol_new),
+            1,
+        )
+
+    # --- collection-sync dispatch: pickle vs zero-copy arena ----------
+    probe = FingerprintProbeMethod()
+
+    pickle_executor = SyncExecutor(workers=workers, use_arena=False)
+    record(
+        "executor_pickle",
+        _best_of(rounds, lambda: pickle_executor.run(probe, tasks)),
+        payload,
+        rounds,
+    )
+
+    if arena_available():
+        arena_executor = SyncExecutor(workers=workers, use_arena=True)
+        sample_batch = arena_executor.run(probe, tasks)
+        if sample_batch.arena_used:
+            record(
+                "executor_arena",
+                _best_of(rounds, lambda: arena_executor.run(probe, tasks)),
+                payload,
+                rounds,
+            )
+
+    environment = {
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "arena_available": arena_available(),
+    }
+    workload = {
+        "files": files,
+        "file_kb": file_kb,
+        "workers": workers,
+        "rounds": rounds,
+        "seed": seed,
+    }
+    return PerfBaseline(workload=workload, ops=ops, environment=environment)
+
+
+def render_baseline(baseline: PerfBaseline) -> str:
+    """Terminal table of one measurement (CLI + benchmark output)."""
+    from repro.bench.report import render_table
+
+    rows = []
+    for name, op in sorted(baseline.ops.items()):
+        rows.append(
+            [
+                name,
+                f"{op.seconds * 1000:.1f}",
+                f"{op.mb_per_s:,.1f}",
+                f"{op.payload_bytes / 1024:,.0f}",
+                str(op.rounds),
+            ]
+        )
+    speedup = baseline.arena_speedup
+    title = (
+        f"perf baseline — {baseline.workload['files']} files × "
+        f"{baseline.workload['file_kb']} KB, "
+        f"workers={baseline.workload['workers']}"
+    )
+    if speedup:
+        title += f"; arena speedup {speedup:.2f}x over pickle dispatch"
+    return render_table(
+        ["op", "ms (best)", "MB/s", "payload KB", "rounds"], rows, title=title
+    )

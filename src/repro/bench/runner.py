@@ -44,6 +44,8 @@ class CollectionRun:
     p95_file_seconds: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    arena_used: bool = False
+    arena_bytes: int = 0
     retries: int = 0
     fallback_files: int = 0
     failed_files: int = 0
@@ -69,6 +71,7 @@ def run_method_on_collection(
     new_files: dict[str, bytes],
     verify: bool = True,
     workers: int | None = 1,
+    use_arena: bool | None = None,
     on_error: str = "raise",
     fault_plan=None,
     retry_policy=None,
@@ -85,6 +88,7 @@ def run_method_on_collection(
         method,
         verify=verify,
         workers=workers,
+        use_arena=use_arena,
         on_error=on_error,
         fault_plan=fault_plan,
         retry_policy=retry_policy,
@@ -115,6 +119,8 @@ def run_method_on_collection(
         p95_file_seconds=_percentile(file_seconds, 0.95),
         cache_hits=report.cache_hits,
         cache_misses=report.cache_misses,
+        arena_used=report.arena_used,
+        arena_bytes=report.arena_bytes,
         retries=report.total_retries,
         fallback_files=report.files_fallback,
         failed_files=report.files_failed,

@@ -126,6 +126,7 @@ def _cmd_sync(args: argparse.Namespace) -> int:
         old_side,
         new_side,
         workers=args.workers or None,
+        use_arena=args.arena,
         on_error=args.on_error,
         fault_plan=fault_plan,
         retry_policy=_retry_policy_from_args(args),
@@ -150,6 +151,8 @@ def _cmd_sync(args: argparse.Namespace) -> int:
                     "cpu_seconds": round(run.cpu_seconds, 4),
                     "cache_hits": run.cache_hits,
                     "cache_misses": run.cache_misses,
+                    "arena_used": run.arena_used,
+                    "arena_bytes": run.arena_bytes,
                     "retries": run.retries,
                     "fallback_files": run.fallback_files,
                     "failed_files": run.failed_files,
@@ -175,6 +178,9 @@ def _cmd_sync(args: argparse.Namespace) -> int:
         print(f"workers         : {run.workers} "
               f"(cpu {run.cpu_seconds:.2f}s, cache "
               f"{run.cache_hits}/{run.cache_hits + run.cache_misses} hits)")
+        if run.arena_used:
+            print(f"arena           : {run.arena_bytes:,} B shared-memory "
+                  f"payload (zero-copy dispatch)")
         if fault_plan is not None or run.retries or run.failed_files:
             print(f"resilience      : {run.retries} retries, "
                   f"{run.fallback_files} fallbacks, "
@@ -336,7 +342,51 @@ def _cmd_manifest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_perf(args: argparse.Namespace) -> int:
+    """Measure the substrate perf baseline; record or compare it."""
+    from repro.bench.perfbaseline import (
+        compare_baselines,
+        load_baseline,
+        measure,
+        render_baseline,
+        save_baseline,
+    )
+
+    import os
+
+    current = measure(workers=args.workers or os.cpu_count() or 1)
+    if args.json:
+        print(current.to_json(), end="")
+    else:
+        print(render_baseline(current))
+    baseline_path = Path(args.baseline)
+    if args.update:
+        save_baseline(current, baseline_path)
+        print(f"wrote baseline to {baseline_path}")
+        return 0
+    if not baseline_path.exists():
+        print(
+            f"error: no baseline at {baseline_path} "
+            f"(record one with --update)",
+            file=sys.stderr,
+        )
+        return 2
+    findings = compare_baselines(
+        current, load_baseline(baseline_path), tolerance=args.tolerance
+    )
+    if findings:
+        print(f"\nPERF REGRESSIONS vs {baseline_path}:", file=sys.stderr)
+        for finding in findings:
+            print(f"  {finding}", file=sys.stderr)
+        return 1
+    print(f"\nno regressions vs {baseline_path} "
+          f"(tolerance {args.tolerance:.0%})")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.bench_action == "perf":
+        return _cmd_bench_perf(args)
     if args.workload == "gcc":
         tree = gcc_like(scale=args.scale, seed=args.seed)
         old_side, new_side = tree.old, tree.new
@@ -354,7 +404,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     rows = []
     for method in standard_methods():
         run = run_method_on_collection(
-            method, old_side, new_side, workers=args.workers or None
+            method,
+            old_side,
+            new_side,
+            workers=args.workers or None,
+            use_arena=args.arena,
         )
         rows.append(
             [
@@ -403,6 +457,11 @@ def build_parser() -> argparse.ArgumentParser:
     sync.add_argument("--workers", type=_worker_count, default=1,
                       help="process count for changed-file fan-out "
                            "(0 = one per CPU)")
+    sync.add_argument("--arena", action=argparse.BooleanOptionalAction,
+                      default=None,
+                      help="dispatch multi-worker payloads through the "
+                           "zero-copy shared-memory arena (default: auto "
+                           "when available; --no-arena forces pickling)")
     sync.add_argument("--batched", action="store_true",
                       help="share roundtrips across all changed files "
                            "(only with --method ours)")
@@ -461,7 +520,8 @@ def build_parser() -> argparse.ArgumentParser:
     manifest_diff.set_defaults(handler=_cmd_manifest)
 
     bench = sub.add_parser("bench", help="quick method comparison on a "
-                                         "synthetic workload")
+                                         "synthetic workload, or the "
+                                         "substrate perf baseline")
     bench.add_argument("--workload", choices=("gcc", "emacs", "web"),
                        default="gcc")
     bench.add_argument("--scale", type=float, default=0.1)
@@ -469,7 +529,31 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--workers", type=_worker_count, default=1,
                        help="process count for changed-file fan-out "
                             "(0 = one per CPU)")
-    bench.set_defaults(handler=_cmd_bench)
+    bench.add_argument("--arena", action=argparse.BooleanOptionalAction,
+                       default=None,
+                       help="dispatch multi-worker payloads through the "
+                            "zero-copy shared-memory arena (default: auto)")
+    bench.set_defaults(handler=_cmd_bench, bench_action=None)
+    bench_sub = bench.add_subparsers(dest="bench_action")
+    bench_perf = bench_sub.add_parser(
+        "perf", help="time core substrate ops and the arena vs pickle "
+                     "dispatch paths; compare against BENCH_parallel.json"
+    )
+    bench_perf.add_argument("--baseline", default="BENCH_parallel.json",
+                            help="baseline JSON to compare against or "
+                                 "update")
+    bench_perf.add_argument("--update", action="store_true",
+                            help="record the current measurement as the "
+                                 "new baseline instead of comparing")
+    bench_perf.add_argument("--tolerance", type=float, default=0.5,
+                            help="allowed slowdown fraction before an op "
+                                 "counts as a regression (0.5 = 50%%)")
+    bench_perf.add_argument("--workers", type=_worker_count, default=4,
+                            help="executor worker count for the dispatch "
+                                 "measurements (0 = one per CPU)")
+    bench_perf.add_argument("--json", action="store_true",
+                            help="print the raw measurement JSON")
+    bench_perf.set_defaults(handler=_cmd_bench, bench_action="perf")
 
     recover = sub.add_parser(
         "recover", help="sweep a replica directory after a crash: "

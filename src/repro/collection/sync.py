@@ -37,6 +37,8 @@ class CollectionReport:
     cpu_seconds: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    arena_used: bool = False
+    arena_bytes: int = 0
     retries: dict[str, int] = field(default_factory=dict)
     fallbacks: dict[str, str] = field(default_factory=dict)
     failed: dict[str, str] = field(default_factory=dict)
@@ -169,6 +171,7 @@ def sync_collection(
     verify: bool = True,
     change_detection: str = "manifest",
     workers: int | None = 1,
+    use_arena: bool | None = None,
     executor: SyncExecutor | None = None,
     on_error: str = "raise",
     fault_plan=None,
@@ -192,7 +195,11 @@ def sync_collection(
     ``workers`` (or a preconfigured ``executor``) fans the changed files
     out over a process pool; results are reassembled in manifest order so
     the report's byte accounting is identical to the serial run.
-    ``workers=None`` uses one process per CPU.
+    ``workers=None`` uses one process per CPU.  ``use_arena`` picks the
+    dispatch substrate for the pool: ``None`` (default) ships payloads
+    through a zero-copy shared-memory arena when the platform supports
+    it, ``False`` forces the classic pickle path, ``True`` insists on
+    trying the arena.  Reports are byte-identical either way.
 
     Resilience: passing a ``fault_plan``
     (:class:`~repro.net.faults.FaultPlan`) and/or a ``retry_policy``
@@ -285,7 +292,7 @@ def sync_collection(
         report.reconstructed[name] = zlib.decompress(payload)
 
     if executor is None:
-        executor = SyncExecutor(workers=workers)
+        executor = SyncExecutor(workers=workers, use_arena=use_arena)
     batch = executor.run(
         method,
         [
@@ -297,6 +304,8 @@ def sync_collection(
     report.workers = batch.workers_used
     report.cache_hits = batch.cache_hits
     report.cache_misses = batch.cache_misses
+    report.arena_used = batch.arena_used
+    report.arena_bytes = batch.arena_bytes
     for result in batch.files:
         name = result.name
         report.per_file_seconds[name] = result.elapsed_seconds

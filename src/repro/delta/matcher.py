@@ -22,21 +22,50 @@ DEFAULT_MAX_CANDIDATES = 8
 
 
 def _common_prefix_length(a: memoryview, b: memoryview) -> int:
-    """Length of the common prefix of two byte views, chunk-accelerated."""
+    """Length of the common prefix of two byte views, chunk-accelerated.
+
+    Equal chunks are compared with one ``memcmp``; the first differing
+    chunk is resolved without a per-byte loop by XOR-ing the chunks as
+    little-endian integers — the lowest set bit's byte index is exactly
+    the first mismatching byte.
+    """
     limit = min(len(a), len(b))
     matched = 0
     chunk = 64
     while matched < limit:
         take = min(chunk, limit - matched)
-        if a[matched : matched + take] == b[matched : matched + take]:
+        wa = a[matched : matched + take]
+        wb = b[matched : matched + take]
+        if wa == wb:
             matched += take
             chunk = min(chunk * 2, 1 << 16)
             continue
-        # Narrow down inside the differing chunk byte by byte.
-        for offset in range(take):
-            if a[matched + offset] != b[matched + offset]:
-                return matched + offset
-        return matched + take
+        diff = int.from_bytes(wa, "little") ^ int.from_bytes(wb, "little")
+        return matched + (((diff & -diff).bit_length() - 1) >> 3)
+    return matched
+
+
+def _common_suffix_length(a: memoryview, b: memoryview, limit: int) -> int:
+    """Length of the common suffix of two byte views, capped at ``limit``.
+
+    Mirror image of :func:`_common_prefix_length`: equal tail chunks are
+    one comparison each, and the first differing chunk is resolved via
+    the *highest* set bit of the little-endian XOR (the differing byte
+    closest to the end).
+    """
+    limit = min(limit, len(a), len(b))
+    matched = 0
+    chunk = 64
+    while matched < limit:
+        take = min(chunk, limit - matched)
+        wa = a[len(a) - matched - take : len(a) - matched]
+        wb = b[len(b) - matched - take : len(b) - matched]
+        if wa == wb:
+            matched += take
+            chunk = min(chunk * 2, 1 << 16)
+            continue
+        diff = int.from_bytes(wa, "little") ^ int.from_bytes(wb, "little")
+        return matched + take - 1 - ((diff.bit_length() - 1) >> 3)
     return matched
 
 
@@ -118,14 +147,11 @@ def compute_instructions(
                     best_offset = candidate
         if best_length >= min_match:
             # Extend backward into pending literals.
-            back = 0
-            while (
-                back < len(literals)
-                and best_offset - back > 0
-                and reference[best_offset - back - 1]
-                == target[position - back - 1]
-            ):
-                back += 1
+            back = _common_suffix_length(
+                reference_view[:best_offset],
+                target_view[:position],
+                limit=min(len(literals), best_offset),
+            )
             if back:
                 del literals[len(literals) - back :]
             flush_literals()

@@ -170,12 +170,18 @@ class _WidthIndex:
         self._sorted = packed[self._order]
 
     def lookup(self, value: int, max_results: int) -> list[int]:
-        """Window start positions whose truncated hash equals ``value``."""
+        """Window start positions whose truncated hash equals ``value``.
+
+        Positions come back ascending: the stable argsort keeps equal
+        hashes in original (positional) order.
+        """
         lo = int(np.searchsorted(self._sorted, value, side="left"))
         hi = int(np.searchsorted(self._sorted, value, side="right"))
         if hi - lo > max_results:
             hi = lo + max_results
-        return [int(p) for p in self._order[lo:hi]]
+        # tolist() converts the whole slice to Python ints in C, instead
+        # of boxing one numpy scalar per element.
+        return self._order[lo:hi].tolist()
 
 
 class HashIndex:
@@ -244,6 +250,13 @@ class HashIndex:
         hi = min(hi, int(self._full.size))
         if lo >= hi:
             return []
+        index = self._by_width.get(width)
+        if index is not None:
+            # The sorted width index already exists: an O(log n) probe
+            # beats re-packing and scanning the whole slice.  Matches
+            # are ascending (stable sort), exactly like the scan below.
+            matches = index.lookup(value, int(self._full.size))
+            return [p for p in matches if lo <= p < hi][:max_results]
         packed = pack_to_width(self._full[lo:hi], width)
         positions = np.flatnonzero(packed == np.uint32(value))[:max_results]
-        return [int(p) + lo for p in positions]
+        return (positions + lo).tolist()

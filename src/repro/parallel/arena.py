@@ -1,0 +1,332 @@
+"""Zero-copy shared-memory arena for parallel task payloads.
+
+The process-pool executor used to pickle every task's full ``old`` and
+``new`` payloads through a pipe to each worker — for a collection update
+that means every byte of the collection is serialized, copied into a
+kernel buffer, copied back out, and deserialized before any hashing
+starts.  The arena removes all of that: the parent packs every payload
+into **one** ``multiprocessing.shared_memory`` segment with an offset
+table, task pickles shrink to ``(name, old_span, new_span)`` triples, and
+workers read payloads as zero-copy :class:`memoryview` windows straight
+into ``np.frombuffer`` (every substrate layer accepts buffer objects).
+
+Lifecycle rules (leak-freedom):
+
+* Only the *parent* owns a segment.  Workers attach read-only and never
+  unlink; a worker dying mid-chunk (even SIGKILL) merely drops its
+  mapping — the kernel frees pages when the parent unlinks.
+* Segments are recycled through :class:`ArenaPool`: releasing an arena
+  keeps one warm segment mapped so steady-state collection batches skip
+  the tmpfs first-touch page faults that dominate a cold pack.  The pool
+  drains (closes + unlinks) at interpreter exit via ``atexit``, and every
+  executor run releases its arena in a ``finally``.
+* Created segments stay registered with the stdlib ``resource_tracker``,
+  so even a SIGKILL of the *parent* cannot leak ``/dev/shm`` entries —
+  the tracker process sweeps them.
+
+When ``shared_memory`` is unavailable (sandboxed ``/dev/shm``, exotic
+platforms) :func:`arena_available` reports ``False`` and the executor
+falls back transparently to the pickle path with identical results.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+from dataclasses import dataclass
+
+from repro.exceptions import ReproError
+
+#: Segment names look like ``repro-arena-<pid>-<seq>`` so tests (and
+#: operators) can audit ``/dev/shm`` for leaks unambiguously.
+SEGMENT_PREFIX = "repro-arena"
+
+#: Smallest slab a pool segment is rounded up to; power-of-two growth
+#: above this keeps recycled segments reusable across similarly-sized
+#: collection batches.
+MIN_SEGMENT_BYTES = 1 << 20
+
+
+class ArenaError(ReproError):
+    """Shared-memory arena could not be created, packed, or attached."""
+
+
+@dataclass(frozen=True)
+class Span:
+    """One contiguous payload window inside the arena segment."""
+
+    start: int
+    stop: int
+
+    @property
+    def length(self) -> int:
+        return self.stop - self.start
+
+
+@dataclass(frozen=True)
+class SpanTask:
+    """A :class:`~repro.parallel.executor.FileTask` reduced to offsets.
+
+    This is what actually crosses the process boundary on the arena
+    path: a name and two spans, a few dozen bytes regardless of file
+    size.
+    """
+
+    name: str
+    old: Span
+    new: Span
+
+    @property
+    def total_bytes(self) -> int:
+        return self.old.length + self.new.length
+
+
+def _round_capacity(nbytes: int) -> int:
+    """Slab size for a requested payload: power-of-two, >= 1 MiB."""
+    wanted = max(int(nbytes), MIN_SEGMENT_BYTES)
+    return 1 << (wanted - 1).bit_length()
+
+
+class CollectionArena:
+    """One shared-memory segment holding a packed batch of payloads.
+
+    Parent side: :meth:`create` + :meth:`pack`; worker side:
+    :meth:`attach` + :meth:`view`.  ``close`` drops this process's
+    mapping, ``unlink`` (owner only) removes the segment.
+    """
+
+    def __init__(self, shm, owner: bool) -> None:
+        self._shm = shm
+        self._owner = owner
+        self._cursor = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, capacity: int) -> "CollectionArena":
+        """Create a new owned segment of at least ``capacity`` bytes."""
+        from multiprocessing import shared_memory
+
+        size = _round_capacity(capacity)
+        last_error: Exception | None = None
+        for attempt in range(16):
+            name = f"{SEGMENT_PREFIX}-{os.getpid()}-{_next_serial()}"
+            try:
+                shm = shared_memory.SharedMemory(
+                    name=name, create=True, size=size
+                )
+                return cls(shm, owner=True)
+            except FileExistsError as error:  # stale name from a dead pid
+                last_error = error
+            except OSError as error:
+                raise ArenaError(f"cannot create shared memory: {error}")
+        raise ArenaError(f"cannot allocate a segment name: {last_error}")
+
+    @classmethod
+    def attach(cls, name: str) -> "CollectionArena":
+        """Attach to an existing segment (worker side, never unlinks)."""
+        from multiprocessing import shared_memory
+
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        except (OSError, ValueError) as error:
+            raise ArenaError(f"cannot attach arena {name!r}: {error}")
+        return cls(shm, owner=False)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def capacity(self) -> int:
+        return self._shm.size
+
+    @property
+    def owner(self) -> bool:
+        return self._owner
+
+    @property
+    def used_bytes(self) -> int:
+        return self._cursor
+
+    # ------------------------------------------------------------------
+    # Packing (parent) and reading (workers)
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Rewind the pack cursor (segment reuse between batches)."""
+        self._cursor = 0
+
+    def _append(self, payload) -> Span:
+        start = self._cursor
+        stop = start + len(payload)
+        if stop > self.capacity:
+            raise ArenaError(
+                f"arena overflow: need {stop} bytes, capacity {self.capacity}"
+            )
+        self._shm.buf[start:stop] = payload
+        self._cursor = stop
+        return Span(start, stop)
+
+    def pack(self, tasks) -> list[SpanTask]:
+        """Copy every task's payloads in; return the offset-table tasks.
+
+        One sequential memcpy per payload — the only time the bytes are
+        copied on the arena path.
+        """
+        self.reset()
+        return [
+            SpanTask(task.name, self._append(task.old), self._append(task.new))
+            for task in tasks
+        ]
+
+    def view(self, span: Span) -> memoryview:
+        """Zero-copy window onto a packed payload.
+
+        The view pins the segment's buffer: release it (or let it die)
+        before closing the arena, or the mapping lingers until GC.
+        """
+        return self._shm.buf[span.start : span.stop]
+
+    def task_views(self, task: SpanTask) -> tuple[memoryview, memoryview]:
+        return self.view(task.old), self.view(task.new)
+
+    def read(self, span: Span) -> bytes:
+        """Copying read of a packed payload (no lingering buffer export)."""
+        view = self.view(span)
+        try:
+            return bytes(view)
+        finally:
+            view.release()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop this process's mapping (idempotent)."""
+        try:
+            self._shm.close()
+        except (OSError, BufferError):
+            pass
+
+    def unlink(self) -> None:
+        """Remove the segment (owner only; idempotent)."""
+        if not self._owner:
+            return
+        try:
+            self._shm.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+
+    def destroy(self) -> None:
+        self.close()
+        self.unlink()
+
+
+_serial_lock = threading.Lock()
+_serial = 0
+
+
+def _next_serial() -> int:
+    global _serial
+    with _serial_lock:
+        _serial += 1
+        return _serial
+
+
+class ArenaPool:
+    """Recycles warm arena segments across executor runs.
+
+    A freshly created segment pays a tmpfs first-touch page fault for
+    every page it packs — on a multi-megabyte collection batch that cost
+    rivals the pickling it replaces.  Retaining one warm segment between
+    batches amortises it away: steady-state packs are pure memcpy.
+
+    ``max_retained`` bounds how many idle segments stay mapped (default
+    one — collection batches are sequential in practice).
+    """
+
+    def __init__(self, max_retained: int = 1) -> None:
+        if max_retained < 0:
+            raise ValueError(
+                f"max_retained must be >= 0, got {max_retained}"
+            )
+        self.max_retained = max_retained
+        self._lock = threading.Lock()
+        self._idle: list[CollectionArena] = []
+        self.created = 0
+        self.reused = 0
+
+    def acquire(self, capacity: int) -> CollectionArena:
+        """A segment with at least ``capacity`` bytes, warm if possible."""
+        with self._lock:
+            for position, arena in enumerate(self._idle):
+                if arena.capacity >= capacity:
+                    del self._idle[position]
+                    self.reused += 1
+                    arena.reset()
+                    return arena
+        arena = CollectionArena.create(capacity)
+        with self._lock:
+            self.created += 1
+        return arena
+
+    def release(self, arena: CollectionArena) -> None:
+        """Return a segment; retained warm or destroyed beyond the cap."""
+        if not arena.owner:
+            arena.close()
+            return
+        with self._lock:
+            if len(self._idle) < self.max_retained:
+                self._idle.append(arena)
+                return
+        arena.destroy()
+
+    def drain(self) -> None:
+        """Destroy every retained segment (tests, interpreter exit)."""
+        with self._lock:
+            idle, self._idle = self._idle, []
+        for arena in idle:
+            arena.destroy()
+
+    def __len__(self) -> int:
+        return len(self._idle)
+
+
+_default_pool = ArenaPool()
+atexit.register(_default_pool.drain)
+
+
+def arena_pool() -> ArenaPool:
+    """The process-wide pool used by the parallel executor."""
+    return _default_pool
+
+
+_available: bool | None = None
+
+
+def arena_available() -> bool:
+    """Whether shared-memory arenas work here (probed once, cached).
+
+    Sandboxed environments without a usable ``/dev/shm`` make segment
+    creation fail; the executor then stays on the pickle path.
+    """
+    global _available
+    if _available is None:
+        try:
+            probe = CollectionArena.create(1)
+            probe.destroy()
+            _available = True
+        except Exception:
+            _available = False
+    return _available
+
+
+def _reset_availability_probe() -> None:
+    """Forget the cached probe (tests only)."""
+    global _available
+    _available = None

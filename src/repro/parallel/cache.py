@@ -153,6 +153,17 @@ class HashIndexCache:
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
+    def ensure_capacity(self, min_entries: int) -> None:
+        """Grow ``max_entries`` to at least ``min_entries`` (never shrink).
+
+        The parallel executor pre-sizes each worker's cache for the batch
+        it is about to process, so a large collection cannot evict-thrash
+        its own entries mid-run.
+        """
+        with self._lock:
+            if min_entries > self.max_entries:
+                self.max_entries = min_entries
+
     def clear(self) -> None:
         """Drop all entries (counters are kept; see :meth:`reset_stats`)."""
         with self._lock:

@@ -78,6 +78,13 @@ class SyncMethod(ABC):
     #: from it (they then also implement ``checkpoint_identity`` and
     #: ``sync_file_resumable``).
     supports_checkpoint: bool = False
+    #: Declares whether instances can cross a process boundary.  ``None``
+    #: (default) makes the parallel executor probe with ``pickle.dumps``
+    #: once per instance; final method classes that are known picklable
+    #: set ``True`` to skip the probe entirely.  Subclasses that add
+    #: unpicklable state (closures, open handles) must override this
+    #: back to ``None`` or ``False``.
+    supports_pickle: bool | None = None
 
     @abstractmethod
     def sync_file(self, old: bytes, new: bytes) -> MethodOutcome:

@@ -1,0 +1,217 @@
+"""The arena dispatch path must be invisible in every observable result.
+
+Reports produced through the zero-copy shared-memory substrate are
+asserted byte-identical to both the serial path and the classic pickle
+path — across workloads, per-file error capture, chunk-retry crash
+isolation, and fault injection — and the arena lifecycle must leave no
+``/dev/shm`` segment behind even when a worker is killed mid-chunk.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+
+import pytest
+
+from repro.bench import OursMethod, ZdeltaMethod
+from repro.collection import sync_collection
+from repro.parallel import FileTask, SyncExecutor, arena_available, arena_pool
+from repro.syncmethod import MethodOutcome, SyncMethod
+from repro.workloads import gcc_like
+
+from tests.test_faults_collection import _CrashOutsideParent, _DoomedMethod
+from tests.test_parallel_sync import PAIRS, _assert_reports_identical
+
+pytestmark = pytest.mark.skipif(
+    not arena_available(), reason="POSIX shared memory unavailable"
+)
+
+
+def _segments() -> set[str]:
+    return set(glob.glob("/dev/shm/repro-arena-*"))
+
+
+def _three_way(old, new, method_factory, **kwargs):
+    serial = sync_collection(old, new, method_factory(), workers=1, **kwargs)
+    pickled = sync_collection(
+        old, new, method_factory(), workers=2, use_arena=False, **kwargs
+    )
+    arena = sync_collection(
+        old, new, method_factory(), workers=2, use_arena=True, **kwargs
+    )
+    return serial, pickled, arena
+
+
+class TestReportParity:
+    @pytest.mark.parametrize("workload", sorted(PAIRS))
+    def test_arena_matches_serial_and_pickle_ours(self, workload):
+        old, new = PAIRS[workload]()
+        serial, pickled, arena = _three_way(old, new, OursMethod)
+        _assert_reports_identical(serial, pickled)
+        _assert_reports_identical(serial, arena)
+        assert pickled.arena_used is False
+
+    @pytest.mark.parametrize("workload", sorted(PAIRS))
+    def test_arena_matches_serial_and_pickle_zdelta(self, workload):
+        old, new = PAIRS[workload]()
+        serial, pickled, arena = _three_way(old, new, ZdeltaMethod)
+        _assert_reports_identical(serial, pickled)
+        _assert_reports_identical(serial, arena)
+
+    def test_arena_engages_on_multifile_batches(self):
+        tree = gcc_like(scale=0.05, seed=41)
+        report = sync_collection(
+            tree.old, tree.new, ZdeltaMethod(), workers=2, use_arena=True
+        )
+        if len(report.diff.changed) + len(report.diff.added) > 1:
+            assert report.arena_used
+            assert report.arena_bytes > 0
+        assert report.reconstructed == tree.new
+
+
+class TestErrorHandlingParity:
+    files_old = {
+        "good.txt": b"old-good " * 50,
+        "bad.txt": b"POISON old " * 50,
+        "also.txt": b"more old " * 50,
+    }
+    files_new = {
+        "good.txt": b"new-good " * 50,
+        "bad.txt": b"POISON new " * 50,
+        "also.txt": b"more new " * 50,
+    }
+
+    @pytest.mark.parametrize("on_error", ["skip", "fallback"])
+    def test_capture_errors_parity(self, on_error):
+        def factory():
+            return _DoomedMethod("POISON")
+
+        serial, pickled, arena = _three_way(
+            self.files_old, self.files_new, factory, on_error=on_error
+        )
+        _assert_reports_identical(serial, pickled)
+        _assert_reports_identical(serial, arena)
+        assert serial.failed == arena.failed
+        assert serial.fallbacks == arena.fallbacks
+
+    def test_fault_injection_parity(self):
+        """Under injected channel faults the dispatch substrate must be
+        invisible: the pickle and arena paths (same workers, same chunking,
+        hence identical per-worker fault-plan streams) produce identical
+        reports, and both reconstruct the target.  The serial run is *not*
+        compared byte-for-byte — the fault plan is one RNG stream advanced
+        in file order, so partitioning files across workers legitimately
+        realises different faults than the serial order does."""
+        from repro.net import FaultPlan
+
+        tree = gcc_like(scale=0.05, seed=42)
+
+        def run(**kwargs):
+            return sync_collection(
+                tree.old,
+                tree.new,
+                OursMethod(),
+                fault_plan=FaultPlan.uniform(0.1, seed=7),
+                on_error="fallback",
+                **kwargs,
+            )
+
+        pickled = run(workers=2, use_arena=False)
+        arena = run(workers=2, use_arena=True)
+        _assert_reports_identical(pickled, arena)
+        assert arena.reconstructed == tree.new
+        assert pickled.reconstructed == tree.new
+
+
+class TestCrashCleanup:
+    def test_sigkilled_worker_retried_and_no_segment_leaked(self):
+        """A worker dying mid-chunk on the arena path loses nothing: the
+        parent retries from its own payload bytes, and releasing the
+        arena in ``finally`` plus a pool drain leaves ``/dev/shm``
+        exactly as it was."""
+        before = _segments()
+        tasks = [
+            FileTask(f"f{index}", b"old " * 64, f"new-{index} ".encode() * 64)
+            for index in range(8)
+        ]
+        executor = SyncExecutor(workers=2, chunk_size=2, use_arena=True)
+        batch = executor.run(_CrashOutsideParent(), tasks)
+        assert [result.name for result in batch.files] == [
+            task.name for task in tasks
+        ]
+        assert all(result.error is None for result in batch.files)
+        assert batch.chunk_retries >= 1
+        arena_pool().drain()
+        assert _segments() - before == set()
+
+    def test_hard_exit_worker_segment_swept(self):
+        """Same, with the method killing the worker via ``os._exit`` on
+        the *first* file — the pool breaks immediately."""
+
+        class _InstantDeath(SyncMethod):
+            name = "instant-death"
+            supports_pickle = True
+
+            def __init__(self) -> None:
+                self.parent_pid = os.getpid()
+
+            def sync_file(self, old, new):
+                if os.getpid() != self.parent_pid:
+                    os._exit(17)
+                return MethodOutcome(
+                    total_bytes=len(new), server_to_client=len(new)
+                )
+
+        before = _segments()
+        tasks = [FileTask(f"g{i}", b"o" * 32, b"n" * 32) for i in range(6)]
+        batch = SyncExecutor(workers=2, chunk_size=1, use_arena=True).run(
+            _InstantDeath(), tasks
+        )
+        assert len(batch.files) == len(tasks)
+        assert batch.chunk_retries >= 1
+        arena_pool().drain()
+        assert _segments() - before == set()
+
+
+class TestFallbackPath:
+    def test_unavailable_arena_falls_back_to_pickle(self, monkeypatch):
+        import repro.parallel.arena as arena_module
+
+        monkeypatch.setattr(arena_module, "arena_available", lambda: False)
+        tree = gcc_like(scale=0.05, seed=43)
+        serial = sync_collection(tree.old, tree.new, ZdeltaMethod(), workers=1)
+        fallback = sync_collection(
+            tree.old, tree.new, ZdeltaMethod(), workers=2, use_arena=None
+        )
+        assert fallback.arena_used is False
+        _assert_reports_identical(serial, fallback)
+
+    def test_pack_failure_falls_back_to_pickle(self, monkeypatch):
+        import repro.parallel.arena as arena_module
+
+        def broken_pack(self, tasks):
+            raise arena_module.ArenaError("simulated pack failure")
+
+        monkeypatch.setattr(
+            arena_module.CollectionArena, "pack", broken_pack
+        )
+        before = _segments()
+        tree = gcc_like(scale=0.05, seed=44)
+        serial = sync_collection(tree.old, tree.new, ZdeltaMethod(), workers=1)
+        report = sync_collection(
+            tree.old, tree.new, ZdeltaMethod(), workers=2, use_arena=True
+        )
+        assert report.arena_used is False
+        _assert_reports_identical(serial, report)
+        arena_pool().drain()
+        assert _segments() - before == set()
+
+    def test_use_arena_false_never_touches_shared_memory(self):
+        before = _segments()
+        tree = gcc_like(scale=0.05, seed=45)
+        report = sync_collection(
+            tree.old, tree.new, ZdeltaMethod(), workers=2, use_arena=False
+        )
+        assert report.arena_used is False
+        assert _segments() == before

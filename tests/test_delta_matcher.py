@@ -9,6 +9,103 @@ from hypothesis import strategies as st
 from repro.delta import Add, Copy, ReferenceMatcher, apply_instructions, compute_instructions
 
 
+def _naive_prefix(a, b) -> int:
+    limit = min(len(a), len(b))
+    count = 0
+    while count < limit and a[count] == b[count]:
+        count += 1
+    return count
+
+
+def _naive_suffix(a, b, limit) -> int:
+    limit = min(limit, len(a), len(b))
+    count = 0
+    while count < limit and a[len(a) - 1 - count] == b[len(b) - 1 - count]:
+        count += 1
+    return count
+
+
+class TestCommonPrefixLength:
+    """The chunked XOR scan must agree with the per-byte definition."""
+
+    def _check(self, a: bytes, b: bytes) -> None:
+        from repro.delta.matcher import _common_prefix_length
+
+        assert _common_prefix_length(
+            memoryview(a), memoryview(b)
+        ) == _naive_prefix(a, b)
+
+    def test_boundary_cases(self):
+        self._check(b"", b"")
+        self._check(b"", b"abc")
+        self._check(b"a", b"a")
+        self._check(b"a", b"b")
+        self._check(b"same", b"same")
+        self._check(b"same-prefix-X", b"same-prefix-Y")
+
+    def test_mismatch_at_every_offset_near_chunk_edges(self):
+        base = bytes(range(256)) * 2
+        for at in (0, 1, 62, 63, 64, 65, 127, 128, 200, 511):
+            mutated = bytearray(base)
+            mutated[at] ^= 0xFF
+            self._check(base, bytes(mutated))
+
+    def test_long_identical_run_then_mismatch(self):
+        a = b"\x7f" * 100_000 + b"A"
+        b = b"\x7f" * 100_000 + b"B"
+        self._check(a, b)
+
+    @given(st.binary(max_size=300), st.binary(max_size=300))
+    @settings(max_examples=80)
+    def test_matches_naive_on_arbitrary_pairs(self, a, b):
+        self._check(a, b)
+
+    @given(st.binary(min_size=1, max_size=500), st.integers(0, 499))
+    @settings(max_examples=80)
+    def test_single_flip(self, data, position):
+        position %= len(data)
+        mutated = bytearray(data)
+        mutated[position] ^= 0x01
+        self._check(data, bytes(mutated))
+
+
+class TestCommonSuffixLength:
+    def _check(self, a: bytes, b: bytes, limit: int) -> None:
+        from repro.delta.matcher import _common_suffix_length
+
+        assert _common_suffix_length(
+            memoryview(a), memoryview(b), limit
+        ) == _naive_suffix(a, b, limit)
+
+    def test_boundary_cases(self):
+        self._check(b"", b"", 10)
+        self._check(b"abc", b"", 10)
+        self._check(b"xyz-tail", b"abc-tail", 100)
+        self._check(b"tail", b"tail", 0)  # limit zero: no match allowed
+        self._check(b"tail", b"tail", 2)
+
+    def test_limit_caps_the_scan(self):
+        from repro.delta.matcher import _common_suffix_length
+
+        a = b"AAAA" + b"same" * 30
+        b = b"BBBB" + b"same" * 30
+        assert _common_suffix_length(memoryview(a), memoryview(b), 7) == 7
+
+    def test_mismatch_near_chunk_edges(self):
+        base = bytes(range(256))
+        for at in (0, 1, 63, 64, 65, 191, 192, 255):
+            mutated = bytearray(base)
+            mutated[at] ^= 0xFF
+            self._check(base, bytes(mutated), len(base))
+
+    @given(
+        st.binary(max_size=300), st.binary(max_size=300), st.integers(0, 300)
+    )
+    @settings(max_examples=80)
+    def test_matches_naive_on_arbitrary_pairs(self, a, b, limit):
+        self._check(a, b, limit)
+
+
 class TestReferenceMatcher:
     def test_bad_seed_length_rejected(self):
         with pytest.raises(ValueError):

@@ -134,3 +134,60 @@ class TestHashIndex:
         v24 = index.packed_hash_at(10, 24)
         assert 10 in index.lookup(v8, 8)
         assert 10 in index.lookup(v24, 24)
+
+
+class TestLookupTypesAndEquivalence:
+    """lookup/lookup_in_range return plain ints, and the width-index
+    shortcut in lookup_in_range is equivalent to the packed-slice scan."""
+
+    def test_lookup_returns_python_ints(self):
+        data = bytes(range(256)) * 4
+        index = HashIndex(data, 16, HASHER)
+        value = index.packed_hash_at(40, 14)
+        positions = index.lookup(value, 14)
+        assert positions and all(type(p) is int for p in positions)
+
+    def test_lookup_in_range_returns_python_ints(self):
+        data = bytes(range(256)) * 4
+        index = HashIndex(data, 16, HASHER)
+        value = index.packed_hash_at(40, 14)
+        # No width index built for width 15 yet: slice-scan branch.
+        fresh = HashIndex(data, 16, HASHER)
+        positions = fresh.lookup_in_range(value, 14, 0, 10_000)
+        assert all(type(p) is int for p in positions)
+
+    @given(st.integers(0, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_range_lookup_same_with_and_without_width_index(self, seed):
+        rng = random.Random(seed)
+        data = bytes(rng.randrange(8) for _ in range(1500))  # many collisions
+        width = 10
+        queries = []
+        probe = HashIndex(data, 12, HASHER)
+        for _ in range(12):
+            position = rng.randrange(probe.position_count)
+            lo = rng.randrange(probe.position_count)
+            hi = lo + rng.randrange(1, 400)
+            queries.append((probe.packed_hash_at(position, width), lo, hi))
+
+        cold = HashIndex(data, 12, HASHER)  # never builds a width index
+        warm = HashIndex(data, 12, HASHER)
+        warm.lookup(queries[0][0], width)  # force the width index to exist
+        assert width in warm._by_width and width not in cold._by_width
+        for value, lo, hi in queries:
+            assert warm.lookup_in_range(value, width, lo, hi) == (
+                cold.lookup_in_range(value, width, lo, hi)
+            )
+
+    def test_range_lookup_cap_applies_on_both_branches(self):
+        data = b"\x00" * 1200  # every window identical
+        width = 10
+        cold = HashIndex(data, 16, HASHER)
+        warm = HashIndex(data, 16, HASHER)
+        value = warm.packed_hash_at(0, width)
+        warm.lookup(value, width)
+        for index in (cold, warm):
+            positions = index.lookup_in_range(
+                value, width, 100, 900, max_results=5
+            )
+            assert positions == list(range(100, 105))

@@ -1,0 +1,219 @@
+"""Unit tests of the shared-memory arena and its segment pool."""
+
+from __future__ import annotations
+
+import glob
+
+import pytest
+
+from repro.parallel import FileTask
+from repro.parallel.arena import (
+    MIN_SEGMENT_BYTES,
+    ArenaError,
+    ArenaPool,
+    CollectionArena,
+    Span,
+    SpanTask,
+    _reset_availability_probe,
+    _round_capacity,
+    arena_available,
+)
+
+
+def _leaked_segments() -> list[str]:
+    return glob.glob("/dev/shm/repro-arena-*")
+
+
+pytestmark = pytest.mark.skipif(
+    not arena_available(), reason="POSIX shared memory unavailable"
+)
+
+
+class TestCapacityRounding:
+    def test_minimum_slab(self):
+        assert _round_capacity(0) == MIN_SEGMENT_BYTES
+        assert _round_capacity(1) == MIN_SEGMENT_BYTES
+        assert _round_capacity(MIN_SEGMENT_BYTES) == MIN_SEGMENT_BYTES
+
+    def test_power_of_two_growth(self):
+        assert _round_capacity(MIN_SEGMENT_BYTES + 1) == 2 * MIN_SEGMENT_BYTES
+        value = _round_capacity(3 * MIN_SEGMENT_BYTES)
+        assert value == 4 * MIN_SEGMENT_BYTES
+        assert value & (value - 1) == 0
+
+
+class TestPackAndView:
+    def test_roundtrip_byte_equality(self):
+        tasks = [
+            FileTask("a", b"old-a" * 100, b"new-a" * 90),
+            FileTask("b", b"", b"only-new"),
+            FileTask("c", b"only-old", b""),
+        ]
+        arena = CollectionArena.create(sum(t.total_bytes for t in tasks))
+        try:
+            span_tasks = arena.pack(tasks)
+            assert [st.name for st in span_tasks] == ["a", "b", "c"]
+            for task, span_task in zip(tasks, span_tasks):
+                assert arena.read(span_task.old) == task.old
+                assert arena.read(span_task.new) == task.new
+                assert span_task.total_bytes == task.total_bytes
+        finally:
+            arena.destroy()
+
+    def test_spans_are_contiguous_and_disjoint(self):
+        tasks = [FileTask(f"f{i}", b"x" * 10, b"y" * 20) for i in range(5)]
+        arena = CollectionArena.create(1)
+        try:
+            span_tasks = arena.pack(tasks)
+            cursor = 0
+            for span_task in span_tasks:
+                assert span_task.old == Span(cursor, cursor + 10)
+                cursor += 10
+                assert span_task.new == Span(cursor, cursor + 20)
+                cursor += 20
+            assert arena.used_bytes == cursor
+        finally:
+            arena.destroy()
+
+    def test_empty_payloads_produce_empty_spans(self):
+        arena = CollectionArena.create(1)
+        try:
+            [span_task] = arena.pack([FileTask("empty", b"", b"")])
+            assert span_task.old.length == 0
+            assert span_task.new.length == 0
+            assert arena.read(span_task.old) == b""
+            assert arena.read(span_task.new) == b""
+        finally:
+            arena.destroy()
+
+    def test_overflow_raises_arena_error(self):
+        arena = CollectionArena.create(1)  # rounds up to 1 MiB
+        try:
+            huge = b"x" * (arena.capacity + 1)
+            with pytest.raises(ArenaError, match="overflow"):
+                arena.pack([FileTask("big", huge, b"")])
+        finally:
+            arena.destroy()
+
+    def test_reset_allows_repacking(self):
+        arena = CollectionArena.create(1)
+        try:
+            arena.pack([FileTask("first", b"aaaa", b"bbbb")])
+            [span_task] = arena.pack([FileTask("second", b"cccc", b"dddd")])
+            assert span_task.old == Span(0, 4)
+            assert arena.read(span_task.new) == b"dddd"
+        finally:
+            arena.destroy()
+
+    def test_attach_sees_parent_bytes(self):
+        arena = CollectionArena.create(1)
+        try:
+            [span_task] = arena.pack([FileTask("x", b"OLD", b"NEW")])
+            attached = CollectionArena.attach(arena.name)
+            try:
+                assert not attached.owner
+                assert attached.read(span_task.old) == b"OLD"
+                assert attached.read(span_task.new) == b"NEW"
+            finally:
+                attached.close()
+        finally:
+            arena.destroy()
+
+    def test_attach_unknown_name_raises(self):
+        with pytest.raises(ArenaError):
+            CollectionArena.attach("repro-arena-0-does-not-exist")
+
+
+class TestLifecycle:
+    def test_destroy_removes_segment_and_is_idempotent(self):
+        arena = CollectionArena.create(1)
+        path = f"/dev/shm/{arena.name}"
+        assert glob.glob(path)
+        arena.destroy()
+        arena.destroy()  # second call must be a no-op
+        assert not glob.glob(path)
+
+    def test_non_owner_unlink_is_a_no_op(self):
+        arena = CollectionArena.create(1)
+        try:
+            attached = CollectionArena.attach(arena.name)
+            attached.unlink()
+            attached.close()
+            assert glob.glob(f"/dev/shm/{arena.name}")
+        finally:
+            arena.destroy()
+
+
+class TestArenaPool:
+    def test_release_then_acquire_reuses_the_segment(self):
+        pool = ArenaPool()
+        first = pool.acquire(1024)
+        name = first.name
+        pool.release(first)
+        assert len(pool) == 1
+        second = pool.acquire(1024)
+        try:
+            assert second.name == name
+            assert pool.reused == 1
+            assert second.used_bytes == 0  # reset on reuse
+        finally:
+            pool.release(second)
+            pool.drain()
+
+    def test_larger_request_creates_a_new_segment(self):
+        pool = ArenaPool()
+        small = pool.acquire(1024)
+        pool.release(small)
+        big = pool.acquire(small.capacity * 4)
+        try:
+            assert big.name != small.name
+            assert pool.created == 2
+            assert pool.reused == 0
+        finally:
+            pool.release(big)
+            pool.drain()
+
+    def test_retention_cap_destroys_excess_segments(self):
+        pool = ArenaPool(max_retained=1)
+        first = pool.acquire(1024)
+        second = pool.acquire(1024)
+        second_path = f"/dev/shm/{second.name}"
+        pool.release(first)
+        pool.release(second)  # beyond the cap: destroyed immediately
+        assert len(pool) == 1
+        assert not glob.glob(second_path)
+        pool.drain()
+
+    def test_drain_unlinks_everything(self):
+        pool = ArenaPool(max_retained=4)
+        arenas = [pool.acquire(1024) for _ in range(3)]
+        paths = [f"/dev/shm/{arena.name}" for arena in arenas]
+        for arena in arenas:
+            pool.release(arena)
+        pool.drain()
+        assert len(pool) == 0
+        for path in paths:
+            assert not glob.glob(path)
+
+    def test_negative_retention_rejected(self):
+        with pytest.raises(ValueError):
+            ArenaPool(max_retained=-1)
+
+
+class TestAvailabilityProbe:
+    def test_probe_is_cached_and_resettable(self):
+        _reset_availability_probe()
+        assert arena_available() is True
+        # Cached: a second call must not re-probe (same answer, and no
+        # new segment may appear even momentarily — check by count).
+        before = _leaked_segments()
+        assert arena_available() is True
+        assert _leaked_segments() == before
+        _reset_availability_probe()
+        assert arena_available() is True
+
+    def test_probe_leaves_no_segment_behind(self):
+        before = _leaked_segments()
+        _reset_availability_probe()
+        arena_available()
+        assert _leaked_segments() == before
