@@ -1,9 +1,11 @@
-"""Perf-regression gate: current substrate timings vs BENCH_parallel.json.
+"""Perf-regression gate: current substrate timings vs the committed
+baselines (BENCH_parallel.json and BENCH_delta.json).
 
-Runs the same measurement that produced the committed baseline (see
+Runs the same measurements that produced the committed baselines (see
 ``repro.bench.perfbaseline``) and fails if any op has slowed past the
-tolerance, or if the zero-copy arena dispatch has lost its edge over the
-pickle path.
+tolerance, if the zero-copy arena dispatch has lost its edge over the
+pickle path, or if the vectorized delta matcher has lost its edge over
+the scalar oracle.
 
 Environment knobs (CI machines differ from the reference box):
 
@@ -12,6 +14,9 @@ Environment knobs (CI machines differ from the reference box):
   baseline (default 2.0, i.e. 3x budget — generous for shared runners)
 * ``REPRO_PERF_MIN_SPEEDUP`` arena-over-pickle floor for the *current*
   machine (default 1.05; the committed baseline itself must show >= 1.3)
+* ``REPRO_PERF_MIN_DELTA_SPEEDUP`` vectorized-over-scalar delta floor
+  for the *current* machine (default 1.5; the committed baseline itself
+  must show >= 3.0)
 """
 
 from __future__ import annotations
@@ -24,9 +29,11 @@ import pytest
 from conftest import publish
 from repro.bench.perfbaseline import (
     DEFAULT_BASELINE_NAME,
+    DEFAULT_DELTA_BASELINE_NAME,
     compare_baselines,
     load_baseline,
     measure,
+    measure_delta,
     render_baseline,
     save_baseline,
 )
@@ -34,14 +41,22 @@ from repro.parallel import arena_available
 
 REPO_ROOT = Path(__file__).parent.parent
 BASELINE_PATH = REPO_ROOT / DEFAULT_BASELINE_NAME
+DELTA_BASELINE_PATH = REPO_ROOT / DEFAULT_DELTA_BASELINE_NAME
 
 WORKERS = int(os.environ.get("REPRO_PERF_WORKERS", "4"))
 TOLERANCE = float(os.environ.get("REPRO_PERF_TOLERANCE", "2.0"))
 MIN_SPEEDUP = float(os.environ.get("REPRO_PERF_MIN_SPEEDUP", "1.05"))
+MIN_DELTA_SPEEDUP = float(
+    os.environ.get("REPRO_PERF_MIN_DELTA_SPEEDUP", "1.5")
+)
 
 #: The committed reference baseline must demonstrate this dispatch
 #: speedup (the PR 4 acceptance floor), independent of this machine.
 COMMITTED_SPEEDUP_FLOOR = 1.3
+
+#: The committed delta baseline must demonstrate this vectorized-over-
+#: scalar matching speedup (the ISSUE 5 acceptance floor).
+COMMITTED_DELTA_SPEEDUP_FLOOR = 3.0
 
 
 @pytest.fixture(scope="module")
@@ -89,4 +104,51 @@ def test_arena_dispatch_still_faster_than_pickle(current):
     assert current.arena_speedup >= MIN_SPEEDUP, (
         f"arena dispatch speedup {current.arena_speedup:.2f}x fell below "
         f"the {MIN_SPEEDUP}x floor on this machine"
+    )
+
+
+# ----------------------------------------------------------------------
+# Delta-encode throughput gate (BENCH_delta.json)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def committed_delta():
+    if not DELTA_BASELINE_PATH.exists():
+        pytest.fail(f"missing committed baseline {DELTA_BASELINE_PATH}")
+    return load_baseline(DELTA_BASELINE_PATH)
+
+
+@pytest.fixture(scope="module")
+def current_delta():
+    baseline = measure_delta()
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    save_baseline(baseline, results_dir / "BENCH_delta.current.json")
+    return baseline
+
+
+def test_committed_delta_baseline_demonstrates_speedup(committed_delta):
+    """The checked-in trajectory point must show the >= 3x matching win."""
+    assert committed_delta.delta_speedup >= COMMITTED_DELTA_SPEEDUP_FLOOR, (
+        f"committed BENCH_delta.json records delta speedup "
+        f"{committed_delta.delta_speedup:.2f}x < "
+        f"{COMMITTED_DELTA_SPEEDUP_FLOOR}x"
+    )
+    for op in ("delta_index_build", "delta_match_vectorized",
+               "delta_match_scalar"):
+        assert op in committed_delta.ops, f"committed baseline missing {op}"
+
+
+def test_no_delta_op_regressed_past_tolerance(current_delta, committed_delta):
+    publish("perf_baseline_delta", render_baseline(current_delta))
+    findings = compare_baselines(
+        current_delta, committed_delta, tolerance=TOLERANCE
+    )
+    assert not findings, "\n".join(findings)
+
+
+def test_vectorized_matching_still_faster_than_scalar(current_delta):
+    """The batched engine must keep beating the oracle on this machine."""
+    assert current_delta.delta_speedup >= MIN_DELTA_SPEEDUP, (
+        f"vectorized delta speedup {current_delta.delta_speedup:.2f}x fell "
+        f"below the {MIN_DELTA_SPEEDUP}x floor on this machine"
     )

@@ -34,6 +34,8 @@ def run_to_row(run: CollectionRun) -> dict[str, object]:
         "p95_file_seconds": round(run.p95_file_seconds, 6),
         "cache_hits": run.cache_hits,
         "cache_misses": run.cache_misses,
+        "ref_cache_hits": run.ref_cache_hits,
+        "ref_cache_misses": run.ref_cache_misses,
         "arena_used": run.arena_used,
         "arena_bytes": run.arena_bytes,
         "retries": run.retries,

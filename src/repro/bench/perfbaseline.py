@@ -33,11 +33,14 @@ from pathlib import Path
 
 from repro.syncmethod import MethodOutcome, SyncMethod
 
-#: Format marker for BENCH_parallel.json.
+#: Format marker for BENCH_parallel.json / BENCH_delta.json.
 SCHEMA_VERSION = 1
 
 #: Repo-root baseline file name (the committed trajectory point).
 DEFAULT_BASELINE_NAME = "BENCH_parallel.json"
+
+#: Committed baseline for the delta-encode throughput gate.
+DEFAULT_DELTA_BASELINE_NAME = "BENCH_delta.json"
 
 #: Seeded workload defaults: 64 changed files, ~48 MB of payload.
 DEFAULT_FILES = 64
@@ -45,6 +48,15 @@ DEFAULT_FILE_KB = 384
 DEFAULT_WORKERS = 4
 DEFAULT_ROUNDS = 3
 DEFAULT_SEED = 20240806
+
+#: Delta-throughput workload defaults: 64 reference/target pairs whose
+#: targets interleave copied and novel regions (the profile where the
+#: per-byte scalar loop is the bottleneck — see ISSUE 5 / DESIGN §12).
+DEFAULT_DELTA_FILE_KB = 96
+#: Files the scalar oracle is timed on.  MB/s normalises by payload, so
+#: a subset keeps the (much slower) scalar measurement CI-affordable
+#: while the vectorized engine is timed on the full workload.
+DEFAULT_SCALAR_FILES = 4
 
 #: Comparison tolerance: an op regresses when it is slower than
 #: ``committed * (1 + tolerance)``.  0.5 locally; CI uses 2.0 (3x).
@@ -124,15 +136,31 @@ class PerfBaseline:
             return 0.0
         return pickle_op.seconds / arena_op.seconds
 
+    @property
+    def delta_speedup(self) -> float:
+        """Delta-match speedup: vectorized MB/s over scalar MB/s.
+
+        Throughput-based (not raw seconds) because the scalar oracle is
+        timed on a payload subset of the same workload.
+        """
+        scalar_op = self.ops.get("delta_match_scalar")
+        vector_op = self.ops.get("delta_match_vectorized")
+        if scalar_op is None or vector_op is None or scalar_op.mb_per_s <= 0:
+            return 0.0
+        return vector_op.mb_per_s / scalar_op.mb_per_s
+
     def to_json(self) -> str:
+        derived: dict[str, float] = {}
+        if self.arena_speedup:
+            derived["executor_arena_speedup"] = round(self.arena_speedup, 3)
+        if self.delta_speedup:
+            derived["delta_vectorized_speedup"] = round(self.delta_speedup, 3)
         payload = {
             "schema": self.schema,
             "workload": dict(self.workload),
             "environment": dict(self.environment),
             "ops": {name: op.to_row() for name, op in sorted(self.ops.items())},
-            "derived": {
-                "executor_arena_speedup": round(self.arena_speedup, 3),
-            },
+            "derived": derived,
         }
         return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
@@ -211,6 +239,35 @@ def build_workload(
         old_side[name] = old
         new_side[name] = bytes(new)
     return old_side, new_side
+
+
+def build_delta_workload(
+    files: int = DEFAULT_FILES,
+    file_kb: int = DEFAULT_DELTA_FILE_KB,
+    seed: int = DEFAULT_SEED,
+) -> list[tuple[bytes, bytes]]:
+    """``files`` reference/target pairs with interleaved shared and novel runs.
+
+    Each target alternates copied reference regions (2–8 KB, what real
+    version chains share) with novel random runs (1–4 KB, what the
+    matcher must emit as literals) — roughly 40% novel bytes overall.
+    Novel runs are where the scalar loop pays two binary searches per
+    byte, so this is the profile the delta-throughput gate watches.
+    """
+    rng = random.Random(seed)
+    size = file_kb * 1024
+    pairs: list[tuple[bytes, bytes]] = []
+    for _ in range(files):
+        reference = rng.randbytes(size)
+        target = bytearray()
+        position = 0
+        while position < size:
+            copy_length = rng.randrange(2048, 8192)
+            target += reference[position : position + copy_length]
+            position += copy_length
+            target += rng.randbytes(rng.randrange(1024, 4096))
+        pairs.append((reference, bytes(target)))
+    return pairs
 
 
 def _best_of(rounds: int, run) -> float:
@@ -331,6 +388,81 @@ def measure(
     return PerfBaseline(workload=workload, ops=ops, environment=environment)
 
 
+def measure_delta(
+    files: int = DEFAULT_FILES,
+    file_kb: int = DEFAULT_DELTA_FILE_KB,
+    rounds: int = DEFAULT_ROUNDS,
+    seed: int = DEFAULT_SEED,
+    scalar_files: int = DEFAULT_SCALAR_FILES,
+) -> PerfBaseline:
+    """Time the delta-matching engines on the seeded mixed workload.
+
+    Three ops make up the BENCH_delta record:
+
+    * ``delta_index_build`` — ``ReferenceMatcher`` construction (the
+      cost the :class:`~repro.parallel.cache.ReferenceIndexCache`
+      amortises away on repeated references);
+    * ``delta_match_vectorized`` — the batched engine over every pair;
+    * ``delta_match_scalar`` — the oracle loop over the first
+      ``scalar_files`` pairs (MB/s normalises by payload).
+
+    Matchers are prebuilt so both engines time the matching loop itself,
+    not index construction; payload counts *target* bytes matched.
+    """
+    from repro.delta.matcher import ReferenceMatcher, compute_instructions
+
+    pairs = build_delta_workload(files=files, file_kb=file_kb, seed=seed)
+    matchers = [ReferenceMatcher(reference) for reference, _target in pairs]
+    ops: dict[str, OpTiming] = {}
+
+    build_rounds = max(1, rounds - 1)
+    ops["delta_index_build"] = OpTiming(
+        "delta_index_build",
+        _best_of(
+            build_rounds,
+            lambda: ReferenceMatcher(pairs[0][0]),
+        ),
+        len(pairs[0][0]),
+        build_rounds,
+    )
+
+    def run_engine(engine: str, count: int) -> None:
+        for (reference, target), matcher in zip(pairs[:count], matchers[:count]):
+            compute_instructions(
+                reference, target, matcher=matcher, engine=engine
+            )
+
+    ops["delta_match_vectorized"] = OpTiming(
+        "delta_match_vectorized",
+        _best_of(rounds, lambda: run_engine("vectorized", files)),
+        sum(len(target) for _reference, target in pairs),
+        rounds,
+    )
+
+    scalar_files = max(1, min(scalar_files, files))
+    scalar_rounds = max(1, rounds - 1)
+    ops["delta_match_scalar"] = OpTiming(
+        "delta_match_scalar",
+        _best_of(scalar_rounds, lambda: run_engine("scalar", scalar_files)),
+        sum(len(target) for _reference, target in pairs[:scalar_files]),
+        scalar_rounds,
+    )
+
+    environment = {
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    workload = {
+        "files": files,
+        "file_kb": file_kb,
+        "rounds": rounds,
+        "seed": seed,
+        "scalar_files": scalar_files,
+    }
+    return PerfBaseline(workload=workload, ops=ops, environment=environment)
+
+
 def render_baseline(baseline: PerfBaseline) -> str:
     """Terminal table of one measurement (CLI + benchmark output)."""
     from repro.bench.report import render_table
@@ -346,14 +478,18 @@ def render_baseline(baseline: PerfBaseline) -> str:
                 str(op.rounds),
             ]
         )
-    speedup = baseline.arena_speedup
     title = (
         f"perf baseline — {baseline.workload['files']} files × "
-        f"{baseline.workload['file_kb']} KB, "
-        f"workers={baseline.workload['workers']}"
+        f"{baseline.workload['file_kb']} KB"
     )
-    if speedup:
-        title += f"; arena speedup {speedup:.2f}x over pickle dispatch"
+    if "workers" in baseline.workload:
+        title += f", workers={baseline.workload['workers']}"
+    arena = baseline.arena_speedup
+    if arena:
+        title += f"; arena speedup {arena:.2f}x over pickle dispatch"
+    delta = baseline.delta_speedup
+    if delta:
+        title += f"; vectorized delta match {delta:.2f}x over scalar"
     return render_table(
         ["op", "ms (best)", "MB/s", "payload KB", "rounds"], rows, title=title
     )

@@ -44,6 +44,8 @@ class CollectionRun:
     p95_file_seconds: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    ref_cache_hits: int = 0
+    ref_cache_misses: int = 0
     arena_used: bool = False
     arena_bytes: int = 0
     retries: int = 0
@@ -119,6 +121,8 @@ def run_method_on_collection(
         p95_file_seconds=_percentile(file_seconds, 0.95),
         cache_hits=report.cache_hits,
         cache_misses=report.cache_misses,
+        ref_cache_hits=report.ref_cache_hits,
+        ref_cache_misses=report.ref_cache_misses,
         arena_used=report.arena_used,
         arena_bytes=report.arena_bytes,
         retries=report.total_retries,

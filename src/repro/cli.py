@@ -151,6 +151,8 @@ def _cmd_sync(args: argparse.Namespace) -> int:
                     "cpu_seconds": round(run.cpu_seconds, 4),
                     "cache_hits": run.cache_hits,
                     "cache_misses": run.cache_misses,
+                    "ref_cache_hits": run.ref_cache_hits,
+                    "ref_cache_misses": run.ref_cache_misses,
                     "arena_used": run.arena_used,
                     "arena_bytes": run.arena_bytes,
                     "retries": run.retries,
@@ -343,11 +345,19 @@ def _cmd_manifest(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench_perf(args: argparse.Namespace) -> int:
-    """Measure the substrate perf baseline; record or compare it."""
+    """Measure the substrate perf baselines; record or compare them.
+
+    Two baselines make up the perf gate: the parallel-substrate record
+    (``BENCH_parallel.json``) and the delta-encode throughput record
+    (``BENCH_delta.json``).  Both are measured, printed, and compared
+    (or rewritten with ``--update``) in one invocation so CI stays a
+    single command.
+    """
     from repro.bench.perfbaseline import (
         compare_baselines,
         load_baseline,
         measure,
+        measure_delta,
         render_baseline,
         save_baseline,
     )
@@ -355,31 +365,43 @@ def _cmd_bench_perf(args: argparse.Namespace) -> int:
     import os
 
     current = measure(workers=args.workers or os.cpu_count() or 1)
-    if args.json:
-        print(current.to_json(), end="")
-    else:
-        print(render_baseline(current))
-    baseline_path = Path(args.baseline)
+    measurements = [(Path(args.baseline), current)]
+    if not args.no_delta:
+        measurements.append((Path(args.delta_baseline), measure_delta()))
+
+    for _path, measurement in measurements:
+        if args.json:
+            print(measurement.to_json(), end="")
+        else:
+            print(render_baseline(measurement))
+
     if args.update:
-        save_baseline(current, baseline_path)
-        print(f"wrote baseline to {baseline_path}")
+        for path, measurement in measurements:
+            save_baseline(measurement, path)
+            print(f"wrote baseline to {path}")
         return 0
-    if not baseline_path.exists():
-        print(
-            f"error: no baseline at {baseline_path} "
-            f"(record one with --update)",
-            file=sys.stderr,
-        )
-        return 2
-    findings = compare_baselines(
-        current, load_baseline(baseline_path), tolerance=args.tolerance
-    )
+
+    findings: list[str] = []
+    for path, measurement in measurements:
+        if not path.exists():
+            print(
+                f"error: no baseline at {path} (record one with --update)",
+                file=sys.stderr,
+            )
+            return 2
+        findings += [
+            f"[{path.name}] {finding}"
+            for finding in compare_baselines(
+                measurement, load_baseline(path), tolerance=args.tolerance
+            )
+        ]
     if findings:
-        print(f"\nPERF REGRESSIONS vs {baseline_path}:", file=sys.stderr)
+        print("\nPERF REGRESSIONS:", file=sys.stderr)
         for finding in findings:
             print(f"  {finding}", file=sys.stderr)
         return 1
-    print(f"\nno regressions vs {baseline_path} "
+    compared = ", ".join(str(path) for path, _measurement in measurements)
+    print(f"\nno regressions vs {compared} "
           f"(tolerance {args.tolerance:.0%})")
     return 0
 
@@ -542,6 +564,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench_perf.add_argument("--baseline", default="BENCH_parallel.json",
                             help="baseline JSON to compare against or "
                                  "update")
+    bench_perf.add_argument("--delta-baseline", default="BENCH_delta.json",
+                            help="delta-throughput baseline JSON to "
+                                 "compare against or update")
+    bench_perf.add_argument("--no-delta", action="store_true",
+                            help="skip the delta-throughput measurement "
+                                 "(substrate ops only)")
     bench_perf.add_argument("--update", action="store_true",
                             help="record the current measurement as the "
                                  "new baseline instead of comparing")

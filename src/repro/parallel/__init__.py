@@ -32,10 +32,15 @@ from repro.parallel.arena import (
 )
 from repro.parallel.cache import (
     DEFAULT_MAX_ENTRIES,
+    DEFAULT_REFERENCE_ENTRIES,
     CacheStats,
+    ContentKeyedCache,
     HashIndexCache,
+    ReferenceIndexCache,
     default_cache,
+    default_reference_cache,
     reset_default_cache,
+    reset_default_reference_cache,
 )
 from repro.parallel.executor import (
     BatchResult,
@@ -50,15 +55,20 @@ __all__ = [
     "BatchResult",
     "CacheStats",
     "CollectionArena",
+    "ContentKeyedCache",
     "DEFAULT_MAX_ENTRIES",
+    "DEFAULT_REFERENCE_ENTRIES",
     "FileResult",
     "FileTask",
     "HashIndexCache",
+    "ReferenceIndexCache",
     "Span",
     "SpanTask",
     "SyncExecutor",
     "arena_available",
     "arena_pool",
     "default_cache",
+    "default_reference_cache",
     "reset_default_cache",
+    "reset_default_reference_cache",
 ]

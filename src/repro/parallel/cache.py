@@ -1,25 +1,30 @@
-"""Process-local LRU cache of hash indexes and prefix-sum buffers.
+"""Process-local LRU caches of hash indexes, prefix sums, and seed indexes.
 
 Every :class:`~repro.core.client.ClientSession` (and server session) used
 to rebuild its numpy window-hash indexes and prefix sums from scratch,
 even when synchronizing the same bytes again — the common case for
 version-chained syncs and benchmark repetitions over a large replicated
-collection.  This cache keys the expensive arrays by *content*, so any
+collection.  These caches key the expensive arrays by *content*, so any
 session observing the same data under the same hash function reuses them:
 
 * prefix-sum buffers are keyed by ``(file_fingerprint, hash_table_id)``;
 * :class:`~repro.hashing.scan.HashIndex` arrays additionally carry the
-  window ``block_length``.
+  window ``block_length``;
+* delta :class:`~repro.delta.matcher.ReferenceMatcher` seed indexes (the
+  argsort over all reference window hashes) are keyed by
+  ``(file_fingerprint, seed_length)`` in a separate
+  :class:`ReferenceIndexCache`, so multi-round syncs and repeated
+  references skip the index rebuild entirely.
 
 ``hash_table_id`` is the (seed, substitution-table) identity of the
 :class:`~repro.hashing.decomposable.DecomposableAdler` in use, so the
 retry-with-a-fresh-seed path can never alias entries.  Because keys are
 content fingerprints, a hit is always byte-identical to a rebuild — the
-cache changes wall-clock, never wire traffic.
+caches change wall-clock, never wire traffic.
 
-The cache is process-local: each worker of the parallel
-:class:`~repro.parallel.executor.SyncExecutor` owns one (seeded by fork
-from the parent's), and hit/miss counters are folded back into the
+Both caches are process-local: each worker of the parallel
+:class:`~repro.parallel.executor.SyncExecutor` owns one pair (seeded by
+fork from the parent's), and hit/miss counters are folded back into the
 parent's accounting alongside the transfer statistics.
 """
 
@@ -40,6 +45,11 @@ from repro.hashing.strong import file_fingerprint
 
 #: Default number of cached entries (prefix-sum pairs + hash indexes).
 DEFAULT_MAX_ENTRIES = 256
+
+#: Default entry count for the reference-index cache.  Each entry holds
+#: the reference bytes plus ~12 bytes of index per position, so the
+#: budget is deliberately tighter than the hash-index cache's.
+DEFAULT_REFERENCE_ENTRIES = 128
 
 
 @dataclass
@@ -70,13 +80,11 @@ class CacheStats:
         }
 
 
-class HashIndexCache:
-    """LRU cache of :class:`PrefixSums` buffers and :class:`HashIndex` arrays.
+class ContentKeyedCache:
+    """Thread-safe LRU core shared by the content-keyed caches.
 
-    Thread-safe; entries are immutable-by-convention numpy arrays so they
-    can be shared freely between sessions.  A ``HashIndex`` miss first
-    consults the prefix-sum entry for the same data, so indexing a file at
-    several window lengths pays the byte-substitution cumsum only once.
+    Entries are immutable-by-convention numpy-backed objects, so they
+    can be shared freely between sessions.
     """
 
     def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
@@ -86,16 +94,6 @@ class HashIndexCache:
         self.stats = CacheStats()
         self._lock = threading.Lock()
         self._entries: OrderedDict[tuple, object] = OrderedDict()
-
-    # ------------------------------------------------------------------
-    # Keying
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _table_id(hasher: DecomposableAdler) -> tuple:
-        # The table tuple itself participates in the key: exact identity,
-        # no digest collisions, and the same tuple object is shared by all
-        # entries for one hasher.
-        return (hasher.seed, hasher.table)
 
     # ------------------------------------------------------------------
     # Lookups
@@ -119,6 +117,54 @@ class HashIndexCache:
                 self.stats.evictions += 1
         return entry
 
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def ensure_capacity(self, min_entries: int) -> None:
+        """Grow ``max_entries`` to at least ``min_entries`` (never shrink).
+
+        The parallel executor pre-sizes each worker's cache for the batch
+        it is about to process, so a large collection cannot evict-thrash
+        its own entries mid-run.
+        """
+        with self._lock:
+            if min_entries > self.max_entries:
+                self.max_entries = min_entries
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept; see :meth:`reset_stats`)."""
+        with self._lock:
+            self._entries.clear()
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class HashIndexCache(ContentKeyedCache):
+    """LRU cache of :class:`PrefixSums` buffers and :class:`HashIndex` arrays.
+
+    A ``HashIndex`` miss first consults the prefix-sum entry for the same
+    data, so indexing a file at several window lengths pays the
+    byte-substitution cumsum only once.
+    """
+
+    # ------------------------------------------------------------------
+    # Keying
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _table_id(hasher: DecomposableAdler) -> tuple:
+        # The table tuple itself participates in the key: exact identity,
+        # no digest collisions, and the same tuple object is shared by all
+        # entries for one hasher.
+        return (hasher.seed, hasher.table)
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
     def prefix_sums(
         self,
         data: bytes,
@@ -150,34 +196,51 @@ class HashIndexCache:
 
         return self._get_or_build(key, build)
 
-    # ------------------------------------------------------------------
-    # Maintenance
-    # ------------------------------------------------------------------
-    def ensure_capacity(self, min_entries: int) -> None:
-        """Grow ``max_entries`` to at least ``min_entries`` (never shrink).
 
-        The parallel executor pre-sizes each worker's cache for the batch
-        it is about to process, so a large collection cannot evict-thrash
-        its own entries mid-run.
-        """
-        with self._lock:
-            if min_entries > self.max_entries:
-                self.max_entries = min_entries
+class ReferenceIndexCache(ContentKeyedCache):
+    """LRU cache of delta :class:`~repro.delta.matcher.ReferenceMatcher`
+    seed indexes, keyed by ``(content fingerprint, seed_length)``.
 
-    def clear(self) -> None:
-        """Drop all entries (counters are kept; see :meth:`reset_stats`)."""
-        with self._lock:
-            self._entries.clear()
+    The delta coders consult it through
+    :func:`~repro.delta.matcher.compute_instructions`, so syncing several
+    targets against one reference — version chains, supervisor retries,
+    zdelta *and* vcdiff encodes of the same pair — builds the argsort
+    index once.  The seed hasher is the module-fixed ``_SEED_HASHER`` of
+    :mod:`repro.delta.matcher`, so no hash-table id is needed in the key.
+    """
 
-    def reset_stats(self) -> None:
-        with self._lock:
-            self.stats = CacheStats()
+    def __init__(self, max_entries: int = DEFAULT_REFERENCE_ENTRIES) -> None:
+        super().__init__(max_entries)
 
-    def __len__(self) -> int:
-        return len(self._entries)
+    def matcher(
+        self,
+        reference: bytes,
+        seed_length: int,
+        fingerprint: bytes | None = None,
+    ):
+        """Shared matcher for ``reference`` at ``seed_length``."""
+        from repro.delta.matcher import ReferenceMatcher
+
+        if fingerprint is None:
+            fingerprint = file_fingerprint(reference)
+        key = ("refidx", fingerprint, seed_length)
+
+        def build() -> ReferenceMatcher:
+            # Cached entries must own their bytes: a memoryview (e.g. a
+            # zero-copy arena window) would pin the backing segment past
+            # its lifetime and break the arena's leak-free teardown.
+            data = (
+                reference
+                if isinstance(reference, bytes)
+                else bytes(reference)
+            )
+            return ReferenceMatcher(data, seed_length, fingerprint=fingerprint)
+
+        return self._get_or_build(key, build)
 
 
 _default_cache = HashIndexCache()
+_default_reference_cache = ReferenceIndexCache()
 
 
 def default_cache() -> HashIndexCache:
@@ -192,3 +255,19 @@ def reset_default_cache(max_entries: int | None = None) -> HashIndexCache:
         max_entries if max_entries is not None else DEFAULT_MAX_ENTRIES
     )
     return _default_cache
+
+
+def default_reference_cache() -> ReferenceIndexCache:
+    """The process-wide reference-index cache used by the delta coders."""
+    return _default_reference_cache
+
+
+def reset_default_reference_cache(
+    max_entries: int | None = None,
+) -> ReferenceIndexCache:
+    """Replace the process-wide reference-index cache (tests, tuning)."""
+    global _default_reference_cache
+    _default_reference_cache = ReferenceIndexCache(
+        max_entries if max_entries is not None else DEFAULT_REFERENCE_ENTRIES
+    )
+    return _default_reference_cache

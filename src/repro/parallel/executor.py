@@ -95,6 +95,8 @@ class BatchResult:
     workers_used: int = 1
     cache_hits: int = 0
     cache_misses: int = 0
+    ref_cache_hits: int = 0
+    ref_cache_misses: int = 0
     chunk_retries: int = 0
     arena_used: bool = False
     arena_bytes: int = 0
@@ -134,11 +136,11 @@ _worker_arena = None
 
 
 def _worker_init(arena_name: str | None, cache_entries: int | None) -> None:
-    """Pool initializer: attach the arena once, pre-size the cache.
+    """Pool initializer: attach the arena once, pre-size the caches.
 
     Runs once per worker process instead of once per chunk, so the warm
-    state (arena mapping, cache capacity) persists across every chunk
-    the worker handles.
+    state (arena mapping, hash-index and reference-index cache capacity)
+    persists across every chunk the worker handles.
     """
     global _worker_arena
     if arena_name is not None:
@@ -146,32 +148,41 @@ def _worker_init(arena_name: str | None, cache_entries: int | None) -> None:
 
         _worker_arena = CollectionArena.attach(arena_name)
     if cache_entries is not None:
-        from repro.parallel.cache import default_cache
+        from repro.parallel.cache import default_cache, default_reference_cache
 
         default_cache().ensure_capacity(cache_entries)
+        default_reference_cache().ensure_capacity(cache_entries)
 
 
 def _run_chunk(
     method: SyncMethod,
     chunk: list[tuple[int, FileTask]],
     capture_errors: bool = False,
-) -> tuple[list[tuple[int, FileResult]], int, int]:
+) -> tuple[list[tuple[int, FileResult]], int, int, int, int]:
     """Worker entry point: run one chunk, report cache counter deltas."""
-    from repro.parallel.cache import default_cache
+    from repro.parallel.cache import default_cache, default_reference_cache
 
     stats = default_cache().stats
+    ref_stats = default_reference_cache().stats
     hits_before, misses_before = stats.hits, stats.misses
+    ref_hits_before, ref_misses_before = ref_stats.hits, ref_stats.misses
     rows: list[tuple[int, FileResult]] = []
     for index, task in chunk:
         rows.append((index, _sync_one(method, task, capture_errors)))
-    return rows, stats.hits - hits_before, stats.misses - misses_before
+    return (
+        rows,
+        stats.hits - hits_before,
+        stats.misses - misses_before,
+        ref_stats.hits - ref_hits_before,
+        ref_stats.misses - ref_misses_before,
+    )
 
 
 def _run_chunk_spans(
     method: SyncMethod,
     chunk,
     capture_errors: bool = False,
-) -> tuple[list[tuple[int, FileResult]], int, int]:
+) -> tuple[list[tuple[int, FileResult]], int, int, int, int]:
     """Arena worker entry point: spans in, payloads read zero-copy.
 
     Each ``(index, SpanTask)`` is materialised as a :class:`FileTask`
@@ -299,15 +310,19 @@ class SyncExecutor:
         tasks: list[FileTask],
         capture_errors: bool = False,
     ) -> BatchResult:
-        from repro.parallel.cache import default_cache
+        from repro.parallel.cache import default_cache, default_reference_cache
 
         stats = default_cache().stats
+        ref_stats = default_reference_cache().stats
         hits_before, misses_before = stats.hits, stats.misses
+        ref_hits_before, ref_misses_before = ref_stats.hits, ref_stats.misses
         result = BatchResult(workers_used=1)
         for task in tasks:
             result.files.append(_sync_one(method, task, capture_errors))
         result.cache_hits = stats.hits - hits_before
         result.cache_misses = stats.misses - misses_before
+        result.ref_cache_hits = ref_stats.hits - ref_hits_before
+        result.ref_cache_misses = ref_stats.misses - ref_misses_before
         return result
 
     def _acquire_arena(self, tasks: list[FileTask]):
@@ -404,10 +419,12 @@ class SyncExecutor:
             result.chunk_retries += 1
 
         rows: list[tuple[int, FileResult]] = []
-        for chunk_rows, hits, misses in gathered:
+        for chunk_rows, hits, misses, ref_hits, ref_misses in gathered:
             rows.extend(chunk_rows)
             result.cache_hits += hits
             result.cache_misses += misses
+            result.ref_cache_hits += ref_hits
+            result.ref_cache_misses += ref_misses
         rows.sort(key=lambda row: row[0])
         result.files = [file_result for _index, file_result in rows]
         return result

@@ -15,7 +15,7 @@ from typing import Union
 import numpy as np
 
 from repro.hashing.decomposable import DecomposableAdler
-from repro.hashing.scan import window_hashes
+from repro.hashing.scan import next_occupied_table, window_hashes
 from repro.hashing.strong import strong_digest
 from repro.rsync.signature import BlockSignature
 
@@ -70,23 +70,27 @@ def match_tokens(
     by_length = _rolling_table(signatures)
     # Precompute rolling checksums of every window, once per block length
     # (at most two lengths: the full block size and the short tail), then
-    # reduce each to the sorted positions whose checksum appears in the
-    # signature set so the scan can jump between potential hits instead of
-    # advancing byte by byte.
+    # reduce each to the positions whose checksum appears in the signature
+    # set so the scan can jump between potential hits instead of advancing
+    # byte by byte.
+    n = len(new_data)
     rolling_at: dict[int, np.ndarray] = {}
-    hit_positions_all: list[np.ndarray] = []
+    possible_hit = np.zeros(n, dtype=bool)
     for length, rolling_map in by_length.items():
         windows = window_hashes(new_data, length, _PLAIN_ADLER)
         rolling_at[length] = windows
-        wanted = np.fromiter(rolling_map.keys(), dtype=np.uint32)
-        hit_positions_all.append(np.flatnonzero(np.isin(windows, wanted)))
-    hits = np.unique(np.concatenate(hit_positions_all))
+        wanted = np.fromiter(
+            rolling_map.keys(), dtype=np.uint32, count=len(rolling_map)
+        )
+        possible_hit[: windows.size] |= np.isin(windows, wanted)
+    # Jump table instead of a binary search per loop iteration: the next
+    # offset whose rolling checksum can possibly match is an O(1) lookup.
+    jump = next_occupied_table(possible_hit)
     lengths = sorted(by_length, reverse=True)
 
     tokens: list[Token] = []
     literals = bytearray()
     position = 0
-    n = len(new_data)
 
     def flush() -> None:
         if literals:
@@ -94,12 +98,10 @@ def match_tokens(
             literals.clear()
 
     while position < n:
-        # Jump to the next offset whose rolling checksum can possibly match.
-        cursor = int(np.searchsorted(hits, position))
-        if cursor == hits.size:
+        next_hit = int(jump[position])
+        if next_hit == n:
             literals += new_data[position:]
             break
-        next_hit = int(hits[cursor])
         if next_hit > position:
             literals += new_data[position:next_hit]
             position = next_hit

@@ -125,7 +125,7 @@ class TestReferenceMatcher:
 
     def test_empty_reference_has_no_candidates(self):
         matcher = ReferenceMatcher(b"", seed_length=16)
-        assert matcher.candidates(12345) == []
+        assert matcher.candidates(12345).size == 0
 
     def test_mismatched_matcher_rejected(self):
         matcher = ReferenceMatcher(b"one reference here", seed_length=4)
