@@ -17,6 +17,9 @@ Environment knobs (CI machines differ from the reference box):
 * ``REPRO_PERF_MIN_DELTA_SPEEDUP`` vectorized-over-scalar delta floor
   for the *current* machine (default 1.5; the committed baseline itself
   must show >= 3.0)
+* ``REPRO_PERF_MIN_PROTOCOL_SPEEDUP`` vectorized-over-scalar protocol
+  engine floor for the *current* machine (default 1.5; the committed
+  baseline itself must show >= 3.0)
 """
 
 from __future__ import annotations
@@ -30,10 +33,12 @@ from conftest import publish
 from repro.bench.perfbaseline import (
     DEFAULT_BASELINE_NAME,
     DEFAULT_DELTA_BASELINE_NAME,
+    DEFAULT_PROTOCOL_BASELINE_NAME,
     compare_baselines,
     load_baseline,
     measure,
     measure_delta,
+    measure_protocol,
     render_baseline,
     save_baseline,
 )
@@ -42,12 +47,16 @@ from repro.parallel import arena_available
 REPO_ROOT = Path(__file__).parent.parent
 BASELINE_PATH = REPO_ROOT / DEFAULT_BASELINE_NAME
 DELTA_BASELINE_PATH = REPO_ROOT / DEFAULT_DELTA_BASELINE_NAME
+PROTOCOL_BASELINE_PATH = REPO_ROOT / DEFAULT_PROTOCOL_BASELINE_NAME
 
 WORKERS = int(os.environ.get("REPRO_PERF_WORKERS", "4"))
 TOLERANCE = float(os.environ.get("REPRO_PERF_TOLERANCE", "2.0"))
 MIN_SPEEDUP = float(os.environ.get("REPRO_PERF_MIN_SPEEDUP", "1.05"))
 MIN_DELTA_SPEEDUP = float(
     os.environ.get("REPRO_PERF_MIN_DELTA_SPEEDUP", "1.5")
+)
+MIN_PROTOCOL_SPEEDUP = float(
+    os.environ.get("REPRO_PERF_MIN_PROTOCOL_SPEEDUP", "1.5")
 )
 
 #: The committed reference baseline must demonstrate this dispatch
@@ -57,6 +66,10 @@ COMMITTED_SPEEDUP_FLOOR = 1.3
 #: The committed delta baseline must demonstrate this vectorized-over-
 #: scalar matching speedup (the ISSUE 5 acceptance floor).
 COMMITTED_DELTA_SPEEDUP_FLOOR = 3.0
+
+#: The committed protocol baseline must demonstrate this vectorized-
+#: over-scalar whole-round engine speedup (the ISSUE 6 acceptance floor).
+COMMITTED_PROTOCOL_SPEEDUP_FLOOR = 3.0
 
 
 @pytest.fixture(scope="module")
@@ -151,4 +164,57 @@ def test_vectorized_matching_still_faster_than_scalar(current_delta):
     assert current_delta.delta_speedup >= MIN_DELTA_SPEEDUP, (
         f"vectorized delta speedup {current_delta.delta_speedup:.2f}x fell "
         f"below the {MIN_DELTA_SPEEDUP}x floor on this machine"
+    )
+
+
+# ----------------------------------------------------------------------
+# Whole-round protocol-engine throughput gate (BENCH_protocol.json)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def committed_protocol():
+    if not PROTOCOL_BASELINE_PATH.exists():
+        pytest.fail(f"missing committed baseline {PROTOCOL_BASELINE_PATH}")
+    return load_baseline(PROTOCOL_BASELINE_PATH)
+
+
+@pytest.fixture(scope="module")
+def current_protocol():
+    baseline = measure_protocol()
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    save_baseline(baseline, results_dir / "BENCH_protocol.current.json")
+    return baseline
+
+
+def test_committed_protocol_baseline_demonstrates_speedup(committed_protocol):
+    """The checked-in trajectory point must show the >= 3x engine win."""
+    assert (
+        committed_protocol.protocol_speedup >= COMMITTED_PROTOCOL_SPEEDUP_FLOOR
+    ), (
+        f"committed BENCH_protocol.json records protocol speedup "
+        f"{committed_protocol.protocol_speedup:.2f}x < "
+        f"{COMMITTED_PROTOCOL_SPEEDUP_FLOOR}x"
+    )
+    for op in ("protocol_sync_vectorized", "protocol_sync_scalar"):
+        assert op in committed_protocol.ops, (
+            f"committed baseline missing {op}"
+        )
+
+
+def test_no_protocol_op_regressed_past_tolerance(
+    current_protocol, committed_protocol
+):
+    publish("perf_baseline_protocol", render_baseline(current_protocol))
+    findings = compare_baselines(
+        current_protocol, committed_protocol, tolerance=TOLERANCE
+    )
+    assert not findings, "\n".join(findings)
+
+
+def test_vectorized_protocol_still_faster_than_scalar(current_protocol):
+    """The whole-round engine must keep beating the oracle on this machine."""
+    assert current_protocol.protocol_speedup >= MIN_PROTOCOL_SPEEDUP, (
+        f"vectorized protocol speedup "
+        f"{current_protocol.protocol_speedup:.2f}x fell below the "
+        f"{MIN_PROTOCOL_SPEEDUP}x floor on this machine"
     )

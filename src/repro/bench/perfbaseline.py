@@ -42,6 +42,9 @@ DEFAULT_BASELINE_NAME = "BENCH_parallel.json"
 #: Committed baseline for the delta-encode throughput gate.
 DEFAULT_DELTA_BASELINE_NAME = "BENCH_delta.json"
 
+#: Committed baseline for the protocol-engine throughput gate.
+DEFAULT_PROTOCOL_BASELINE_NAME = "BENCH_protocol.json"
+
 #: Seeded workload defaults: 64 changed files, ~48 MB of payload.
 DEFAULT_FILES = 64
 DEFAULT_FILE_KB = 384
@@ -57,6 +60,10 @@ DEFAULT_DELTA_FILE_KB = 96
 #: a subset keeps the (much slower) scalar measurement CI-affordable
 #: while the vectorized engine is timed on the full workload.
 DEFAULT_SCALAR_FILES = 4
+
+#: End-to-end protocol runs are expensive (a full multi-round sync per
+#: file), so the protocol gate times a single cold-cache pass per engine.
+DEFAULT_PROTOCOL_ROUNDS = 1
 
 #: Comparison tolerance: an op regresses when it is slower than
 #: ``committed * (1 + tolerance)``.  0.5 locally; CI uses 2.0 (3x).
@@ -149,12 +156,29 @@ class PerfBaseline:
             return 0.0
         return vector_op.mb_per_s / scalar_op.mb_per_s
 
+    @property
+    def protocol_speedup(self) -> float:
+        """Whole-round engine speedup: vectorized MB/s over scalar MB/s.
+
+        Throughput-based (not raw seconds) because the scalar oracle is
+        timed on a payload subset of the same workload.
+        """
+        scalar_op = self.ops.get("protocol_sync_scalar")
+        vector_op = self.ops.get("protocol_sync_vectorized")
+        if scalar_op is None or vector_op is None or scalar_op.mb_per_s <= 0:
+            return 0.0
+        return vector_op.mb_per_s / scalar_op.mb_per_s
+
     def to_json(self) -> str:
         derived: dict[str, float] = {}
         if self.arena_speedup:
             derived["executor_arena_speedup"] = round(self.arena_speedup, 3)
         if self.delta_speedup:
             derived["delta_vectorized_speedup"] = round(self.delta_speedup, 3)
+        if self.protocol_speedup:
+            derived["protocol_vectorized_speedup"] = round(
+                self.protocol_speedup, 3
+            )
         payload = {
             "schema": self.schema,
             "workload": dict(self.workload),
@@ -463,6 +487,71 @@ def measure_delta(
     return PerfBaseline(workload=workload, ops=ops, environment=environment)
 
 
+def measure_protocol(
+    files: int = DEFAULT_FILES,
+    file_kb: int = DEFAULT_DELTA_FILE_KB,
+    rounds: int = DEFAULT_PROTOCOL_ROUNDS,
+    seed: int = DEFAULT_SEED,
+    scalar_files: int = DEFAULT_SCALAR_FILES,
+) -> PerfBaseline:
+    """Time the whole-round protocol engines on the seeded mixed workload.
+
+    Two ops make up the BENCH_protocol record:
+
+    * ``protocol_sync_vectorized`` — end-to-end :func:`repro.core.synchronize`
+      with the batched engine over every pair;
+    * ``protocol_sync_scalar`` — the scalar parity oracle over the first
+      ``scalar_files`` pairs (MB/s normalises by payload).
+
+    Each timed pass starts from a cold :func:`~repro.parallel.cache.
+    default_cache` — the shared content-keyed :class:`HashIndexCache`
+    would otherwise hand whichever engine runs second prebuilt indexes
+    and corrupt the ratio.
+    """
+    from repro.core import ProtocolConfig, synchronize
+    from repro.parallel.cache import reset_default_cache
+
+    pairs = build_delta_workload(files=files, file_kb=file_kb, seed=seed)
+    config = ProtocolConfig()
+    ops: dict[str, OpTiming] = {}
+
+    def run_engine(engine: str, count: int) -> None:
+        reset_default_cache()
+        for reference, target in pairs[:count]:
+            synchronize(reference, target, config, engine=engine)
+
+    rounds = max(1, rounds)
+    ops["protocol_sync_vectorized"] = OpTiming(
+        "protocol_sync_vectorized",
+        _best_of(rounds, lambda: run_engine("vectorized", files)),
+        sum(len(target) for _reference, target in pairs),
+        rounds,
+    )
+
+    scalar_files = max(1, min(scalar_files, files))
+    ops["protocol_sync_scalar"] = OpTiming(
+        "protocol_sync_scalar",
+        _best_of(rounds, lambda: run_engine("scalar", scalar_files)),
+        sum(len(target) for _reference, target in pairs[:scalar_files]),
+        rounds,
+    )
+    reset_default_cache()
+
+    environment = {
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    workload = {
+        "files": files,
+        "file_kb": file_kb,
+        "rounds": rounds,
+        "seed": seed,
+        "scalar_files": scalar_files,
+    }
+    return PerfBaseline(workload=workload, ops=ops, environment=environment)
+
+
 def render_baseline(baseline: PerfBaseline) -> str:
     """Terminal table of one measurement (CLI + benchmark output)."""
     from repro.bench.report import render_table
@@ -490,6 +579,9 @@ def render_baseline(baseline: PerfBaseline) -> str:
     delta = baseline.delta_speedup
     if delta:
         title += f"; vectorized delta match {delta:.2f}x over scalar"
+    protocol = baseline.protocol_speedup
+    if protocol:
+        title += f"; vectorized protocol {protocol:.2f}x over scalar"
     return render_table(
         ["op", "ms (best)", "MB/s", "payload KB", "rounds"], rows, title=title
     )

@@ -347,9 +347,10 @@ def _cmd_manifest(args: argparse.Namespace) -> int:
 def _cmd_bench_perf(args: argparse.Namespace) -> int:
     """Measure the substrate perf baselines; record or compare them.
 
-    Two baselines make up the perf gate: the parallel-substrate record
-    (``BENCH_parallel.json``) and the delta-encode throughput record
-    (``BENCH_delta.json``).  Both are measured, printed, and compared
+    Three baselines make up the perf gate: the parallel-substrate record
+    (``BENCH_parallel.json``), the delta-encode throughput record
+    (``BENCH_delta.json``), and the whole-round protocol-engine record
+    (``BENCH_protocol.json``).  All are measured, printed, and compared
     (or rewritten with ``--update``) in one invocation so CI stays a
     single command.
     """
@@ -358,6 +359,7 @@ def _cmd_bench_perf(args: argparse.Namespace) -> int:
         load_baseline,
         measure,
         measure_delta,
+        measure_protocol,
         render_baseline,
         save_baseline,
     )
@@ -368,6 +370,10 @@ def _cmd_bench_perf(args: argparse.Namespace) -> int:
     measurements = [(Path(args.baseline), current)]
     if not args.no_delta:
         measurements.append((Path(args.delta_baseline), measure_delta()))
+    if not args.no_protocol:
+        measurements.append(
+            (Path(args.protocol_baseline), measure_protocol())
+        )
 
     for _path, measurement in measurements:
         if args.json:
@@ -570,6 +576,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench_perf.add_argument("--no-delta", action="store_true",
                             help="skip the delta-throughput measurement "
                                  "(substrate ops only)")
+    bench_perf.add_argument("--protocol-baseline",
+                            default="BENCH_protocol.json",
+                            help="protocol-engine baseline JSON to "
+                                 "compare against or update")
+    bench_perf.add_argument("--no-protocol", action="store_true",
+                            help="skip the protocol-engine measurement")
     bench_perf.add_argument("--update", action="store_true",
                             help="record the current measurement as the "
                                  "new baseline instead of comparing")

@@ -17,6 +17,7 @@ from repro.core.broadcast import BroadcastReport, synchronize_broadcast
 from repro.core.blocks import Block, BlockStatus, BlockTracker, HashKind
 from repro.core.client import Candidate, ClientSession
 from repro.core.config import ProtocolConfig
+from repro.core.engine import ENGINE_ENV, ENGINES, default_engine, resolve_engine
 from repro.core.filemap import FileMap, MatchEntry
 from repro.core.protocol import SyncResult, synchronize
 from repro.core.server import ServerSession
@@ -35,6 +36,10 @@ __all__ = [
     "BlockTracker",
     "Candidate",
     "ClientSession",
+    "ENGINES",
+    "ENGINE_ENV",
+    "default_engine",
+    "resolve_engine",
     "FileMap",
     "HashKind",
     "MatchEntry",

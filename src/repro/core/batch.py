@@ -15,9 +15,12 @@ from __future__ import annotations
 import zlib
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.blocks import Block, HashAssignment, HashKind
 from repro.core.client import Candidate, ClientSession
 from repro.core.config import ProtocolConfig
+from repro.core.engine import resolve_engine
 from repro.core.planning import (
     apply_known_hashes,
     plan_continuation,
@@ -98,24 +101,27 @@ def synchronize_batch(
     server_files: dict[str, bytes],
     config: ProtocolConfig | None = None,
     channel: SimulatedChannel | None = None,
+    engine: str | None = None,
 ) -> BatchReport:
     """Synchronise every common file, sharing each roundtrip.
 
     Files present only on one side are ignored here (the collection layer
     handles adds/removes); both dictionaries must cover the names being
-    synchronised.
+    synchronised.  ``engine`` selects the round engine exactly as in
+    :func:`repro.core.protocol.synchronize`.
     """
     if config is None:
         config = ProtocolConfig()
     if channel is None:
         channel = SimulatedChannel()
+    engine = resolve_engine(engine)
 
     names = sorted(set(client_files) & set(server_files))
     states = [
         _FileState(
             name=name,
-            client=ClientSession(client_files[name], config),
-            server=ServerSession(server_files[name], config),
+            client=ClientSession(client_files[name], config, engine=engine),
+            server=ServerSession(server_files[name], config, engine=engine),
         )
         for name in names
     ]
@@ -170,7 +176,7 @@ def synchronize_batch(
             server_plans = _make_plans(active, planner, needs_bits, "server")
             client_plans = _make_plans(active, planner, needs_bits, "client")
             _run_combined_subphase(
-                channel, config, server_plans, client_plans
+                channel, config, server_plans, client_plans, engine
             )
         for state in active:
             more_server = state.server.tracker.advance_level()
@@ -242,20 +248,25 @@ def _run_combined_subphase(
     config: ProtocolConfig,
     server_plans: list[tuple[_FileState, list[HashAssignment]]],
     client_plans: list[tuple[_FileState, list[HashAssignment]]],
+    engine: str = "vectorized",
 ) -> None:
     """One sub-phase across every file, one message per direction step."""
     total_assignments = sum(len(plan) for _s, plan in server_plans)
     if total_assignments == 0:
         return
+    vectorized = engine == "vectorized"
 
     # Server -> client: concatenated hash sections in file order.
     hashes = BitWriter()
     for state, plan in server_plans:
         section = state.server.emit_hashes(plan)
         section_bits = sum(a.transmitted_bits for a in plan)
-        reader = BitReader(section)
-        for _ in range(section_bits):
-            hashes.write_bit(reader.read_bit())
+        if vectorized:
+            hashes.write_flags(BitReader(section).read_flags(section_bits))
+        else:
+            reader = BitReader(section)
+            for _ in range(section_bits):
+                hashes.write_bit(reader.read_bit())
     channel.send(
         Direction.SERVER_TO_CLIENT, hashes.getvalue(), PHASE_MAP,
         bits=hashes.bit_length,
@@ -268,14 +279,24 @@ def _run_combined_subphase(
     for state, plan in client_plans:
         section_bits = sum(a.transmitted_bits for a in plan)
         section_writer = BitWriter()
-        for _ in range(section_bits):
-            section_writer.write_bit(combined_reader.read_bit())
+        if vectorized:
+            section_writer.write_flags(
+                combined_reader.read_flags(section_bits)
+            )
+        else:
+            for _ in range(section_bits):
+                section_writer.write_bit(combined_reader.read_bit())
         candidates = state.client.process_hashes(
             plan, section_writer.getvalue()
         )
         per_file_candidates.append((state, candidates))
-        for candidate in candidates:
-            bitmap.write_bit(candidate is not None)
+        if vectorized:
+            bitmap.write_flags(
+                [candidate is not None for candidate in candidates]
+            )
+        else:
+            for candidate in candidates:
+                bitmap.write_bit(candidate is not None)
     channel.send(
         Direction.CLIENT_TO_SERVER, bitmap.getvalue(), PHASE_MAP,
         bits=bitmap.bit_length,
@@ -287,7 +308,10 @@ def _run_combined_subphase(
     for (state, s_plan), (_c_state, candidates) in zip(
         server_plans, per_file_candidates
     ):
-        flags = [bool(bitmap_reader.read_bit()) for _ in s_plan]
+        if vectorized:
+            flags = bitmap_reader.read_flags(len(s_plan)).tolist()
+        else:
+            flags = [bool(bitmap_reader.read_bit()) for _ in s_plan]
         server_blocks = [
             a.block for a, flagged in zip(s_plan, flags) if flagged
         ]
@@ -314,10 +338,20 @@ def _run_combined_subphase(
         for state, _pools, selection in client_selections:
             units = make_units(selection, batch)
             client_units_by_file.append(units)
-            for unit in units:
-                writer.write(
-                    state.client.verification_value(unit, batch), batch.bits
+            if vectorized:
+                writer.write_many(
+                    np.asarray(
+                        state.client.verification_values(units, batch),
+                        dtype=np.uint64,
+                    ),
+                    batch.bits,
                 )
+            else:
+                for unit in units:
+                    writer.write(
+                        state.client.verification_value(unit, batch),
+                        batch.bits,
+                    )
         channel.send(
             Direction.CLIENT_TO_SERVER, writer.getvalue(), PHASE_MAP,
             bits=writer.bit_length,
@@ -328,13 +362,29 @@ def _run_combined_subphase(
         server_results_by_file = []
         for state, _pools, selection in server_selections:
             units = make_units(selection, batch)
-            passed = []
-            for unit in units:
-                received = verify_reader.read(batch.bits)
-                passed.append(
-                    received == state.server.verification_value(unit, batch)
+            if vectorized:
+                received_values = verify_reader.read_many(
+                    len(units), batch.bits
+                ).tolist()
+                expected_values = state.server.verification_values(
+                    units, batch
                 )
-                confirm.write_bit(passed[-1])
+                passed = [
+                    received == expected
+                    for received, expected in zip(
+                        received_values, expected_values
+                    )
+                ]
+                confirm.write_flags(passed)
+            else:
+                passed = []
+                for unit in units:
+                    received = verify_reader.read(batch.bits)
+                    passed.append(
+                        received
+                        == state.server.verification_value(unit, batch)
+                    )
+                    confirm.write_bit(passed[-1])
             server_results_by_file.append((units, passed))
         channel.send(
             Direction.SERVER_TO_CLIENT, confirm.getvalue(), PHASE_MAP,
@@ -344,7 +394,10 @@ def _run_combined_subphase(
         confirm_reader = BitReader(channel.receive(Direction.SERVER_TO_CLIENT))
         for index, (state, pools, _selection) in enumerate(client_selections):
             units = client_units_by_file[index]
-            passed = [bool(confirm_reader.read_bit()) for _ in units]
+            if vectorized:
+                passed = confirm_reader.read_flags(len(units)).tolist()
+            else:
+                passed = [bool(confirm_reader.read_bit()) for _ in units]
             pools.apply(batch, units, passed)
         for (state, pools, _selection), (units, passed) in zip(
             server_selections, server_results_by_file

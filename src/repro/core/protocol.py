@@ -19,9 +19,12 @@ from __future__ import annotations
 import zlib
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.blocks import Block, HashAssignment, HashKind
 from repro.core.client import Candidate, ClientSession
 from repro.core.config import ProtocolConfig
+from repro.core.engine import resolve_engine
 from repro.core.planning import (
     apply_known_hashes,
     plan_continuation,
@@ -124,6 +127,7 @@ def _run_verification(
         main=list(server_blocks)
     )
     verification_bits = 0
+    vectorized = client.engine == "vectorized"
     for batch in strategy.batches:
         client_selection = client_pools.select(batch)
         server_selection = server_pools.select(batch)
@@ -135,8 +139,19 @@ def _run_verification(
         server_units = make_units(server_selection, batch)
 
         writer = BitWriter()
-        for unit in client_units:
-            writer.write(client.verification_value(unit, batch), batch.bits)
+        if vectorized:
+            writer.write_many(
+                np.asarray(
+                    client.verification_values(client_units, batch),
+                    dtype=np.uint64,
+                ),
+                batch.bits,
+            )
+        else:
+            for unit in client_units:
+                writer.write(
+                    client.verification_value(unit, batch), batch.bits
+                )
         verification_bits += writer.bit_length
         channel.send(
             Direction.CLIENT_TO_SERVER,
@@ -146,14 +161,29 @@ def _run_verification(
         )
 
         reader = BitReader(channel.receive(Direction.CLIENT_TO_SERVER))
-        passed = []
-        for unit in server_units:
-            received = reader.read(batch.bits)
-            passed.append(received == server.verification_value(unit, batch))
+        if vectorized:
+            received_values = reader.read_many(
+                len(server_units), batch.bits
+            ).tolist()
+            expected_values = server.verification_values(server_units, batch)
+            passed = [
+                received == expected
+                for received, expected in zip(received_values, expected_values)
+            ]
+        else:
+            passed = []
+            for unit in server_units:
+                received = reader.read(batch.bits)
+                passed.append(
+                    received == server.verification_value(unit, batch)
+                )
 
         bitmap = BitWriter()
-        for ok in passed:
-            bitmap.write_bit(ok)
+        if vectorized:
+            bitmap.write_flags(passed)
+        else:
+            for ok in passed:
+                bitmap.write_bit(ok)
         channel.send(
             Direction.SERVER_TO_CLIENT,
             bitmap.getvalue(),
@@ -161,7 +191,10 @@ def _run_verification(
             bits=bitmap.bit_length,
         )
         confirm = BitReader(channel.receive(Direction.SERVER_TO_CLIENT))
-        client_passed = [bool(confirm.read_bit()) for _ in client_units]
+        if vectorized:
+            client_passed = confirm.read_flags(len(client_units)).tolist()
+        else:
+            client_passed = [bool(confirm.read_bit()) for _ in client_units]
 
         client_pools.apply(batch, client_units, client_passed)
         server_pools.apply(batch, server_units, passed)
@@ -194,8 +227,13 @@ def _run_subphase(
     )
 
     bitmap = BitWriter()
-    for candidate in candidates_by_plan:
-        bitmap.write_bit(candidate is not None)
+    if client.engine == "vectorized":
+        bitmap.write_flags(
+            [candidate is not None for candidate in candidates_by_plan]
+        )
+    else:
+        for candidate in candidates_by_plan:
+            bitmap.write_bit(candidate is not None)
     channel.send(
         Direction.CLIENT_TO_SERVER,
         bitmap.getvalue(),
@@ -203,7 +241,10 @@ def _run_subphase(
         bits=bitmap.bit_length,
     )
     reader = BitReader(channel.receive(Direction.CLIENT_TO_SERVER))
-    server_flags = [bool(reader.read_bit()) for _ in server_plan]
+    if server.engine == "vectorized":
+        server_flags = reader.read_flags(len(server_plan)).tolist()
+    else:
+        server_flags = [bool(reader.read_bit()) for _ in server_plan]
 
     candidates = [c for c in candidates_by_plan if c is not None]
     server_blocks = [
@@ -265,6 +306,7 @@ def synchronize(
     channel: SimulatedChannel | None = None,
     checkpointer=None,
     resume_from=None,
+    engine: str | None = None,
 ) -> SyncResult:
     """Synchronise the client's file to the server's current version.
 
@@ -280,14 +322,21 @@ def synchronize(
     rounds.  The caller of a resumed run is expected to have seeded
     ``channel.stats`` with the checkpoint's counters so the returned
     stats cover the whole logical session.
+
+    ``engine`` selects the round engine (``"vectorized"`` | ``"scalar"``,
+    ``None`` = the ``REPRO_PROTOCOL_ENGINE`` environment default); both
+    put byte-identical traffic on the wire and write interchangeable
+    checkpoints, so a resumed run may use a different engine than the one
+    that crashed.
     """
     if config is None:
         config = ProtocolConfig()
     if channel is None:
         channel = SimulatedChannel()
+    engine = resolve_engine(engine)
 
-    server = ServerSession(server_data, config)
-    client = ClientSession(client_data, config)
+    server = ServerSession(server_data, config, engine=engine)
+    client = ClientSession(client_data, config, engine=engine)
 
     trace: list[SubphaseTrace] = []
     if resume_from is not None:
@@ -421,7 +470,9 @@ def synchronize(
                 hash_seed=config.hash_seed + 1,
                 collision_retries=config.collision_retries - 1,
             )
-            retry = synchronize(client_data, server_data, retry_config, channel)
+            retry = synchronize(
+                client_data, server_data, retry_config, channel, engine=engine
+            )
             retry.used_fallback = True
             return retry
         channel.send(

@@ -2,13 +2,16 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.blocks import Block, BlockTracker, HashAssignment, HashKind
 from repro.core.config import ProtocolConfig
+from repro.core.engine import resolve_engine
 from repro.delta import vcdiff_encode, zdelta_encode
 from repro.exceptions import ProtocolError
 from repro.grouptesting.strategies import BatchMode, BatchSpec
 from repro.hashing.decomposable import DecomposableAdler
-from repro.hashing.scan import PrefixHasher
+from repro.hashing.scan import PrefixHasher, pack_to_widths
 from repro.hashing.strong import StrongHasher, file_fingerprint
 from repro.io.bitstream import BitWriter
 from repro.parallel.cache import HashIndexCache, default_cache
@@ -22,9 +25,11 @@ class ServerSession:
         data: bytes,
         config: ProtocolConfig,
         cache: HashIndexCache | None = None,
+        engine: str | None = None,
     ) -> None:
         self.data = data
         self.config = config
+        self.engine = resolve_engine(engine)
         self.hasher = DecomposableAdler(seed=config.hash_seed)
         self.strong = StrongHasher(salt=config.hash_seed.to_bytes(8, "big"))
         self._cache = cache if cache is not None else default_cache()
@@ -60,6 +65,12 @@ class ServerSession:
 
     def emit_hashes(self, plan: list[HashAssignment]) -> bytes:
         """Serialise one sub-phase's hash message."""
+        if self.engine == "scalar":
+            return self._emit_hashes_scalar(plan)
+        return self._emit_hashes_vectorized(plan)
+
+    def _emit_hashes_scalar(self, plan: list[HashAssignment]) -> bytes:
+        """Parity oracle: one hash evaluation and write per block."""
         writer = BitWriter()
         for assignment in plan:
             if assignment.kind is HashKind.DERIVED:
@@ -72,6 +83,37 @@ class ServerSession:
             writer.write(packed, assignment.width)
         return writer.getvalue()
 
+    def _emit_hashes_vectorized(self, plan: list[HashAssignment]) -> bytes:
+        """Whole-plan map construction: batched hashing + bit packing."""
+        wire = [
+            assignment for assignment in plan
+            if assignment.kind is not HashKind.DERIVED
+        ]
+        writer = BitWriter()
+        if not wire:
+            return writer.getvalue()
+        count = len(wire)
+        starts = np.fromiter(
+            (a.block.start for a in wire), dtype=np.int64, count=count
+        )
+        lengths = np.fromiter(
+            (a.block.length for a in wire), dtype=np.int64, count=count
+        )
+        widths = [a.width for a in wire]
+        packed = pack_to_widths(
+            self.prefix.block_pairs(starts, lengths),
+            np.asarray(widths, dtype=np.int64),
+        )
+        cursor = 0
+        while cursor < count:
+            width = widths[cursor]
+            stop = cursor + 1
+            while stop < count and widths[stop] == width:
+                stop += 1
+            writer.write_many(packed[cursor:stop], width)
+            cursor = stop
+        return writer.getvalue()
+
     def verification_value(self, unit: list[Block], batch: BatchSpec) -> int:
         """The hash value the client *should* send for this unit."""
         if batch.mode is BatchMode.INDIVIDUAL:
@@ -79,6 +121,21 @@ class ServerSession:
         return self.strong.group_bits(
             (self.block_bytes(block) for block in unit), batch.bits
         )
+
+    def verification_values(
+        self, units: list[list[Block]], batch: BatchSpec
+    ) -> list[int]:
+        """Batched :meth:`verification_value`: one value per unit."""
+        bits = batch.bits
+        if batch.mode is BatchMode.INDIVIDUAL:
+            block_bytes = self.block_bytes
+            strong_bits = self.strong.bits
+            return [strong_bits(block_bytes(unit[0]), bits) for unit in units]
+        group_bits = self.strong.group_bits
+        return [
+            group_bits((self.block_bytes(block) for block in unit), bits)
+            for unit in units
+        ]
 
     # ------------------------------------------------------------------
     # Delta phase

@@ -149,6 +149,21 @@ def pack_to_width(full: np.ndarray, width: int) -> np.ndarray:
     return a
 
 
+def pack_to_widths(full: np.ndarray, widths: np.ndarray) -> np.ndarray:
+    """:func:`pack_to_width` with a *per-element* width array.
+
+    Mixed sub-phase plans (global + local hashes in one message) pack
+    each block's hash at its own width; per-element shift/mask arrays
+    keep that a single numpy pass instead of a per-block branch.
+    """
+    widths = np.asarray(widths, dtype=np.uint32)
+    a_bits = (widths + np.uint32(1)) >> np.uint32(1)
+    b_bits = widths - a_bits
+    a = full & ((np.uint32(1) << a_bits) - np.uint32(1))
+    b = (full >> np.uint32(16)) & ((np.uint32(1) << b_bits) - np.uint32(1))
+    return a | (b << a_bits)
+
+
 class PrefixHasher:
     """O(1) decomposable-hash evaluation of arbitrary file regions.
 
@@ -203,6 +218,39 @@ class PrefixHasher:
         """Packed ``width``-bit hash of the region."""
         return DecomposableAdler.pack(self.block_pair(start, length), width)
 
+    def block_pairs(self, starts, lengths) -> np.ndarray:
+        """Packed 32-bit hashes ``a | (b << 16)`` of many regions at once.
+
+        The batched counterpart of :meth:`block_pair`: one numpy pass
+        evaluates every ``[start, start + length)`` region, which is what
+        lets the protocol engines build a whole round's MAP message (and
+        probe every expected candidate position) without a per-block
+        loop.  Widths are applied separately via :func:`pack_to_width` /
+        :func:`pack_to_widths`.
+        """
+        starts = np.asarray(starts, dtype=np.int64)
+        lengths = np.asarray(lengths, dtype=np.int64)
+        if starts.size == 0:
+            return np.empty(0, dtype=np.uint32)
+        ends = starts + lengths
+        if (
+            bool((lengths <= 0).any())
+            or bool((starts < 0).any())
+            or bool((ends > self._length).any())
+        ):
+            raise ValueError(
+                f"regions outside data of length {self._length} "
+                "(or non-positive lengths)"
+            )
+        with np.errstate(over="ignore"):
+            window_sum = self._prefix[ends] - self._prefix[starts]
+            b = (lengths + starts).astype(np.uint64) * window_sum - (
+                self._weighted[ends] - self._weighted[starts]
+            )
+        a16 = (window_sum & _MASK16).astype(np.uint32)
+        b16 = (b & _MASK16).astype(np.uint32)
+        return a16 | (b16 << np.uint32(16))
+
 
 class _WidthIndex:
     """Sorted lookup structure for one truncated hash width."""
@@ -225,6 +273,22 @@ class _WidthIndex:
         # tolist() converts the whole slice to Python ints in C, instead
         # of boxing one numpy scalar per element.
         return self._order[lo:hi].tolist()
+
+    def lookup_first_many(self, values: np.ndarray) -> np.ndarray:
+        """First (lowest) matching position per query, ``-1`` when absent.
+
+        One :func:`sorted_range_pair` call answers the whole query batch;
+        ``order[lo]`` is the first match because the stable argsort keeps
+        equal hashes in ascending positional order — exactly the
+        ``lookup(...)[0]`` the scalar path takes.
+        """
+        lo, hi = sorted_range_pair(
+            self._sorted, np.asarray(values, dtype=self._sorted.dtype)
+        )
+        first = np.full(lo.shape, -1, dtype=np.int64)
+        found = hi > lo
+        first[found] = self._order[lo[found]]
+        return first
 
 
 class HashIndex:
@@ -284,6 +348,64 @@ class HashIndex:
             index = _WidthIndex(self._full, width)
             self._by_width[width] = index
         return index.lookup(value, max_results)
+
+    def lookup_many(self, values, width: int) -> np.ndarray:
+        """Batched :meth:`lookup` head: first matching position per value.
+
+        Returns an int64 array (``-1`` = no position has that truncated
+        hash).  Byte-identical to calling ``lookup(value, width)[0]`` per
+        value — this is the whole-round candidate lookup both protocol
+        engines use instead of N scalar probes.
+
+        When no :class:`_WidthIndex` exists yet for ``width`` the batch is
+        answered by a *reverse* lookup — sort the (small) query batch and
+        scan the full hash array against it — which is ``O(n log q)``
+        instead of the ``O(n log n)`` argsort a width index costs to
+        build.  A whole protocol round needs each ``(length, width)``
+        combination only once or twice, so building the index never pays
+        for itself; the scalar :meth:`lookup` path still builds (and then
+        reuses) it.
+        """
+        values = np.asarray(values)
+        if self._full.size == 0:
+            return np.full(values.shape, -1, dtype=np.int64)
+        index = self._by_width.get(width)
+        if index is not None:
+            return index.lookup_first_many(values)
+        packed = pack_to_width(self._full, width)
+        queries = values.astype(packed.dtype, copy=False)
+        if queries.size <= 128:
+            # Small batch: one SIMD equality scan per query beats the
+            # per-element overhead of a length-n searchsorted.
+            out = np.full(queries.size, -1, dtype=np.int64)
+            flat = queries.ravel()
+            for at, value in enumerate(flat.tolist()):
+                hits = packed == np.uint32(value)
+                first = int(hits.argmax())
+                if hits[first]:
+                    out[at] = first
+            return out.reshape(values.shape)
+        order = np.argsort(queries, kind="stable")
+        sorted_queries = queries[order]
+        # isin prunes the length-n side to actual hits first, so the
+        # per-element searchsorted below only binary-searches hits.
+        hit_positions = np.flatnonzero(np.isin(packed, sorted_queries))
+        slot = np.searchsorted(sorted_queries, packed[hit_positions])
+        first_sorted = np.full(sorted_queries.size, -1, dtype=np.int64)
+        # Reversed assignment: with duplicate slots the LAST write wins,
+        # so reversing makes the lowest position stick — the same "first
+        # match" the stable width-index argsort would return.
+        first_sorted[slot[::-1]] = hit_positions[::-1]
+        # Duplicate query values occupy distinct slots but searchsorted
+        # maps every hit to the leftmost equal slot; fan the result back
+        # out to all duplicates before undoing the query sort.
+        representative = np.searchsorted(
+            sorted_queries, sorted_queries, side="left"
+        )
+        first_sorted = first_sorted[representative]
+        out = np.empty(queries.size, dtype=np.int64)
+        out[order] = first_sorted
+        return out.reshape(values.shape)
 
     def lookup_in_range(
         self, value: int, width: int, lo: int, hi: int, max_results: int = 8

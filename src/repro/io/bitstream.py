@@ -5,11 +5,21 @@ each value, bits packed LSB-first into bytes) and produces a ``bytes``
 payload.  ``BitReader`` decodes such a payload.  The pair is used by the
 protocol message codecs so transmitted message sizes reflect the exact
 number of bits the paper's protocol would put on the wire.
+
+The batched variants (``write_many``/``write_flags`` and
+``read_many``/``read_flags``) move whole-round arrays of equal-width
+values in one numpy pass — the per-value loop is what made map
+construction the protocol bottleneck (DESIGN §13).  They are bit-exact
+drop-ins for the equivalent sequence of scalar calls: ``np.packbits``
+and ``np.unpackbits`` with ``bitorder="little"`` reproduce exactly the
+LSB-first byte packing of :meth:`BitWriter.write`.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable
+
+import numpy as np
 
 
 class BitWriter:
@@ -61,6 +71,48 @@ class BitWriter:
         """Append each value in ``values`` using ``width`` bits."""
         for value in values:
             self.write(value, width)
+
+    def _append_bit_array(self, bits: "np.ndarray") -> None:
+        """Append a 0/1 ``uint8`` array of individual bits (LSB-first)."""
+        if self._pending_bits:
+            pending = (
+                np.uint64(self._accumulator)
+                >> np.arange(self._pending_bits, dtype=np.uint64)
+            ) & np.uint64(1)
+            bits = np.concatenate([pending.astype(np.uint8), bits])
+        packed = np.packbits(bits, bitorder="little")
+        full_bytes, remainder = divmod(int(bits.size), 8)
+        self._buffer += packed[:full_bytes].tobytes()
+        self._accumulator = int(packed[full_bytes]) if remainder else 0
+        self._pending_bits = remainder
+
+    def write_many(self, values, width: int) -> None:
+        """Append every value using ``width`` bits each, in one numpy pass.
+
+        Bit-exact equivalent of ``for v in values: self.write(v, width)``.
+        """
+        if width < 0:
+            raise ValueError(f"width must be non-negative, got {width}")
+        values = np.asarray(values, dtype=np.uint64)
+        if values.size == 0:
+            return
+        if width < 64 and bool((values >> np.uint64(width)).any()):
+            bad = int(values[(values >> np.uint64(width)) != 0][0])
+            raise ValueError(f"value {bad} does not fit in {width} bits")
+        if width == 0:
+            return
+        shifts = np.arange(width, dtype=np.uint64)
+        bits = (
+            (values[:, None] >> shifts) & np.uint64(1)
+        ).astype(np.uint8).ravel()
+        self._append_bit_array(bits)
+
+    def write_flags(self, flags) -> None:
+        """Append one bit per element (batched :meth:`write_bit`)."""
+        arr = np.asarray(flags)
+        if arr.size == 0:
+            return
+        self._append_bit_array((arr != 0).astype(np.uint8))
 
     def write_bytes(self, data: bytes) -> None:
         """Append raw bytes (8 bits each, in order)."""
@@ -127,6 +179,49 @@ class BitReader:
     def read_bits(self, count: int, width: int) -> list[int]:
         """Read ``count`` values of ``width`` bits each."""
         return [self.read(width) for _ in range(count)]
+
+    def _read_bit_array(self, total_bits: int) -> "np.ndarray":
+        """Consume ``total_bits`` bits as a 0/1 ``uint8`` array."""
+        if total_bits > self.remaining_bits:
+            raise EOFError(
+                f"requested {total_bits} bits but only "
+                f"{self.remaining_bits} remain"
+            )
+        start_byte, offset = divmod(self._position, 8)
+        end_byte = (self._position + total_bits + 7) // 8
+        raw = np.frombuffer(
+            self._data, dtype=np.uint8, count=end_byte - start_byte,
+            offset=start_byte,
+        )
+        bits = np.unpackbits(raw, bitorder="little")[
+            offset : offset + total_bits
+        ]
+        self._position += total_bits
+        return bits
+
+    def read_many(self, count: int, width: int) -> "np.ndarray":
+        """Read ``count`` values of ``width`` bits each as a uint64 array.
+
+        Bit-exact equivalent of ``[self.read(width) for _ in range(count)]``.
+        """
+        if width < 0:
+            raise ValueError(f"width must be non-negative, got {width}")
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if count == 0 or width == 0:
+            self._read_bit_array(0)
+            return np.zeros(count, dtype=np.uint64)
+        bits = self._read_bit_array(count * width)
+        weights = np.uint64(1) << np.arange(width, dtype=np.uint64)
+        return (bits.reshape(count, width) * weights).sum(
+            axis=1, dtype=np.uint64
+        )
+
+    def read_flags(self, count: int) -> "np.ndarray":
+        """Read ``count`` single bits as a boolean array."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return self._read_bit_array(count).astype(bool)
 
     def read_bytes(self, count: int) -> bytes:
         """Read ``count`` raw bytes."""

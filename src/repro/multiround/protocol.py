@@ -27,15 +27,19 @@ from __future__ import annotations
 import zlib
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.blocks import Block, BlockStatus
+from repro.core.engine import resolve_engine
 from repro.exceptions import DeltaFormatError
 from repro.hashing.decomposable import DecomposableAdler
-from repro.hashing.scan import HashIndex, PrefixHasher
+from repro.hashing.scan import HashIndex, PrefixHasher, pack_to_width
 from repro.hashing.strong import file_fingerprint
 from repro.io.bitstream import BitReader, BitWriter
 from repro.io.varint import decode_uvarint, encode_uvarint
 from repro.net.channel import SimulatedChannel
 from repro.net.metrics import Direction, TransferStats
+from repro.parallel.cache import HashIndexCache, default_cache
 
 PHASE_HANDSHAKE = "handshake"
 PHASE_MAP = "map"
@@ -137,56 +141,18 @@ def decode_round_state(
     return expected_fingerprint, blocks, pinned
 
 
-def multiround_rsync_sync(
-    old_data: bytes,
-    new_data: bytes,
-    config: MultiroundConfig | None = None,
-    channel: SimulatedChannel | None = None,
-    checkpointer=None,
-    resume_from=None,
-) -> MultiroundResult:
-    """Synchronise ``old_data`` to ``new_data`` with multiround rsync.
-
-    ``checkpointer`` (a
-    :class:`~repro.resilience.checkpoint.SessionJournal`, already opened)
-    records the reconciliation state after every completed round;
-    ``resume_from`` (a
-    :class:`~repro.resilience.checkpoint.RoundCheckpoint`) continues from
-    such a record, skipping the handshake and every already-paid-for
-    round.  A resumed call assumes the caller seeded ``channel.stats``
-    with the checkpoint's counters (the supervisor's resume handshake
-    does), so the returned stats describe the whole logical session.
-    """
-    if config is None:
-        config = MultiroundConfig()
-    if channel is None:
-        channel = SimulatedChannel()
-
-    hasher = DecomposableAdler(seed=config.hash_seed)
-    client_prefix = PrefixHasher(old_data, hasher)
-    server_index_cache: dict[int, HashIndex] = {}
-
-    if resume_from is not None:
-        expected_fingerprint, blocks, pinned = decode_round_state(
-            resume_from.payload
-        )
-        rounds = resume_from.round_index
-    else:
-        # Handshake: fingerprint for the final integrity check.
-        hello = BitWriter()
-        hello.write_bytes(file_fingerprint(new_data))
-        channel.send(
-            Direction.SERVER_TO_CLIENT, hello.getvalue(), PHASE_HANDSHAKE,
-            bits=hello.bit_length,
-        )
-        expected_fingerprint = BitReader(
-            channel.receive(Direction.SERVER_TO_CLIENT)
-        ).read_bytes(16)
-        blocks = _initial_blocks(len(old_data), config.start_block_size)
-        pinned = []
-        rounds = 0
-
-    # --- Rounds ----------------------------------------------------------
+def _run_rounds_scalar(
+    channel: SimulatedChannel,
+    config: MultiroundConfig,
+    client_prefix: PrefixHasher,
+    server_index,
+    blocks: list[Block],
+    pinned: list[_Pinned],
+    rounds: int,
+    checkpointer,
+    expected_fingerprint: bytes,
+) -> int:
+    """Parity oracle: the original block-at-a-time round loop."""
     while blocks:
         rounds += 1
         channel.mark_round(rounds)
@@ -207,10 +173,7 @@ def multiround_rsync_sync(
         matches_this_round: list[tuple[Block, int]] = []
         for block in blocks:
             value = reader.read(config.hash_bits)
-            index = server_index_cache.get(block.length)
-            if index is None:
-                index = HashIndex(new_data, block.length, hasher)
-                server_index_cache[block.length] = index
+            index = server_index(block.length)
             positions = index.lookup(value, config.hash_bits, max_results=1)
             matched = bool(positions)
             bitmap.write_bit(matched)
@@ -244,6 +207,188 @@ def multiround_rsync_sync(
                 encode_round_state(expected_fingerprint, blocks, pinned),
                 channel.stats,
             )
+    return rounds
+
+
+def _run_rounds_vectorized(
+    channel: SimulatedChannel,
+    config: MultiroundConfig,
+    client_prefix: PrefixHasher,
+    server_index,
+    blocks: list[Block],
+    pinned: list[_Pinned],
+    rounds: int,
+    checkpointer,
+    expected_fingerprint: bytes,
+) -> int:
+    """Whole-round engine: the active frontier is two int64 arrays.
+
+    Each round hashes, packs, transmits, looks up, and splits *every*
+    block in batched numpy passes; ``Block`` objects are materialised only
+    when a checkpointer needs :func:`encode_round_state` (whose payload is
+    bit-identical to the scalar engine's — the frontier order is the same
+    interleaved left/right order ``Block.split`` produces).
+    """
+    starts = np.fromiter(
+        (b.start for b in blocks), dtype=np.int64, count=len(blocks)
+    )
+    lengths = np.fromiter(
+        (b.length for b in blocks), dtype=np.int64, count=len(blocks)
+    )
+    hash_bits = config.hash_bits
+    while starts.size:
+        rounds += 1
+        channel.mark_round(rounds)
+        count = int(starts.size)
+        packed = pack_to_width(
+            client_prefix.block_pairs(starts, lengths), hash_bits
+        )
+        message = BitWriter()
+        message.write_many(packed, hash_bits)
+        channel.send(
+            Direction.CLIENT_TO_SERVER, message.getvalue(), PHASE_MAP,
+            bits=message.bit_length,
+        )
+
+        reader = BitReader(channel.receive(Direction.CLIENT_TO_SERVER))
+        values = reader.read_many(count, hash_bits)
+        positions = np.full(count, -1, dtype=np.int64)
+        for length in np.unique(lengths).tolist():
+            rows = np.flatnonzero(lengths == length)
+            positions[rows] = server_index(length).lookup_many(
+                values[rows], hash_bits
+            )
+        matched = positions >= 0
+        bitmap = BitWriter()
+        bitmap.write_flags(matched)
+        channel.send(
+            Direction.SERVER_TO_CLIENT, bitmap.getvalue(), PHASE_MAP,
+            bits=bitmap.bit_length,
+        )
+
+        # Both sides advance identically from the bitmap.
+        confirm = BitReader(channel.receive(Direction.SERVER_TO_CLIENT))
+        flags = confirm.read_flags(count)
+        pinned.extend(
+            _Pinned(client_start, length, server_start)
+            for client_start, length, server_start in zip(
+                starts[flags].tolist(),
+                lengths[flags].tolist(),
+                positions[flags].tolist(),
+            )
+        )
+        split = ~flags & (lengths // 2 >= config.min_block_size)
+        split_starts = starts[split]
+        split_lengths = lengths[split]
+        left_lengths = (split_lengths + 1) // 2
+        starts = np.empty(2 * split_starts.size, dtype=np.int64)
+        lengths = np.empty(2 * split_starts.size, dtype=np.int64)
+        starts[0::2] = split_starts
+        starts[1::2] = split_starts + left_lengths
+        lengths[0::2] = left_lengths
+        lengths[1::2] = split_lengths - left_lengths
+        if checkpointer is not None:
+            frontier = [
+                Block(start=start, length=length, level=0)
+                for start, length in zip(starts.tolist(), lengths.tolist())
+            ]
+            checkpointer.record_round(
+                rounds,
+                encode_round_state(expected_fingerprint, frontier, pinned),
+                channel.stats,
+            )
+    return rounds
+
+
+def multiround_rsync_sync(
+    old_data: bytes,
+    new_data: bytes,
+    config: MultiroundConfig | None = None,
+    channel: SimulatedChannel | None = None,
+    checkpointer=None,
+    resume_from=None,
+    engine: str | None = None,
+) -> MultiroundResult:
+    """Synchronise ``old_data`` to ``new_data`` with multiround rsync.
+
+    ``checkpointer`` (a
+    :class:`~repro.resilience.checkpoint.SessionJournal`, already opened)
+    records the reconciliation state after every completed round;
+    ``resume_from`` (a
+    :class:`~repro.resilience.checkpoint.RoundCheckpoint`) continues from
+    such a record, skipping the handshake and every already-paid-for
+    round.  A resumed call assumes the caller seeded ``channel.stats``
+    with the checkpoint's counters (the supervisor's resume handshake
+    does), so the returned stats describe the whole logical session.
+
+    ``engine`` selects the round engine (``"vectorized"`` | ``"scalar"``,
+    ``None`` = the ``REPRO_PROTOCOL_ENGINE`` environment default).  Both
+    engines put byte-identical traffic on the wire and record
+    bit-identical round checkpoints, so a checkpoint written by one
+    engine resumes cleanly under the other.
+    """
+    if config is None:
+        config = MultiroundConfig()
+    if channel is None:
+        channel = SimulatedChannel()
+    engine = resolve_engine(engine)
+
+    hasher = DecomposableAdler(seed=config.hash_seed)
+    client_prefix = PrefixHasher(old_data, hasher)
+    server_fingerprint = file_fingerprint(new_data)
+    index_cache: HashIndexCache = default_cache()
+    server_indexes: dict[int, HashIndex] = {}
+
+    def server_index(length: int) -> HashIndex:
+        """Per-call memo over the shared content-keyed index cache."""
+        index = server_indexes.get(length)
+        if index is None:
+            if length > len(new_data):
+                # No window of this length exists; an empty index, built
+                # without scanning the data (and without a cache slot).
+                index = HashIndex(b"", length, hasher)
+            else:
+                index = index_cache.hash_index(
+                    new_data, length, hasher, fingerprint=server_fingerprint
+                )
+            server_indexes[length] = index
+        return index
+
+    if resume_from is not None:
+        expected_fingerprint, blocks, pinned = decode_round_state(
+            resume_from.payload
+        )
+        rounds = resume_from.round_index
+    else:
+        # Handshake: fingerprint for the final integrity check.
+        hello = BitWriter()
+        hello.write_bytes(server_fingerprint)
+        channel.send(
+            Direction.SERVER_TO_CLIENT, hello.getvalue(), PHASE_HANDSHAKE,
+            bits=hello.bit_length,
+        )
+        expected_fingerprint = BitReader(
+            channel.receive(Direction.SERVER_TO_CLIENT)
+        ).read_bytes(16)
+        blocks = _initial_blocks(len(old_data), config.start_block_size)
+        pinned = []
+        rounds = 0
+
+    # --- Rounds ----------------------------------------------------------
+    run_rounds = (
+        _run_rounds_scalar if engine == "scalar" else _run_rounds_vectorized
+    )
+    rounds = run_rounds(
+        channel,
+        config,
+        client_prefix,
+        server_index,
+        blocks,
+        pinned,
+        rounds,
+        checkpointer,
+        expected_fingerprint,
+    )
 
     # --- Delta: cover F_new with pinned client blocks + literals ---------
     by_server_position = sorted(

@@ -1,0 +1,328 @@
+"""Engine parity: the vectorized round engine vs the scalar oracle.
+
+The whole-round engine rewrite (DESIGN §13) keeps the original per-block
+loops alive as a parity oracle behind ``engine="scalar"``.  The contract
+this suite pins down: both engines put **byte-identical traffic** on the
+wire, report identical :class:`TransferStats`, and write interchangeable
+round checkpoints — so a session checkpointed under one engine resumes
+cleanly under the other, and every correctness test exercised against
+one engine speaks for both.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ENGINE_ENV,
+    ENGINES,
+    ProtocolConfig,
+    default_engine,
+    resolve_engine,
+    synchronize,
+    synchronize_batch,
+)
+from repro.multiround import MultiroundConfig, multiround_rsync_sync
+from repro.net.channel import SimulatedChannel
+from repro.resilience import RoundCheckpoint
+from tests.conftest import make_version_pair
+
+
+class RecordingChannel(SimulatedChannel):
+    """A channel that keeps a verbatim transcript of every send."""
+
+    def __init__(self):
+        super().__init__()
+        self.transcript: list[tuple[str, str, int | None, bytes]] = []
+
+    def send(self, direction, payload, phase, bits=None):
+        self.transcript.append(
+            (direction.value, phase, bits, bytes(payload))
+        )
+        super().send(direction, payload, phase, bits=bits)
+
+
+class Recorder:
+    """A checkpointer that keeps every round checkpoint in memory."""
+
+    def __init__(self):
+        self.checkpoints: list[RoundCheckpoint] = []
+
+    def record_round(self, round_index, payload, stats):
+        self.checkpoints.append(
+            RoundCheckpoint.at_boundary(round_index, payload, stats)
+        )
+
+
+def run_core(old, new, config=None, engine="vectorized", checkpointer=None):
+    channel = RecordingChannel()
+    result = synchronize(
+        old, new, config, channel, checkpointer=checkpointer, engine=engine
+    )
+    return result, channel
+
+
+def run_multiround(old, new, config=None, engine="vectorized",
+                   checkpointer=None):
+    channel = RecordingChannel()
+    result = multiround_rsync_sync(
+        old, new, config, channel, checkpointer=checkpointer, engine=engine
+    )
+    return result, channel
+
+
+def assert_same_wire(vec_channel, scalar_channel):
+    assert vec_channel.transcript == scalar_channel.transcript
+    assert vec_channel.stats.bits_by == scalar_channel.stats.bits_by
+    assert vec_channel.stats.messages == scalar_channel.stats.messages
+    assert vec_channel.stats.roundtrips == scalar_channel.stats.roundtrips
+
+
+# ----------------------------------------------------------------------
+# Core protocol (map construction, candidates, verification)
+# ----------------------------------------------------------------------
+CORE_CONFIGS = [
+    pytest.param(None, id="defaults"),
+    pytest.param(
+        ProtocolConfig(use_local_hashes=True), id="local-hashes"
+    ),
+    pytest.param(
+        ProtocolConfig(verification="trivial"), id="trivial-verify"
+    ),
+    pytest.param(
+        ProtocolConfig(verification="group3"), id="group3-verify"
+    ),
+    pytest.param(
+        ProtocolConfig(continuation_min_block_size=None),
+        id="no-continuation",
+    ),
+]
+
+
+class TestCoreParity:
+    @pytest.mark.parametrize("config", CORE_CONFIGS)
+    def test_wire_and_stats_identical(self, config):
+        old, new = make_version_pair(seed=1601, nbytes=16000, edits=8)
+        vec, vec_channel = run_core(old, new, config, "vectorized")
+        scalar, scalar_channel = run_core(old, new, config, "scalar")
+        assert vec.reconstructed == new
+        assert scalar.reconstructed == new
+        assert vec.rounds == scalar.rounds
+        assert_same_wire(vec_channel, scalar_channel)
+
+    @pytest.mark.parametrize("seed", range(1610, 1618))
+    def test_randomized_version_pairs(self, seed):
+        rng = random.Random(seed)
+        old, new = make_version_pair(
+            seed=seed,
+            nbytes=rng.randrange(200, 24000),
+            edits=rng.randrange(1, 14),
+        )
+        vec, vec_channel = run_core(old, new, None, "vectorized")
+        scalar, scalar_channel = run_core(old, new, None, "scalar")
+        assert vec.reconstructed == new == scalar.reconstructed
+        assert_same_wire(vec_channel, scalar_channel)
+
+    @pytest.mark.parametrize(
+        "old,new",
+        [
+            (b"", b""),
+            (b"", b"fresh content, nothing shared"),
+            (b"stale content, all deleted", b""),
+            (b"identical bytes" * 50, b"identical bytes" * 50),
+            (b"\x00" * 4096, b"\x00" * 4095 + b"\x01"),
+        ],
+        ids=["both-empty", "empty-old", "empty-new", "identical", "runs"],
+    )
+    def test_edge_inputs(self, old, new):
+        vec, vec_channel = run_core(old, new, None, "vectorized")
+        scalar, scalar_channel = run_core(old, new, None, "scalar")
+        assert vec.reconstructed == new == scalar.reconstructed
+        assert_same_wire(vec_channel, scalar_channel)
+
+    @given(
+        old=st.binary(max_size=3000),
+        junk=st.binary(max_size=200),
+        cut=st.integers(min_value=0, max_value=3000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_hypothesis_spliced_edits(self, old, junk, cut):
+        at = min(cut, len(old))
+        new = old[:at] + junk + old[at + len(junk):]
+        vec, vec_channel = run_core(old, new, None, "vectorized")
+        scalar, scalar_channel = run_core(old, new, None, "scalar")
+        assert vec.reconstructed == new == scalar.reconstructed
+        assert_same_wire(vec_channel, scalar_channel)
+
+    def test_checkpoints_bit_identical(self):
+        old, new = make_version_pair(seed=1620, nbytes=15000, edits=8)
+        vec_recorder, scalar_recorder = Recorder(), Recorder()
+        run_core(old, new, engine="vectorized", checkpointer=vec_recorder)
+        run_core(old, new, engine="scalar", checkpointer=scalar_recorder)
+        assert len(vec_recorder.checkpoints) >= 2
+        assert vec_recorder.checkpoints == scalar_recorder.checkpoints
+
+    @pytest.mark.parametrize(
+        "crash_engine,resume_engine",
+        [("vectorized", "scalar"), ("scalar", "vectorized")],
+    )
+    def test_cross_engine_resume(self, crash_engine, resume_engine):
+        """A checkpoint written by one engine resumes under the other —
+        the SIGKILL-then-different-binary scenario."""
+        old, new = make_version_pair(seed=1621, nbytes=15000, edits=8)
+        recorder = Recorder()
+        baseline, _ = run_core(
+            old, new, engine=crash_engine, checkpointer=recorder
+        )
+        assert len(recorder.checkpoints) >= 2
+        for checkpoint in recorder.checkpoints:
+            channel = SimulatedChannel()
+            checkpoint.seed_stats(channel.stats)
+            resumed = synchronize(
+                old, new, channel=channel, resume_from=checkpoint,
+                engine=resume_engine,
+            )
+            assert resumed.reconstructed == new
+            assert resumed.rounds == baseline.rounds
+            assert resumed.stats.bits_by == baseline.stats.bits_by, (
+                f"{resume_engine} resume from {crash_engine} checkpoint "
+                f"at round {checkpoint.round_index} diverged"
+            )
+
+
+# ----------------------------------------------------------------------
+# Multiround rsync (frontier bookkeeping, bitmap, splits)
+# ----------------------------------------------------------------------
+class TestMultiroundParity:
+    @pytest.mark.parametrize("seed", range(1630, 1636))
+    def test_wire_and_stats_identical(self, seed):
+        rng = random.Random(seed)
+        old, new = make_version_pair(
+            seed=seed,
+            nbytes=rng.randrange(500, 20000),
+            edits=rng.randrange(1, 12),
+        )
+        vec, vec_channel = run_multiround(old, new, None, "vectorized")
+        scalar, scalar_channel = run_multiround(old, new, None, "scalar")
+        assert vec.reconstructed == new == scalar.reconstructed
+        assert vec.rounds == scalar.rounds
+        assert_same_wire(vec_channel, scalar_channel)
+
+    def test_edge_inputs(self):
+        config = MultiroundConfig()
+        for old, new in [(b"", b""), (b"", b"x" * 900), (b"y" * 900, b"")]:
+            vec, vec_channel = run_multiround(old, new, config, "vectorized")
+            scalar, scalar_channel = run_multiround(old, new, config, "scalar")
+            assert vec.reconstructed == new == scalar.reconstructed
+            assert_same_wire(vec_channel, scalar_channel)
+
+    def test_checkpoints_bit_identical(self):
+        old, new = make_version_pair(seed=1640, nbytes=15000, edits=8)
+        vec_recorder, scalar_recorder = Recorder(), Recorder()
+        run_multiround(old, new, engine="vectorized",
+                       checkpointer=vec_recorder)
+        run_multiround(old, new, engine="scalar",
+                       checkpointer=scalar_recorder)
+        assert len(vec_recorder.checkpoints) >= 2
+        assert vec_recorder.checkpoints == scalar_recorder.checkpoints
+
+    @pytest.mark.parametrize(
+        "crash_engine,resume_engine",
+        [("vectorized", "scalar"), ("scalar", "vectorized")],
+    )
+    def test_cross_engine_resume(self, crash_engine, resume_engine):
+        old, new = make_version_pair(seed=1641, nbytes=15000, edits=8)
+        recorder = Recorder()
+        baseline, _ = run_multiround(
+            old, new, engine=crash_engine, checkpointer=recorder
+        )
+        assert len(recorder.checkpoints) >= 2
+        for checkpoint in recorder.checkpoints:
+            channel = SimulatedChannel()
+            checkpoint.seed_stats(channel.stats)
+            resumed = multiround_rsync_sync(
+                old, new, channel=channel, resume_from=checkpoint,
+                engine=resume_engine,
+            )
+            assert resumed.reconstructed == new
+            assert resumed.rounds == baseline.rounds
+            assert resumed.stats.bits_by == baseline.stats.bits_by
+
+
+# ----------------------------------------------------------------------
+# Batched collection sync (combined sections, shared roundtrips)
+# ----------------------------------------------------------------------
+class TestBatchParity:
+    @pytest.mark.parametrize("seed", [1650, 1651])
+    def test_wire_and_stats_identical(self, seed):
+        rng = random.Random(seed)
+        client_files, server_files = {}, {}
+        for index in range(4):
+            old, new = make_version_pair(
+                seed=seed * 100 + index,
+                nbytes=rng.randrange(300, 9000),
+                edits=rng.randrange(1, 8),
+            )
+            name = f"f{index}.txt"
+            client_files[name] = old
+            server_files[name] = new
+        # One unchanged file: the batch layer must skip it identically.
+        client_files["same.txt"] = server_files["same.txt"] = b"s" * 2000
+
+        vec_channel, scalar_channel = RecordingChannel(), RecordingChannel()
+        vec = synchronize_batch(
+            client_files, server_files, channel=vec_channel,
+            engine="vectorized",
+        )
+        scalar = synchronize_batch(
+            client_files, server_files, channel=scalar_channel,
+            engine="scalar",
+        )
+        assert vec.reconstructed == scalar.reconstructed
+        for name, data in server_files.items():
+            if name in vec.reconstructed:
+                assert vec.reconstructed[name] == data
+        assert vec.rounds == scalar.rounds
+        assert vec.unchanged_files == scalar.unchanged_files
+        assert vec.fallback_files == scalar.fallback_files
+        assert_same_wire(vec_channel, scalar_channel)
+
+
+# ----------------------------------------------------------------------
+# Engine selection (explicit argument + environment default)
+# ----------------------------------------------------------------------
+class TestEngineSelection:
+    def test_engines_registry(self):
+        assert ENGINES == ("vectorized", "scalar")
+
+    def test_explicit_engine_validated(self):
+        old, new = make_version_pair(seed=1660, nbytes=2000, edits=2)
+        with pytest.raises(ValueError, match="engine"):
+            synchronize(old, new, engine="bogus")
+        with pytest.raises(ValueError, match="engine"):
+            multiround_rsync_sync(old, new, engine="bogus")
+        with pytest.raises(ValueError, match="engine"):
+            synchronize_batch({"f": old}, {"f": new}, engine="bogus")
+
+    def test_env_var_selects_engine(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "scalar")
+        assert default_engine() == "scalar"
+        assert resolve_engine(None) == "scalar"
+        monkeypatch.setenv(ENGINE_ENV, "vectorized")
+        assert resolve_engine(None) == "vectorized"
+
+    def test_env_var_garbage_falls_back_to_vectorized(self, monkeypatch):
+        """A typo'd deploy knob must not abort syncs — fall back safely."""
+        monkeypatch.setenv(ENGINE_ENV, "turbo9000")
+        assert default_engine() == "vectorized"
+        old, new = make_version_pair(seed=1661, nbytes=2000, edits=2)
+        result = synchronize(old, new)
+        assert result.reconstructed == new
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "vectorized")
+        assert resolve_engine("scalar") == "scalar"
