@@ -10,14 +10,22 @@ parallel-scaling benchmark's rows.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 from benchmarks.conftest import RESULTS_DIR, publish
 from repro.bench import OursMethod, render_table, run_method_on_collection
-from repro.bench.export import export_runs
+from repro.bench.export import export_runs, run_to_row
 from repro.net import FaultPlan
-from repro.workloads import make_web_collection
+from repro.net.chaos import chaos_plan
+from repro.resilience import RetryPolicy
+from repro.workloads import gcc_like, make_web_collection
 
 FAULT_RATES = (0.0, 0.02, 0.05, 0.10)
 SEED = 42
+
+#: Committed baseline for the adaptive-vs-static comparison below.
+RESILIENCE_BASELINE = Path(__file__).parent.parent / "BENCH_resilience.json"
 
 
 def test_fault_overhead_vs_rate():
@@ -68,3 +76,91 @@ def test_fault_overhead_vs_rate():
     # Sanity: injected faults actually cost something at the top rate.
     assert runs[-1].retries > 0
     assert runs[-1].retransmitted_bytes > 0
+
+
+def test_adaptive_vs_static_under_bursty_chaos():
+    """The ISSUE's headline comparison: on a link with hostile fault
+    bursts, the adaptive stack (AIMD backoff + per-file breakers +
+    per-file deadlines) bounds what a pathological file may cost and
+    *reports* it — the run returns even under ``on_error="raise"`` —
+    while the static supervisor grinds every rung of every ladder:
+    it either stalls past the deadline the adaptive run honours or
+    wastes at least twice the retransmitted bytes."""
+    deadline_s = 600.0
+    tree = gcc_like(scale=0.08, seed=77)
+
+    def bursty_plan():
+        # Fresh same-seed plan per run: the schedule is identical, the
+        # plan object is stateful.
+        return chaos_plan("bursty", seed=9, rate=0.3)
+
+    static = run_method_on_collection(
+        OursMethod(), tree.old, tree.new,
+        on_error="skip", fault_plan=bursty_plan(),
+        retry_policy=RetryPolicy(max_attempts=6),
+    )
+    adaptive = run_method_on_collection(
+        OursMethod(), tree.old, tree.new,
+        on_error="raise", fault_plan=bursty_plan(),
+        adaptive_retry=True, breaker_threshold=3, deadline_s=deadline_s,
+    )
+
+    # Graceful degradation: pathological files are *reported* — the call
+    # above returned despite on_error="raise" — and every file the
+    # breakers spared was completed and verified.
+    assert adaptive.failed_files < adaptive.files_changed
+    healthy = adaptive.files_changed - adaptive.failed_files
+    assert healthy >= 1
+
+    # The static baseline pays for its stubbornness, both ways here; the
+    # acceptance bar is the disjunction.
+    waste_ratio = static.retransmitted_bytes / max(
+        1, adaptive.retransmitted_bytes
+    )
+    stalled = static.recovery_seconds > deadline_s
+    assert stalled or waste_ratio >= 2.0
+
+    rows = [
+        [
+            label,
+            str(run.files_changed - run.failed_files),
+            str(run.failed_files),
+            str(run.retries),
+            f"{run.retransmitted_bytes:,}",
+            f"{run.recovery_seconds:.1f}",
+            str(run.breaker_opens),
+            f"{run.health_score:.2f}",
+        ]
+        for label, run in (("static", static), ("adaptive", adaptive))
+    ]
+    publish(
+        "fault_adaptive_vs_static",
+        render_table(
+            ["policy", "synced", "failed", "retries", "retransmit B",
+             "recovery s", "breaker opens", "health"],
+            rows,
+            title=(
+                f"adaptive vs static under bursty chaos — "
+                f"{adaptive.files_changed} changed files, rate=0.3, "
+                f"deadline={deadline_s:.0f}s, "
+                f"waste ratio {waste_ratio:.2f}x"
+            ),
+        ),
+    )
+    RESILIENCE_BASELINE.write_text(
+        json.dumps(
+            {
+                "workload": "gcc_like(scale=0.08, seed=77)",
+                "plan": "chaos_plan('bursty', seed=9, rate=0.3)",
+                "deadline_s": deadline_s,
+                "breaker_threshold": 3,
+                "waste_ratio": round(waste_ratio, 4),
+                "static_stalled_past_deadline": stalled,
+                "static": run_to_row(static),
+                "adaptive": run_to_row(adaptive),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )

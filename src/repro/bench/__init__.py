@@ -33,11 +33,24 @@ from repro.bench.perfbaseline import (
 )
 from repro.bench.runner import CollectionRun, run_method_on_collection
 from repro.bench.report import format_kb, render_grouped_bars, render_table
+from repro.bench.soak import (
+    DEFAULT_SEEDS,
+    DEFAULT_SHAPES,
+    SOAK_PROFILES,
+    SoakReport,
+    SoakRow,
+    run_soak,
+)
 
 __all__ = [
     "AdaptiveMethod",
     "CollectionRun",
     "DEFAULT_BASELINE_NAME",
+    "DEFAULT_SEEDS",
+    "DEFAULT_SHAPES",
+    "SOAK_PROFILES",
+    "SoakReport",
+    "SoakRow",
     "FingerprintProbeMethod",
     "FullTransferMethod",
     "MethodOutcome",
@@ -59,6 +72,7 @@ __all__ = [
     "render_grouped_bars",
     "render_table",
     "run_method_on_collection",
+    "run_soak",
     "run_to_row",
     "save_baseline",
     "standard_methods",

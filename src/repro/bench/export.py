@@ -46,6 +46,10 @@ def run_to_row(run: CollectionRun) -> dict[str, object]:
         "rounds_salvaged": run.rounds_salvaged,
         "resume_handshake_bits": run.resume_handshake_bits,
         "checkpoint_bytes_written": run.checkpoint_bytes_written,
+        "health_score": round(run.health_score, 4),
+        "breaker_opens": run.breaker_opens,
+        "deadline_salvages": run.deadline_salvages,
+        "adaptive_backoff_s": round(run.adaptive_backoff_s, 4),
     }
     for key, value in sorted(run.breakdown.items()):
         row[f"breakdown.{key}"] = value

@@ -56,6 +56,10 @@ class CollectionRun:
     rounds_salvaged: int = 0
     resume_handshake_bits: int = 0
     checkpoint_bytes_written: int = 0
+    health_score: float = 1.0
+    breaker_opens: int = 0
+    deadline_salvages: int = 0
+    adaptive_backoff_s: float = 0.0
 
     @property
     def total_kb(self) -> float:
@@ -81,6 +85,10 @@ def run_method_on_collection(
     checkpoint_dir=None,
     resume: bool = False,
     store=None,
+    adaptive_retry=False,
+    deadline_s: float | None = None,
+    run_deadline_s: float | None = None,
+    breaker_threshold=None,
 ) -> CollectionRun:
     """Synchronise one collection pair and flatten the report to a row."""
     started = time.perf_counter()
@@ -98,6 +106,10 @@ def run_method_on_collection(
         checkpoint_dir=checkpoint_dir,
         resume=resume,
         store=store,
+        adaptive_retry=adaptive_retry,
+        deadline_s=deadline_s,
+        run_deadline_s=run_deadline_s,
+        breaker_threshold=breaker_threshold,
     )
     elapsed = time.perf_counter() - started
 
@@ -133,4 +145,8 @@ def run_method_on_collection(
         rounds_salvaged=report.rounds_salvaged,
         resume_handshake_bits=report.resume_handshake_bits,
         checkpoint_bytes_written=report.checkpoint_bytes_written,
+        health_score=report.health_score,
+        breaker_opens=report.breaker_opens,
+        deadline_salvages=report.deadline_salvages,
+        adaptive_backoff_s=report.adaptive_backoff_s,
     )

@@ -1,0 +1,202 @@
+"""Chaos-soak harness: sustained seeded fault schedules over collections.
+
+One-shot fault tests prove a single failure recovers; a *soak* proves the
+resilience stack holds its invariants under sustained, shaped hostility:
+every healthy file completes, pathological files are reported (never
+raised), accounting counters stay consistent, and the whole thing is
+deterministic per ``(shape, seed)`` cell.
+
+:func:`run_soak` sweeps the matrix of
+:func:`~repro.net.chaos.chaos_plan` shapes × seeds over a seeded
+workload, running each cell through :func:`~repro.collection.sync_collection`
+with the adaptive layer on (AIMD retry, per-file breakers, per-file
+deadline, ``on_error="skip"``), and folds each report into a
+:class:`SoakRow`.  :class:`SoakReport` renders the matrix as a text
+table or JSON — the artifact the CI ``chaos-soak`` job uploads.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+
+from repro.net.chaos import chaos_plan
+
+#: (workload scale, headline fault rate, per-file deadline seconds)
+SOAK_PROFILES: dict[str, tuple[float, float, float]] = {
+    "short": (0.04, 0.12, 1800.0),
+    "long": (0.15, 0.2, 3600.0),
+}
+
+DEFAULT_SHAPES = ("bursty", "periodic", "degrading")
+DEFAULT_SEEDS = (1, 2, 3)
+
+
+@dataclass
+class SoakRow:
+    """One (shape, seed) cell of the soak matrix."""
+
+    shape: str
+    seed: int
+    files_changed: int
+    files_synced: int
+    files_failed: int
+    retries: int
+    faults_injected: int
+    retransmitted_bytes: int
+    recovery_seconds: float
+    health_score: float
+    breaker_opens: int
+    deadline_salvages: int
+    adaptive_backoff_s: float
+    elapsed_seconds: float
+    failed_names: list[str] = field(default_factory=list)
+
+    @property
+    def completed_all_healthy(self) -> bool:
+        """Did every file the faults didn't kill come through verified?"""
+        return self.files_synced + self.files_failed == self.files_changed
+
+
+@dataclass
+class SoakReport:
+    """The full matrix plus the knobs that produced it."""
+
+    profile: str
+    shapes: tuple[str, ...]
+    seeds: tuple[int, ...]
+    rate: float
+    deadline_s: float
+    breaker_threshold: int
+    adaptive: bool
+    rows: list[SoakRow] = field(default_factory=list)
+
+    @property
+    def total_failed(self) -> int:
+        return sum(row.files_failed for row in self.rows)
+
+    @property
+    def all_cells_consistent(self) -> bool:
+        return all(row.completed_all_healthy for row in self.rows)
+
+    def render(self) -> str:
+        header = (
+            f"chaos soak [{self.profile}] rate={self.rate} "
+            f"deadline={self.deadline_s:.0f}s "
+            f"breaker_threshold={self.breaker_threshold} "
+            f"adaptive={'on' if self.adaptive else 'off'}"
+        )
+        lines = [header, "-" * len(header)]
+        columns = (
+            f"{'shape':<10} {'seed':>4} {'files':>5} {'ok':>4} {'fail':>4} "
+            f"{'retries':>7} {'faults':>6} {'retx B':>9} {'health':>6} "
+            f"{'opens':>5} {'salvage':>7} {'backoff s':>9}"
+        )
+        lines.append(columns)
+        for row in self.rows:
+            lines.append(
+                f"{row.shape:<10} {row.seed:>4} {row.files_changed:>5} "
+                f"{row.files_synced:>4} {row.files_failed:>4} "
+                f"{row.retries:>7} {row.faults_injected:>6} "
+                f"{row.retransmitted_bytes:>9,} {row.health_score:>6.2f} "
+                f"{row.breaker_opens:>5} {row.deadline_salvages:>7} "
+                f"{row.adaptive_backoff_s:>9.1f}"
+            )
+        verdict = (
+            "every healthy file synced; pathological files reported"
+            if self.all_cells_consistent
+            else "INCONSISTENT CELLS — see rows above"
+        )
+        lines.append(f"=> {verdict} ({self.total_failed} failures total)")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        payload = asdict(self)
+        payload["all_cells_consistent"] = self.all_cells_consistent
+        payload["total_failed"] = self.total_failed
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def run_soak(
+    shapes: tuple[str, ...] = DEFAULT_SHAPES,
+    seeds: tuple[int, ...] = DEFAULT_SEEDS,
+    profile: str = "short",
+    adaptive: bool = True,
+    breaker_threshold: int = 3,
+    method=None,
+) -> SoakReport:
+    """Run the soak matrix and return the report.
+
+    Every cell gets a fresh seeded workload and a fresh
+    :class:`~repro.net.chaos.ScheduledFaultPlan`, so cells are
+    independent and individually reproducible.  ``adaptive=False`` runs
+    the same matrix under the static retry policy — the baseline the
+    adaptive-vs-static benchmark compares against.
+    """
+    from repro.bench.methods import OursMethod
+    from repro.collection import sync_collection
+    from repro.workloads import gcc_like
+
+    if profile not in SOAK_PROFILES:
+        raise ValueError(
+            f"profile must be one of {sorted(SOAK_PROFILES)}, got {profile!r}"
+        )
+    scale, rate, deadline_s = SOAK_PROFILES[profile]
+
+    report = SoakReport(
+        profile=profile,
+        shapes=tuple(shapes),
+        seeds=tuple(seeds),
+        rate=rate,
+        deadline_s=deadline_s,
+        breaker_threshold=breaker_threshold,
+        adaptive=adaptive,
+    )
+    for shape in shapes:
+        for seed in seeds:
+            tree = gcc_like(scale=scale, seed=100 + seed)
+            plan = chaos_plan(shape, seed=seed, rate=rate)
+            started = time.perf_counter()
+            cell = sync_collection(
+                tree.old,
+                tree.new,
+                method if method is not None else OursMethod(),
+                workers=1,
+                on_error="skip",
+                fault_plan=plan,
+                adaptive_retry=adaptive,
+                deadline_s=deadline_s if adaptive else None,
+                breaker_threshold=breaker_threshold if adaptive else None,
+            )
+            elapsed = time.perf_counter() - started
+            synced = sum(
+                1
+                for name in cell.per_file
+                if name not in cell.failed
+            )
+            report.rows.append(
+                SoakRow(
+                    shape=shape,
+                    seed=seed,
+                    files_changed=cell.files_changed,
+                    files_synced=synced,
+                    files_failed=cell.files_failed,
+                    retries=cell.total_retries,
+                    faults_injected=plan.faults_injected,
+                    retransmitted_bytes=cell.retransmitted_bytes,
+                    recovery_seconds=round(
+                        sum(
+                            o.recovery_seconds for o in cell.per_file.values()
+                        ),
+                        2,
+                    ),
+                    health_score=round(cell.health_score, 4),
+                    breaker_opens=cell.breaker_opens,
+                    deadline_salvages=cell.deadline_salvages,
+                    adaptive_backoff_s=round(cell.adaptive_backoff_s, 2),
+                    elapsed_seconds=round(elapsed, 3),
+                    failed_names=sorted(cell.failed),
+                )
+            )
+    return report

@@ -133,6 +133,16 @@ def _cmd_sync(args: argparse.Namespace) -> int:
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
         store=args.output,
+        adaptive_retry=args.adaptive_retry,
+        deadline_s=args.deadline,
+        run_deadline_s=args.run_deadline,
+        breaker_threshold=args.breaker_threshold,
+    )
+    adaptive_active = (
+        args.adaptive_retry
+        or args.deadline is not None
+        or args.run_deadline is not None
+        or args.breaker_threshold is not None
     )
 
     if args.json:
@@ -163,6 +173,10 @@ def _cmd_sync(args: argparse.Namespace) -> int:
                     "rounds_salvaged": run.rounds_salvaged,
                     "resume_handshake_bits": run.resume_handshake_bits,
                     "checkpoint_bytes_written": run.checkpoint_bytes_written,
+                    "health_score": round(run.health_score, 4),
+                    "breaker_opens": run.breaker_opens,
+                    "deadline_salvages": run.deadline_salvages,
+                    "adaptive_backoff_s": round(run.adaptive_backoff_s, 4),
                 },
                 indent=2,
             )
@@ -189,6 +203,11 @@ def _cmd_sync(args: argparse.Namespace) -> int:
                   f"{run.failed_files} failed, "
                   f"{run.retransmitted_bytes:,} B retransmitted "
                   f"(~{run.recovery_seconds:.1f}s recovery)")
+        if adaptive_active:
+            print(f"link health     : {run.health_score:.2f} score, "
+                  f"{run.breaker_opens} breaker opens, "
+                  f"{run.deadline_salvages} deadline salvages, "
+                  f"{run.adaptive_backoff_s:.1f}s adaptive backoff")
         if args.checkpoint_dir is not None:
             print(f"checkpoints     : {run.rounds_salvaged} rounds salvaged, "
                   f"{run.resume_handshake_bits} handshake bits, "
@@ -275,6 +294,33 @@ def _cmd_recover(args: argparse.Namespace) -> int:
                 print("rerun the sync with --resume to salvage the "
                       "journalled rounds")
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Chaos-soak matrix: shaped fault schedules × seeds over a workload."""
+    from repro.bench.soak import run_soak
+    from repro.net.chaos import CHAOS_SHAPES
+
+    shapes = tuple(args.shapes)
+    for shape in shapes:
+        if shape not in CHAOS_SHAPES:
+            print(f"error: unknown shape {shape!r} "
+                  f"(choose from {', '.join(CHAOS_SHAPES)})",
+                  file=sys.stderr)
+            return 2
+    report = run_soak(
+        shapes=shapes,
+        seeds=tuple(args.seeds),
+        profile=args.profile,
+        adaptive=not args.static,
+        breaker_threshold=args.breaker_threshold,
+    )
+    rendered = report.to_json() if args.json else report.render()
+    print(rendered)
+    if args.out is not None:
+        Path(args.out).write_text(report.to_json() + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0 if report.all_cells_consistent else 1
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -505,6 +551,20 @@ def build_parser() -> argparse.ArgumentParser:
     sync.add_argument("--retries", type=int, default=None,
                       help="retry attempts per ladder rung before "
                            "degrading (default: supervisor default of 3)")
+    sync.add_argument("--adaptive-retry", action="store_true",
+                      help="replace the static retry schedule with the "
+                           "health-aware AIMD policy (widens backoff on "
+                           "transient faults, tightens on clean streaks)")
+    sync.add_argument("--deadline", type=float, default=None,
+                      help="per-file simulated-time budget in seconds; a "
+                           "file over budget is reported failed with its "
+                           "checkpointed rounds salvaged")
+    sync.add_argument("--run-deadline", type=float, default=None,
+                      help="whole-run simulated-time budget in seconds "
+                           "shared by every file (forces --workers 1)")
+    sync.add_argument("--breaker-threshold", type=int, default=None,
+                      help="open a per-file circuit breaker after this "
+                           "many consecutive failed attempts")
     sync.add_argument("--checkpoint-dir", default=None,
                       help="journal completed protocol rounds here so "
                            "interrupted sessions can resume instead of "
@@ -594,6 +654,32 @@ def build_parser() -> argparse.ArgumentParser:
     bench_perf.add_argument("--json", action="store_true",
                             help="print the raw measurement JSON")
     bench_perf.set_defaults(handler=_cmd_bench, bench_action="perf")
+
+    chaos = sub.add_parser(
+        "chaos", help="soak the resilience stack: shaped fault schedules "
+                      "× seeds over a synthetic workload; exits non-zero "
+                      "if any cell loses a healthy file"
+    )
+    chaos.add_argument("--shapes", nargs="+",
+                       default=["bursty", "periodic", "degrading"],
+                       help="fault schedule shapes to sweep "
+                            "(steady, bursty, periodic, degrading)")
+    chaos.add_argument("--seeds", nargs="+", type=int, default=[1, 2, 3],
+                       help="fault plan seeds to sweep")
+    chaos.add_argument("--profile", choices=("short", "long"),
+                       default="short",
+                       help="workload scale / fault rate / deadline preset")
+    chaos.add_argument("--static", action="store_true",
+                       help="run the static retry baseline instead of the "
+                            "adaptive stack (no breakers, no deadlines)")
+    chaos.add_argument("--breaker-threshold", type=int, default=3,
+                       help="per-file breaker threshold for adaptive runs")
+    chaos.add_argument("--json", action="store_true",
+                       help="print the matrix as JSON instead of a table")
+    chaos.add_argument("--out", default=None,
+                       help="also write the JSON report to this path "
+                            "(the CI chaos-soak artifact)")
+    chaos.set_defaults(handler=_cmd_chaos)
 
     recover = sub.add_parser(
         "recover", help="sweep a replica directory after a crash: "

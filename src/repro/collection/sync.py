@@ -101,6 +101,40 @@ class CollectionReport:
             for outcome in self.per_file.values()
         )
 
+    @property
+    def health_score(self) -> float:
+        """Worst link-health estimate seen across the collection.
+
+        ``1.0`` (the pristine default) unless an adaptive policy ran and
+        observed failures — happy-path reports are untouched.
+        """
+        if not self.per_file:
+            return 1.0
+        return min(
+            outcome.health_score for outcome in self.per_file.values()
+        )
+
+    @property
+    def breaker_opens(self) -> int:
+        """Circuit-breaker trips across the collection."""
+        return sum(
+            outcome.breaker_opens for outcome in self.per_file.values()
+        )
+
+    @property
+    def deadline_salvages(self) -> int:
+        """Checkpointed rounds preserved by deadline breaches."""
+        return sum(
+            outcome.deadline_salvages for outcome in self.per_file.values()
+        )
+
+    @property
+    def adaptive_backoff_s(self) -> float:
+        """Simulated seconds the AIMD backoff schedule spent waiting."""
+        return sum(
+            outcome.adaptive_backoff_s for outcome in self.per_file.values()
+        )
+
     def summary(self) -> dict[str, int]:
         return {
             "manifest": self.manifest_bytes,
@@ -183,6 +217,10 @@ def sync_collection(
     resume: bool = False,
     checkpoints=None,
     store=None,
+    adaptive_retry=False,
+    deadline_s: float | None = None,
+    run_deadline_s: float | None = None,
+    breaker_threshold=None,
 ) -> CollectionReport:
     """Update ``client_files`` to ``server_files`` using ``method``.
 
@@ -231,6 +269,22 @@ def sync_collection(
     directory path) materialises the reconstructed collection on disk,
     every file written atomically — a crash mid-update can orphan
     temporaries but never tear a visible file.
+
+    Adaptive resilience (DESIGN §14): ``adaptive_retry`` (``True`` or an
+    :class:`~repro.resilience.AdaptiveRetryPolicy`) replaces the static
+    backoff with AIMD scaling, seeded jitter and failure-signature
+    ladder routing; ``breaker_threshold`` (an int, or a preconfigured
+    :class:`~repro.resilience.BreakerBoard`) gives every file a circuit
+    breaker; ``deadline_s`` bounds the simulated seconds spent per file
+    and ``run_deadline_s`` across the whole run (run deadlines force
+    serial execution so the shared budget is charged deterministically).
+    With breakers or deadlines configured the run *degrades gracefully*:
+    a file refused by its breaker or out of budget is recorded in
+    ``report.failed`` (keeping the client copy) even under
+    ``on_error="raise"``, which then raises
+    :class:`~repro.exceptions.SyncFailedError` only for other errors.
+    All four default to off, leaving behaviour byte-identical to a run
+    without them.
     """
     if on_error not in ("raise", "skip", "fallback"):
         raise ValueError(
@@ -248,10 +302,51 @@ def sync_collection(
             "resume=True needs a durable checkpoint location "
             "(checkpoint_dir or a CheckpointStore with a root)"
         )
+    budget = None
+    if run_deadline_s is not None:
+        from repro.resilience import DeadlineBudget
+
+        budget = DeadlineBudget(run_deadline_s)
+        # The run-level budget is shared mutable state charged by every
+        # file in sequence; pool workers each mutate their own pickled
+        # copy, so a run deadline forces serial execution.
+        workers = 1
+        executor = None
+    if adaptive_retry:
+        from repro.resilience import AdaptiveRetryPolicy
+
+        if isinstance(adaptive_retry, AdaptiveRetryPolicy):
+            retry_policy = adaptive_retry
+        elif not isinstance(retry_policy, AdaptiveRetryPolicy):
+            # Mirror a given static schedule into the adaptive policy so
+            # `adaptive_retry=True` composes with `retry_policy=...`.
+            schedule_kwargs = {}
+            if retry_policy is not None:
+                schedule_kwargs = dict(
+                    max_attempts=retry_policy.max_attempts,
+                    base_backoff_s=retry_policy.base_backoff_s,
+                    multiplier=retry_policy.multiplier,
+                    max_backoff_s=retry_policy.max_backoff_s,
+                )
+            retry_policy = AdaptiveRetryPolicy(**schedule_kwargs)
+    breakers = None
+    if breaker_threshold is not None:
+        from repro.resilience import BreakerBoard
+
+        if isinstance(breaker_threshold, BreakerBoard):
+            breakers = breaker_threshold
+        else:
+            breakers = BreakerBoard(
+                failure_threshold=int(breaker_threshold)
+            )
+    graceful = (
+        breakers is not None or deadline_s is not None or budget is not None
+    )
     if (
         fault_plan is not None
         or retry_policy is not None
         or checkpoints is not None
+        or graceful
     ):
         from repro.resilience import SyncSupervisor
 
@@ -262,6 +357,9 @@ def sync_collection(
                 fault_plan=fault_plan,
                 link=link,
                 checkpoints=checkpoints,
+                breakers=breakers,
+                deadline_s=deadline_s,
+                budget=budget,
             )
 
     client_manifest = Manifest.of_collection(client_files)
@@ -301,7 +399,10 @@ def sync_collection(
             FileTask(name, client_files[name], server_files[name])
             for name in diff.changed
         ],
-        capture_errors=(on_error != "raise"),
+        # Breakers/deadlines promise graceful degradation, so their typed
+        # refusals must be captured (and skipped below) even when other
+        # errors still abort the run.
+        capture_errors=(on_error != "raise") or graceful,
     )
     report.workers = batch.workers_used
     report.cache_hits = batch.cache_hits
@@ -315,10 +416,22 @@ def sync_collection(
         report.per_file_seconds[name] = result.elapsed_seconds
         report.cpu_seconds += result.cpu_seconds
         failed = result.error is not None or not result.outcome.correct
-        if failed and on_error == "skip":
+        skip_this = failed and on_error == "skip"
+        if failed and on_error == "raise" and graceful:
+            if result.error is not None and result.error.startswith(
+                ("DeadlineExceededError", "CircuitOpenError")
+            ):
+                skip_this = True  # graceful degradation, not an abort
+            elif result.error is not None:
+                from repro.exceptions import SyncFailedError
+
+                raise SyncFailedError(f"{name}: {result.error}")
+        if skip_this:
             report.failed[name] = result.error or "IntegrityError: bad bytes"
             report.per_file[name] = result.outcome
             report.reconstructed[name] = client_files[name]
+            if result.outcome.retries:
+                report.retries[name] = result.outcome.retries
             continue
         if failed and on_error == "fallback":
             # Out-of-band rescue: a reliable compressed full transfer.
@@ -341,6 +454,10 @@ def sync_collection(
                 checkpoint_bytes_written=(
                     result.outcome.checkpoint_bytes_written
                 ),
+                health_score=result.outcome.health_score,
+                breaker_opens=result.outcome.breaker_opens,
+                deadline_salvages=result.outcome.deadline_salvages,
+                adaptive_backoff_s=result.outcome.adaptive_backoff_s,
             )
             report.fallbacks[name] = "rescue-full"
             if result.outcome.retries:

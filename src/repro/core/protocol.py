@@ -34,7 +34,7 @@ from repro.core.planning import (
 from repro.core.server import ServerSession
 from repro.core.trace import SubphaseTrace
 from repro.core.verification import VerificationPools, make_units
-from repro.exceptions import ProtocolError
+from repro.exceptions import ProtocolError, SyncStalledError
 from repro.io.bitstream import BitReader, BitWriter
 from repro.net.channel import SimulatedChannel
 from repro.net.metrics import Direction, TransferStats
@@ -43,6 +43,14 @@ PHASE_HANDSHAKE = "handshake"
 PHASE_MAP = "map"
 PHASE_DELTA = "delta"
 PHASE_FALLBACK = "fallback"
+
+#: Hard stall circuit for map construction.  A healthy session's round
+#: count is bounded by the block-split depth (~log2 of the file size, so
+#: < 64 even for exabyte files); hitting this ceiling means the frontier
+#: stopped converging (adversarial corruption, a forged resume, a bug)
+#: and the session dies with a typed error instead of looping.  Distinct
+#: from ``config.max_rounds``, which is a *graceful* byte/latency cap.
+_STALL_ROUND_LIMIT = 96
 
 
 @dataclass
@@ -399,6 +407,11 @@ def synchronize(
         server.tracker.has_active() or client._require_tracker().has_active()
     ) and not (config.max_rounds is not None and rounds >= config.max_rounds):
         rounds += 1
+        if rounds > _STALL_ROUND_LIMIT:
+            raise SyncStalledError(
+                f"map construction still has active blocks after "
+                f"{_STALL_ROUND_LIMIT} rounds — session is not converging"
+            )
         channel.mark_round(rounds)
         client_tracker = client._require_tracker()
         if config.continuation_first and config.continuation_enabled:

@@ -16,6 +16,17 @@ class ProtocolError(ReproError):
     """A synchronization protocol received a malformed or unexpected message."""
 
 
+class SyncStalledError(ProtocolError):
+    """A session exceeded its round circuit without converging.
+
+    Multi-round protocols normally converge in ``O(log(file size))``
+    rounds; adversarial corruption of MAP frames (or a bug) can instead
+    keep the frontier alive forever.  The round circuit turns that
+    unbounded loop into a typed, recoverable failure the supervisor can
+    route to a coarser ladder rung.
+    """
+
+
 class ChannelClosedError(ReproError):
     """An endpoint attempted to use a channel that has been closed."""
 
@@ -75,10 +86,36 @@ class SyncFailedError(ReproError):
 
     Carries the retry/fallback history so callers (and per-file error
     isolation in the collection layer) can report what was attempted.
+    ``partial`` (when set) is a :class:`~repro.syncmethod.MethodOutcome`
+    with ``correct=False`` carrying the accounting of the doomed attempts
+    — retransmission, backoff, salvaged rounds — so a captured failure
+    still shows up in collection-level counters instead of vanishing.
     """
 
     def __init__(self, message: str, attempts: int = 0,
-                 history: tuple[str, ...] = ()) -> None:
+                 history: tuple[str, ...] = (),
+                 partial=None) -> None:
         super().__init__(message)
         self.attempts = attempts
         self.history = history
+        self.partial = partial
+
+
+class DeadlineExceededError(SyncFailedError):
+    """A file (or run) deadline budget ran out before the sync completed.
+
+    Raised by the supervisor *between* attempts — never mid-attempt — so
+    any durable checkpoints stay intact for a later resume.  The
+    ``partial`` outcome records what the expired attempts cost and how
+    many checkpointed rounds were salvaged for the future.
+    """
+
+
+class CircuitOpenError(SyncFailedError):
+    """A per-file circuit breaker refused the attempt.
+
+    After ``failure_threshold`` consecutive failures the breaker opens
+    and fails fast for a cooldown period (simulated time), so one
+    poisoned file cannot consume the run's retry budget.  A half-open
+    probe is admitted once the cooldown elapses.
+    """

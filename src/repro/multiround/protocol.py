@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.core.blocks import Block, BlockStatus
 from repro.core.engine import resolve_engine
-from repro.exceptions import DeltaFormatError
+from repro.exceptions import DeltaFormatError, SyncStalledError
 from repro.hashing.decomposable import DecomposableAdler
 from repro.hashing.scan import HashIndex, PrefixHasher, pack_to_width
 from repro.hashing.strong import file_fingerprint
@@ -52,12 +52,23 @@ _TOKEN_BLOCK = 0x01
 
 @dataclass(frozen=True)
 class MultiroundConfig:
-    """Tunables of the multiround baseline."""
+    """Tunables of the multiround baseline.
+
+    ``max_rounds`` is a *circuit*, not a byte/latency trade like the core
+    protocol's graceful cap: a healthy session always converges within
+    ``log2(start/min) + 1`` rounds, so exceeding the limit means the
+    round state machine is stuck (adversarial corruption, a resume from
+    a forged checkpoint, a bug) and the session fails with a typed
+    :class:`~repro.exceptions.SyncStalledError` instead of looping.
+    ``None`` uses a generous default ceiling well above any legitimate
+    round count.
+    """
 
     start_block_size: int = 2048
     min_block_size: int = 64
     hash_bits: int = 30  # must carry all confidence: no verification pass
     hash_seed: int = 1
+    max_rounds: int | None = None
 
     def __post_init__(self) -> None:
         if self.min_block_size < 2:
@@ -66,6 +77,15 @@ class MultiroundConfig:
             raise ValueError("start_block_size must be >= min_block_size")
         if not 8 <= self.hash_bits <= 32:
             raise ValueError("hash_bits must be in [8, 32]")
+        if self.max_rounds is not None and self.max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
+
+    @property
+    def round_limit(self) -> int:
+        """The effective stall ceiling (``max_rounds`` or the default)."""
+        if self.max_rounds is not None:
+            return self.max_rounds
+        return self.start_block_size.bit_length() + 2
 
 
 @dataclass
@@ -153,8 +173,14 @@ def _run_rounds_scalar(
     expected_fingerprint: bytes,
 ) -> int:
     """Parity oracle: the original block-at-a-time round loop."""
+    round_limit = config.round_limit
     while blocks:
         rounds += 1
+        if rounds > round_limit:
+            raise SyncStalledError(
+                f"multiround session still has {len(blocks)} active blocks "
+                f"after {round_limit} rounds — frontier is not converging"
+            )
         channel.mark_round(rounds)
         message = BitWriter()
         for block in blocks:
@@ -236,8 +262,15 @@ def _run_rounds_vectorized(
         (b.length for b in blocks), dtype=np.int64, count=len(blocks)
     )
     hash_bits = config.hash_bits
+    round_limit = config.round_limit
     while starts.size:
         rounds += 1
+        if rounds > round_limit:
+            raise SyncStalledError(
+                f"multiround session still has {int(starts.size)} active "
+                f"blocks after {round_limit} rounds — frontier is not "
+                f"converging"
+            )
         channel.mark_round(rounds)
         count = int(starts.size)
         packed = pack_to_width(

@@ -14,11 +14,19 @@ disconnects on top of the same accounting.
 """
 
 from repro.net.channel import Direction, LinkModel, SimulatedChannel
+from repro.net.chaos import (
+    CHAOS_SHAPES,
+    ChaosProfile,
+    ScheduledFaultPlan,
+    chaos_plan,
+)
 from repro.net.faults import FaultEvent, FaultKind, FaultPlan, FaultyChannel
 from repro.net.frame import FRAME_OVERHEAD, decode_frame, encode_frame
 from repro.net.metrics import TransferStats
 
 __all__ = [
+    "CHAOS_SHAPES",
+    "ChaosProfile",
     "Direction",
     "FRAME_OVERHEAD",
     "FaultEvent",
@@ -26,8 +34,10 @@ __all__ = [
     "FaultPlan",
     "FaultyChannel",
     "LinkModel",
+    "ScheduledFaultPlan",
     "SimulatedChannel",
     "TransferStats",
+    "chaos_plan",
     "decode_frame",
     "encode_frame",
 ]

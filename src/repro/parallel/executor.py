@@ -120,7 +120,16 @@ def _sync_one(
     except ReproError as exc:
         if not capture_errors:
             raise
-        outcome = MethodOutcome(total_bytes=0, correct=False)
+        # Typed failures from the resilience layer carry the doomed
+        # attempts' accounting (retransmission, backoff, salvaged rounds)
+        # — surface it instead of an empty placeholder so collection
+        # counters still see what the failure cost.
+        partial = getattr(exc, "partial", None)
+        outcome = (
+            partial
+            if partial is not None
+            else MethodOutcome(total_bytes=0, correct=False)
+        )
         error = f"{type(exc).__name__}: {exc}"
     return FileResult(
         task.name,

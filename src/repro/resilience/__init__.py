@@ -19,11 +19,29 @@ a whole collection update survive the channel breaking that promise:
   endpoints agree on a journal head, and the startup sweep that cleans a
   replica directory after a crash (quarantining interrupted atomic
   writes, listing resumable journals).
+* :mod:`~repro.resilience.health` / :mod:`~repro.resilience.adaptive` —
+  the health-aware layer: a windowed
+  :class:`~repro.resilience.health.LinkHealthMonitor` scoring the link
+  from per-attempt evidence, an
+  :class:`~repro.resilience.adaptive.AdaptiveRetryPolicy` doing AIMD
+  backoff with deterministic jitter and failure-signature ladder
+  routing, per-file circuit breakers
+  (:class:`~repro.resilience.adaptive.BreakerBoard`), and simulated-time
+  deadline budgets
+  (:class:`~repro.resilience.adaptive.DeadlineBudget`).
 
-See DESIGN.md §9 ("Failure model & recovery") and §10 ("Resumable
-sessions & crash recovery").
+See DESIGN.md §9 ("Failure model & recovery"), §10 ("Resumable
+sessions & crash recovery") and §14 ("Adaptive link-health
+resilience").
 """
 
+from repro.resilience.adaptive import (
+    AdaptiveRetryPolicy,
+    BreakerBoard,
+    BreakerState,
+    CircuitBreaker,
+    DeadlineBudget,
+)
 from repro.resilience.checkpoint import (
     CheckpointStore,
     RoundCheckpoint,
@@ -37,6 +55,13 @@ from repro.resilience.recovery import (
     attempt_resume,
     recover_store,
 )
+from repro.resilience.health import (
+    AttemptEvidence,
+    FailureSignature,
+    LinkHealthMonitor,
+    TRANSIENT_SIGNATURES,
+    classify_failure,
+)
 from repro.resilience.retry import RetryPolicy
 from repro.resilience.supervisor import (
     RECOVERABLE_ERRORS,
@@ -45,7 +70,15 @@ from repro.resilience.supervisor import (
 )
 
 __all__ = [
+    "AdaptiveRetryPolicy",
+    "AttemptEvidence",
+    "BreakerBoard",
+    "BreakerState",
     "CheckpointStore",
+    "CircuitBreaker",
+    "DeadlineBudget",
+    "FailureSignature",
+    "LinkHealthMonitor",
     "PHASE_RESUME",
     "RECOVERABLE_ERRORS",
     "RecoveryReport",
@@ -54,7 +87,9 @@ __all__ = [
     "SessionIdentity",
     "SessionJournal",
     "SyncSupervisor",
+    "TRANSIENT_SIGNATURES",
     "attempt_resume",
+    "classify_failure",
     "config_digest",
     "default_ladder",
     "recover_store",

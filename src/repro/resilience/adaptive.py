@@ -1,0 +1,309 @@
+"""Health-aware adaptive retry: AIMD backoff, breakers, deadlines.
+
+:class:`~repro.resilience.retry.RetryPolicy` charges the same schedule
+whatever the link is doing.  This module adapts, in the same
+simulated-time contract (nothing sleeps; every second is an estimate
+charged to recovery accounting):
+
+* :class:`AdaptiveRetryPolicy` — wraps a static schedule in an AIMD
+  scale: each failure widens the backoff multiplicatively (the link is
+  worse than we thought — stop hammering it), each sustained clean
+  streak tightens it additively (the link recovered — stop dawdling).
+  Deterministic seeded jitter decorrelates retry timing without
+  sacrificing reproducibility.  The embedded
+  :class:`~repro.resilience.health.LinkHealthMonitor` turns per-attempt
+  evidence into the ``health_score`` reported per file.
+* :class:`CircuitBreaker` / :class:`BreakerBoard` — per-file fail-fast:
+  after ``failure_threshold`` consecutive failures the breaker opens and
+  refuses further attempts (:class:`~repro.exceptions.CircuitOpenError`)
+  until a cooldown of *simulated* seconds has been charged elsewhere in
+  the run, after which one half-open probe is admitted.  One poisoned
+  file can no longer consume the run's retry budget.
+* :class:`DeadlineBudget` — a shared pot of simulated seconds (per file
+  or per run).  When it runs dry the supervisor salvages whatever round
+  checkpoints exist and degrades gracefully
+  (:class:`~repro.exceptions.DeadlineExceededError` carries the partial
+  accounting) instead of retrying forever.
+
+See DESIGN.md §14.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.resilience.health import LinkHealthMonitor, TRANSIENT_SIGNATURES
+from repro.resilience.retry import RetryPolicy
+
+
+class AdaptiveRetryPolicy:
+    """AIMD backoff around a static :class:`RetryPolicy` schedule.
+
+    Duck-types the static policy's interface (``max_attempts``,
+    ``backoff_seconds``) so the supervisor can hold either.  The backoff
+    actually charged is ``schedule * scale * jitter`` where ``scale``
+    starts at 1.0, multiplies by ``widen_factor`` on every failure (up to
+    ``max_widen``) and subtracts ``tighten_step`` after every
+    ``tighten_after``-long clean streak (down to ``min_scale``).  Jitter
+    is a deterministic ``±jitter`` fraction from a seeded RNG, drawn once
+    per backoff in charge order.
+
+    The policy is stateful and belongs to one supervisor; the parallel
+    executor pickles the supervisor per chunk, giving every chunk an
+    identical fresh copy — runs stay deterministic for a fixed chunking.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_backoff_s: float = 0.5,
+        multiplier: float = 2.0,
+        max_backoff_s: float = 30.0,
+        seed: int = 0,
+        jitter: float = 0.1,
+        widen_factor: float = 2.0,
+        max_widen: float = 8.0,
+        tighten_step: float = 0.25,
+        min_scale: float = 0.25,
+        tighten_after: int = 2,
+        window: int = 16,
+    ) -> None:
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        if widen_factor < 1.0:
+            raise ValueError(
+                f"widen_factor must be >= 1, got {widen_factor}"
+            )
+        if max_widen < 1.0:
+            raise ValueError(f"max_widen must be >= 1, got {max_widen}")
+        if tighten_step < 0.0:
+            raise ValueError(
+                f"tighten_step must be non-negative, got {tighten_step}"
+            )
+        if not 0.0 < min_scale <= 1.0:
+            raise ValueError(
+                f"min_scale must be in (0, 1], got {min_scale}"
+            )
+        if tighten_after < 1:
+            raise ValueError(
+                f"tighten_after must be >= 1, got {tighten_after}"
+            )
+        self.schedule = RetryPolicy(
+            max_attempts=max_attempts,
+            base_backoff_s=base_backoff_s,
+            multiplier=multiplier,
+            max_backoff_s=max_backoff_s,
+        )
+        self.seed = seed
+        self.jitter = jitter
+        self.widen_factor = widen_factor
+        self.max_widen = max_widen
+        self.tighten_step = tighten_step
+        self.min_scale = min_scale
+        self.tighten_after = tighten_after
+        self.monitor = LinkHealthMonitor(window=window)
+        self._rng = random.Random(seed)
+        self._scale = 1.0
+
+    # -- static-policy interface --------------------------------------
+    @property
+    def max_attempts(self) -> int:
+        return self.schedule.max_attempts
+
+    @property
+    def scale(self) -> float:
+        return self._scale
+
+    def backoff_seconds(self, failed_attempts: int) -> float:
+        """Scaled, jittered backoff after the ``failed_attempts``-th
+        failure.  Consumes one RNG draw; call exactly once per charge."""
+        base = self.schedule.backoff_seconds(failed_attempts)
+        if base == 0.0:
+            return 0.0
+        jittered = 1.0
+        if self.jitter:
+            jittered = 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        return base * self._scale * jittered
+
+    # -- AIMD control loop --------------------------------------------
+    def note_failure(self, signature: str | None = None) -> None:
+        """Widen multiplicatively: the link just burnt an attempt.
+
+        Non-transient signatures (decode, stall, protocol) indict the
+        *rung*, not the link, so they do not widen the backoff — the
+        router answers them by descending the ladder instead.
+        """
+        if signature is not None and signature not in TRANSIENT_SIGNATURES:
+            return
+        self._scale = min(self._scale * self.widen_factor, self.max_widen)
+
+    def note_success(self) -> None:
+        """Tighten additively once the link has proven itself again."""
+        if (
+            self.monitor.clean_streak >= self.tighten_after
+            and self._scale > self.min_scale
+        ):
+            self._scale = max(self.min_scale, self._scale - self.tighten_step)
+
+
+class BreakerState:
+    """Circuit-breaker states (string enum, serialises into reports)."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Fail-fast guard for one file's retry budget, in simulated time.
+
+    CLOSED admits every attempt.  ``failure_threshold`` *consecutive*
+    failures trip it OPEN: attempts are refused until ``cooldown_s``
+    simulated seconds pass on the caller's clock, after which the next
+    ``allow`` admits a single HALF_OPEN probe.  A successful probe closes
+    the breaker and resets the cooldown; a failed one re-opens it with
+    the cooldown multiplied by ``cooldown_multiplier`` (capped at
+    ``max_cooldown_s``), so a persistently dead file backs itself off the
+    schedule entirely.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_s: float = 60.0,
+        cooldown_multiplier: float = 2.0,
+        max_cooldown_s: float = 900.0,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_s <= 0.0:
+            raise ValueError(f"cooldown_s must be > 0, got {cooldown_s}")
+        if cooldown_multiplier < 1.0:
+            raise ValueError(
+                f"cooldown_multiplier must be >= 1, got {cooldown_multiplier}"
+            )
+        if max_cooldown_s < cooldown_s:
+            raise ValueError("max_cooldown_s must be >= cooldown_s")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.cooldown_multiplier = cooldown_multiplier
+        self.max_cooldown_s = max_cooldown_s
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opens = 0
+        self._open_until = 0.0
+        self._current_cooldown = cooldown_s
+
+    def allow(self, now: float) -> bool:
+        """May an attempt proceed at simulated time ``now``?"""
+        if self.state == BreakerState.CLOSED:
+            return True
+        if self.state == BreakerState.OPEN:
+            if now >= self._open_until:
+                self.state = BreakerState.HALF_OPEN
+                return True
+            return False
+        return True  # HALF_OPEN: the probe is in flight
+
+    def record_failure(self, now: float) -> None:
+        self.consecutive_failures += 1
+        if (
+            self.state == BreakerState.HALF_OPEN
+            or self.consecutive_failures >= self.failure_threshold
+        ):
+            self._trip(now)
+
+    def record_success(self, now: float) -> None:
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self._current_cooldown = self.cooldown_s
+
+    def _trip(self, now: float) -> None:
+        self.state = BreakerState.OPEN
+        self.opens += 1
+        self._open_until = now + self._current_cooldown
+        self._current_cooldown = min(
+            self._current_cooldown * self.cooldown_multiplier,
+            self.max_cooldown_s,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CircuitBreaker(state={self.state}, "
+            f"failures={self.consecutive_failures}, opens={self.opens})"
+        )
+
+
+class BreakerBoard:
+    """Per-file breakers sharing one simulated clock.
+
+    The clock advances whenever the supervisor charges simulated seconds
+    (backoff, wasted transfer, successful transfer), so an open breaker's
+    cooldown elapses as the *rest of the run* makes progress — exactly
+    the semantics of "come back to this file later".
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_s: float = 60.0,
+        cooldown_multiplier: float = 2.0,
+        max_cooldown_s: float = 900.0,
+    ) -> None:
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.cooldown_multiplier = cooldown_multiplier
+        self.max_cooldown_s = max_cooldown_s
+        self.clock = 0.0
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def breaker(self, name: str | None) -> CircuitBreaker:
+        key = name if name is not None else "<anonymous>"
+        found = self._breakers.get(key)
+        if found is None:
+            found = CircuitBreaker(
+                failure_threshold=self.failure_threshold,
+                cooldown_s=self.cooldown_s,
+                cooldown_multiplier=self.cooldown_multiplier,
+                max_cooldown_s=self.max_cooldown_s,
+            )
+            self._breakers[key] = found
+        return found
+
+    def advance(self, seconds: float) -> None:
+        if seconds > 0.0:
+            self.clock += seconds
+
+    @property
+    def total_opens(self) -> int:
+        return sum(b.opens for b in self._breakers.values())
+
+
+class DeadlineBudget:
+    """A pot of simulated seconds shared by everything charged to it."""
+
+    def __init__(self, total_s: float) -> None:
+        if total_s <= 0.0:
+            raise ValueError(f"total_s must be > 0, got {total_s}")
+        self.total_s = total_s
+        self.spent_s = 0.0
+
+    def charge(self, seconds: float) -> None:
+        if seconds > 0.0:
+            self.spent_s += seconds
+
+    @property
+    def remaining_s(self) -> float:
+        return max(0.0, self.total_s - self.spent_s)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.spent_s >= self.total_s
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DeadlineBudget(spent={self.spent_s:.1f}s "
+            f"of {self.total_s:.1f}s)"
+        )

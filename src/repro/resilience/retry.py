@@ -8,6 +8,7 @@ on a given link without the test suite actually waiting for it.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 
@@ -43,19 +44,61 @@ class RetryPolicy:
         if self.max_backoff_s < self.base_backoff_s:
             raise ValueError("max_backoff_s must be >= base_backoff_s")
 
+    def _saturation_exponent(self) -> int:
+        """Smallest ``e >= 0`` with ``base * multiplier**e >= cap``.
+
+        From that exponent on the schedule is pinned to ``max_backoff_s``,
+        so powers past it never need computing — which is also what keeps
+        ``multiplier ** k`` from overflowing a float for large attempt
+        counts.  The log estimate is corrected by direct probing because
+        ``log`` can land either side of an exact power boundary.
+        """
+        base, m, cap = self.base_backoff_s, self.multiplier, self.max_backoff_s
+        if base >= cap:
+            return 0
+        exponent = max(0, math.ceil(math.log(cap / base, m)))
+        while exponent > 0 and base * m ** (exponent - 1) >= cap:
+            exponent -= 1
+        while base * m ** exponent < cap:
+            exponent += 1
+        return exponent
+
     def backoff_seconds(self, failed_attempts: int) -> float:
         """Backoff charged after the ``failed_attempts``-th failure."""
         if failed_attempts < 1:
             raise ValueError(
                 f"failed_attempts must be >= 1, got {failed_attempts}"
             )
+        if self.base_backoff_s == 0.0:
+            return 0.0
+        if self.multiplier == 1.0:
+            return self.base_backoff_s
+        if failed_attempts - 1 >= self._saturation_exponent():
+            return self.max_backoff_s
         return min(
             self.base_backoff_s * self.multiplier ** (failed_attempts - 1),
             self.max_backoff_s,
         )
 
     def total_backoff_seconds(self, failed_attempts: int) -> float:
-        """Cumulative backoff across ``failed_attempts`` failures."""
-        return sum(
-            self.backoff_seconds(k) for k in range(1, failed_attempts + 1)
+        """Cumulative backoff across ``failed_attempts`` failures.
+
+        Closed form: the un-saturated prefix is a geometric series, every
+        later term is the cap — O(1) instead of recomputing the whole
+        schedule, and safe for attempt counts where ``multiplier ** k``
+        would overflow.
+        """
+        n = failed_attempts
+        if n <= 0:
+            return 0.0
+        if self.base_backoff_s == 0.0:
+            return 0.0
+        if self.multiplier == 1.0:
+            return n * self.base_backoff_s
+        unsaturated = min(n, self._saturation_exponent())
+        geometric = (
+            self.base_backoff_s
+            * (self.multiplier ** unsaturated - 1.0)
+            / (self.multiplier - 1.0)
         )
+        return geometric + (n - unsaturated) * self.max_backoff_s

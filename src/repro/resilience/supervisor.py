@@ -21,12 +21,34 @@ the resume handshake (:func:`~repro.resilience.recovery.attempt_resume`)
 to continue from the last completed round instead of restarting.  Only
 the traffic past the newest durable checkpoint is then charged as
 retransmission — the salvaged rounds were *not* wasted.
+
+The adaptive layer (DESIGN §14) is strictly opt-in and leaves every
+default-configured run byte-identical:
+
+* an :class:`~repro.resilience.adaptive.AdaptiveRetryPolicy` feeds
+  per-attempt evidence into its link-health monitor, widens/tightens the
+  backoff by AIMD, and unlocks **failure-signature routing**: corruption
+  and drops retry the same rung, a disconnect goes straight to a
+  checkpoint-resume attempt with zero backoff, and decode/stall/protocol
+  failures — which indict the rung, not the link — descend the ladder
+  immediately instead of burning the remaining attempts;
+* a :class:`~repro.resilience.adaptive.BreakerBoard` gives each file a
+  circuit breaker that fails fast
+  (:class:`~repro.exceptions.CircuitOpenError`) once the file has proven
+  itself poisonous;
+* ``deadline_s`` / a shared :class:`~repro.resilience.adaptive.DeadlineBudget`
+  bound the simulated seconds a file / the whole run may spend; on
+  breach the supervisor salvages the checkpointed rounds and raises
+  :class:`~repro.exceptions.DeadlineExceededError` whose ``partial``
+  outcome carries the full accounting for graceful degradation upstream.
 """
 
 from __future__ import annotations
 
 from repro.exceptions import (
     ChannelClosedError,
+    CircuitOpenError,
+    DeadlineExceededError,
     DeltaFormatError,
     FrameCorruptionError,
     IntegrityError,
@@ -36,7 +58,19 @@ from repro.exceptions import (
 from repro.net.channel import LinkModel, SimulatedChannel
 from repro.net.faults import FaultPlan
 from repro.net.metrics import Direction
+from repro.resilience.adaptive import (
+    AdaptiveRetryPolicy,
+    BreakerBoard,
+    DeadlineBudget,
+)
 from repro.resilience.checkpoint import CheckpointStore, RoundCheckpoint
+from repro.resilience.health import (
+    AttemptEvidence,
+    FailureSignature,
+    TRANSIENT_SIGNATURES,
+    classify_failure,
+    fault_delta,
+)
 from repro.resilience.retry import RetryPolicy
 from repro.syncmethod import MethodOutcome, SyncMethod
 
@@ -112,7 +146,11 @@ class SyncSupervisor(SyncMethod):
     method:
         The primary per-file method.
     retry:
-        Attempt budget and backoff schedule *per ladder rung*.
+        Attempt budget and backoff schedule *per ladder rung* — a static
+        :class:`RetryPolicy` or an
+        :class:`~repro.resilience.adaptive.AdaptiveRetryPolicy` (which
+        additionally enables failure-signature ladder routing and the
+        link-health monitor).
     ladder:
         Fallback methods tried in order once the primary's attempts are
         exhausted; defaults to :func:`default_ladder`.
@@ -130,23 +168,44 @@ class SyncSupervisor(SyncMethod):
         round and each retry attempts the resume handshake first,
         continuing from the last durable boundary.  ``None`` (default)
         reproduces PR-2 behaviour byte for byte.
+    breakers:
+        Optional :class:`~repro.resilience.adaptive.BreakerBoard` giving
+        every file a circuit breaker; a refused attempt raises
+        :class:`~repro.exceptions.CircuitOpenError` with partial
+        accounting attached.
+    deadline_s:
+        Optional per-file budget of simulated seconds (backoff + wasted
+        transfer + successful transfer).  Breach raises
+        :class:`~repro.exceptions.DeadlineExceededError` *between*
+        attempts, leaving checkpoints intact for a later resume.
+    budget:
+        Optional shared :class:`~repro.resilience.adaptive.DeadlineBudget`
+        charged by every supervised file — the run-level deadline.
     """
 
     def __init__(
         self,
         method: SyncMethod,
-        retry: RetryPolicy | None = None,
+        retry: "RetryPolicy | AdaptiveRetryPolicy | None" = None,
         ladder: list[SyncMethod] | None = None,
         fault_plan: FaultPlan | None = None,
         link: LinkModel | None = None,
         checkpoints: CheckpointStore | None = None,
+        breakers: BreakerBoard | None = None,
+        deadline_s: float | None = None,
+        budget: DeadlineBudget | None = None,
     ) -> None:
+        if deadline_s is not None and deadline_s <= 0.0:
+            raise ValueError(f"deadline_s must be > 0, got {deadline_s}")
         self.method = method
         self.retry = retry or RetryPolicy()
         self.ladder = default_ladder(method) if ladder is None else ladder
         self.fault_plan = fault_plan
         self.link = link
         self.checkpoints = checkpoints
+        self.breakers = breakers
+        self.deadline_s = deadline_s
+        self.budget = budget
         self.name = f"supervised({method.name})"
 
     # ------------------------------------------------------------------
@@ -165,17 +224,57 @@ class SyncSupervisor(SyncMethod):
         """Synchronise one named file pair, surviving recoverable failures.
 
         ``name`` keys the per-file checkpoint journal (when a store is
-        configured); ``None`` is valid and shares the anonymous journal.
+        configured) and the circuit breaker (when a board is configured);
+        ``None`` is valid and shares the anonymous journal/breaker.
         """
         from repro.resilience.recovery import attempt_resume
+
+        adaptive = isinstance(self.retry, AdaptiveRetryPolicy)
+        monitor = self.retry.monitor if adaptive else None
+        breaker = (
+            self.breakers.breaker(name) if self.breakers is not None else None
+        )
+        breaker_opens_before = breaker.opens if breaker is not None else 0
 
         retries = 0
         retransmitted_bytes = 0
         recovery_seconds = 0.0
+        adaptive_backoff_s = 0.0
         rounds_salvaged = 0
         resume_handshake_bits = 0
         checkpoint_bytes = 0
+        spent_s = 0.0
         history: list[str] = []
+
+        def charge(seconds: float) -> None:
+            nonlocal spent_s
+            spent_s += seconds
+            if self.breakers is not None:
+                self.breakers.advance(seconds)
+            if self.budget is not None:
+                self.budget.charge(seconds)
+
+        def partial_outcome(journal, deadline_salvages: int = 0):
+            """Accounting of the doomed attempts, for typed failures."""
+            return MethodOutcome(
+                total_bytes=0,
+                correct=False,
+                retries=retries,
+                retransmitted_bytes=retransmitted_bytes,
+                recovery_seconds=recovery_seconds,
+                rounds_salvaged=rounds_salvaged,
+                resume_handshake_bits=resume_handshake_bits,
+                checkpoint_bytes_written=checkpoint_bytes
+                + (journal.bytes_written if journal is not None else 0),
+                health_score=monitor.score if monitor is not None else 1.0,
+                breaker_opens=(
+                    breaker.opens - breaker_opens_before
+                    if breaker is not None
+                    else 0
+                ),
+                deadline_salvages=deadline_salvages,
+                adaptive_backoff_s=adaptive_backoff_s,
+            )
 
         for rung in [self.method, *self.ladder]:
             journal = None
@@ -185,6 +284,42 @@ class SyncSupervisor(SyncMethod):
                 identity = rung.checkpoint_identity(old, new)
                 journal.open(identity, resume=self.checkpoints.resume)
             for _attempt in range(self.retry.max_attempts):
+                # --- pre-attempt gates (no-ops unless configured) -----
+                if breaker is not None and not breaker.allow(
+                    self.breakers.clock
+                ):
+                    raise CircuitOpenError(
+                        f"circuit open for {name or '<anonymous>'} after "
+                        f"{breaker.consecutive_failures} consecutive "
+                        f"failures ({breaker.opens} opens)",
+                        attempts=retries,
+                        history=tuple(history),
+                        partial=partial_outcome(journal),
+                    )
+                over_deadline = (
+                    self.deadline_s is not None and spent_s >= self.deadline_s
+                )
+                over_budget = self.budget is not None and self.budget.exhausted
+                if over_deadline or over_budget:
+                    head = journal.head() if journal is not None else None
+                    salvages = head.round_index if head is not None else 0
+                    scope = "file deadline" if over_deadline else "run budget"
+                    raise DeadlineExceededError(
+                        f"{scope} exhausted after {spent_s:.1f}s simulated "
+                        f"({retries} attempts burnt, {salvages} checkpointed "
+                        f"rounds salvaged)",
+                        attempts=retries,
+                        history=tuple(history),
+                        partial=partial_outcome(
+                            journal, deadline_salvages=salvages
+                        ),
+                    )
+
+                fault_mark = (
+                    len(self.fault_plan.fault_log)
+                    if self.fault_plan is not None
+                    else 0
+                )
                 channel = self._make_channel()
                 resume_state: RoundCheckpoint | None = None
                 try:
@@ -213,25 +348,96 @@ class SyncSupervisor(SyncMethod):
                     # nothing — minus whatever a checkpointed resume will
                     # salvage; charge the rest (and the backoff) to
                     # recovery.
-                    wasted_bytes, wasted_seconds = _waste_after(
-                        channel, journal.head() if journal else None
-                    )
+                    head = journal.head() if journal is not None else None
+                    wasted_bytes, wasted_seconds = _waste_after(channel, head)
                     retransmitted_bytes += wasted_bytes
-                    recovery_seconds += (
-                        self.retry.backoff_seconds(retries) + wasted_seconds
-                    )
+                    signature = None
+                    if adaptive:
+                        signature = classify_failure(error)
+                        faults = fault_delta(self.fault_plan, fault_mark)
+                        monitor.record(
+                            AttemptEvidence(
+                                ok=False,
+                                signature=signature,
+                                corruption_events=faults.corruption,
+                                drop_events=faults.drops,
+                                disconnect_events=faults.disconnects,
+                                retransmitted_bits=wasted_bytes * 8,
+                                payload_bits=channel.stats.total_bytes * 8,
+                                rounds_completed=(
+                                    head.round_index if head is not None else 0
+                                ),
+                                rounds_salvaged=(
+                                    head.round_index if head is not None else 0
+                                ),
+                            )
+                        )
+                        self.retry.note_failure(signature)
+                        # A disconnect with a durable checkpoint resumes
+                        # immediately: the link already came back (the
+                        # plan disarms one-shot disconnects) and every
+                        # second of backoff only re-exposes the window.
+                        if (
+                            signature == FailureSignature.DISCONNECT
+                            and head is not None
+                        ):
+                            backoff = 0.0
+                        else:
+                            backoff = self.retry.backoff_seconds(retries)
+                        adaptive_backoff_s += backoff
+                    else:
+                        backoff = self.retry.backoff_seconds(retries)
+                    recovery_seconds += backoff + wasted_seconds
+                    charge(backoff + wasted_seconds)
+                    if breaker is not None:
+                        breaker.record_failure(self.breakers.clock)
+                    if (
+                        adaptive
+                        and signature not in TRANSIENT_SIGNATURES
+                    ):
+                        # Decode/stall/protocol failures indict the rung,
+                        # not the link: burning the remaining attempts on
+                        # it cannot help.  Descend the ladder now.
+                        break
                     continue
+                # --- success ------------------------------------------
+                charge(channel.estimated_transfer_time())
+                if breaker is not None:
+                    breaker.record_success(self.breakers.clock)
                 if resume_state is not None:
                     rounds_salvaged += resume_state.round_index
                 if journal is not None:
                     checkpoint_bytes += journal.bytes_written
                     journal.commit()
+                if adaptive:
+                    faults = fault_delta(self.fault_plan, fault_mark)
+                    monitor.record(
+                        AttemptEvidence(
+                            ok=True,
+                            corruption_events=faults.corruption,
+                            drop_events=faults.drops,
+                            disconnect_events=faults.disconnects,
+                            payload_bits=channel.stats.total_bytes * 8,
+                            rounds_salvaged=(
+                                resume_state.round_index
+                                if resume_state is not None
+                                else 0
+                            ),
+                        )
+                    )
+                    self.retry.note_success()
+                    outcome.health_score = monitor.score
                 outcome.retries += retries
                 outcome.retransmitted_bytes += retransmitted_bytes
                 outcome.recovery_seconds += recovery_seconds
                 outcome.rounds_salvaged += rounds_salvaged
                 outcome.resume_handshake_bits += resume_handshake_bits
                 outcome.checkpoint_bytes_written += checkpoint_bytes
+                outcome.adaptive_backoff_s += adaptive_backoff_s
+                if breaker is not None:
+                    outcome.breaker_opens += (
+                        breaker.opens - breaker_opens_before
+                    )
                 if rung is not self.method:
                     outcome.fallback_method = rung.name
                 return outcome
@@ -244,15 +450,18 @@ class SyncSupervisor(SyncMethod):
                 if head is not None:
                     link = self.link or LinkModel()
                     retransmitted_bytes += head.total_bytes
-                    recovery_seconds += link.transfer_time_directional(
+                    abandoned_seconds = link.transfer_time_directional(
                         head.bytes_in_direction(Direction.CLIENT_TO_SERVER),
                         head.bytes_in_direction(Direction.SERVER_TO_CLIENT),
                         head.roundtrips,
                     )
+                    recovery_seconds += abandoned_seconds
+                    charge(abandoned_seconds)
 
         raise SyncFailedError(
             f"all ladder rungs failed after {retries} attempts "
             f"({' -> '.join(history)})",
             attempts=retries,
             history=tuple(history),
+            partial=partial_outcome(None),
         )

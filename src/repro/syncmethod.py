@@ -28,6 +28,15 @@ class MethodOutcome:
     rounds a resume skipped instead of re-buying, ``resume_handshake_bits``
     the wire cost of agreeing to resume, and ``checkpoint_bytes_written``
     the *local* journal bytes fsynced (disk cost, never wire cost).
+
+    The adaptive fields describe the health-aware layer (DESIGN §14) and
+    default to "perfect link, nothing adapted": ``health_score`` is the
+    windowed link-health estimate after this file (1.0 = pristine;
+    merged with ``min`` so an aggregate reflects the worst link seen),
+    ``breaker_opens`` counts circuit-breaker trips, ``deadline_salvages``
+    checkpointed rounds preserved by a deadline breach, and
+    ``adaptive_backoff_s`` the simulated seconds the AIMD schedule spent
+    waiting (a subset of ``recovery_seconds``).
     """
 
     total_bytes: int
@@ -42,6 +51,10 @@ class MethodOutcome:
     rounds_salvaged: int = 0
     resume_handshake_bits: int = 0
     checkpoint_bytes_written: int = 0
+    health_score: float = 1.0
+    breaker_opens: int = 0
+    deadline_salvages: int = 0
+    adaptive_backoff_s: float = 0.0
 
     def __add__(self, other: "MethodOutcome") -> "MethodOutcome":
         merged = dict(self.breakdown)
@@ -65,6 +78,12 @@ class MethodOutcome:
             ),
             checkpoint_bytes_written=(
                 self.checkpoint_bytes_written + other.checkpoint_bytes_written
+            ),
+            health_score=min(self.health_score, other.health_score),
+            breaker_opens=self.breaker_opens + other.breaker_opens,
+            deadline_salvages=self.deadline_salvages + other.deadline_salvages,
+            adaptive_backoff_s=(
+                self.adaptive_backoff_s + other.adaptive_backoff_s
             ),
         )
 

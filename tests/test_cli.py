@@ -136,3 +136,74 @@ class TestParser:
         old_path, new_path = file_pair
         with pytest.raises(SystemExit):
             main(["sync", str(old_path), str(new_path), "--method", "nope"])
+
+
+class TestAdaptiveFlags:
+    def test_adaptive_sync_text_output(self, dir_pair, capsys):
+        old_dir, new_dir = dir_pair
+        assert main([
+            "sync", str(old_dir), str(new_dir),
+            "--adaptive-retry", "--breaker-threshold", "3",
+            "--deadline", "3600",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "link health" in out
+        assert "1.00 score" in out  # clean link: the untouched default
+
+    def test_adaptive_json_counters(self, file_pair, capsys):
+        old_path, new_path = file_pair
+        assert main([
+            "sync", str(old_path), str(new_path),
+            "--json", "--adaptive-retry",
+        ]) == 0
+        run = json.loads(capsys.readouterr().out)
+        assert run["health_score"] == 1.0
+        assert run["breaker_opens"] == 0
+        assert run["deadline_salvages"] == 0
+        assert run["adaptive_backoff_s"] == 0.0
+
+    def test_clean_run_output_identical_with_and_without_layer(
+        self, dir_pair, capsys
+    ):
+        old_dir, new_dir = dir_pair
+        assert main(["sync", str(old_dir), str(new_dir), "--json"]) == 0
+        plain = json.loads(capsys.readouterr().out)
+        assert main([
+            "sync", str(old_dir), str(new_dir), "--json",
+            "--adaptive-retry", "--breaker-threshold", "3",
+            "--deadline", "3600", "--run-deadline", "100000",
+        ]) == 0
+        adaptive = json.loads(capsys.readouterr().out)
+        # workers differ by design (a run budget forces serial); timing
+        # and the process-global hash caches are volatile between runs.
+        volatile = ("workers", "cpu_seconds", "cache_hits", "cache_misses",
+                    "ref_cache_hits", "ref_cache_misses")
+        for key in volatile:
+            plain.pop(key)
+            adaptive.pop(key)
+        assert adaptive == plain
+
+
+class TestChaosCommand:
+    def test_soak_matrix(self, capsys):
+        assert main([
+            "chaos", "--shapes", "bursty", "--seeds", "1",
+            "--profile", "short",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "chaos soak [short]" in out
+        assert "bursty" in out
+
+    def test_json_artifact(self, tmp_path, capsys):
+        artifact = tmp_path / "soak.json"
+        assert main([
+            "chaos", "--shapes", "degrading", "--seeds", "2",
+            "--json", "--out", str(artifact),
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["all_cells_consistent"] is True
+        assert json.loads(artifact.read_text()) == payload
+
+    def test_unknown_shape_rejected(self, capsys):
+        assert main(["chaos", "--shapes", "lumpy"]) == 2
+        assert "unknown shape" in capsys.readouterr().err
