@@ -50,6 +50,9 @@ def run_to_row(run: CollectionRun) -> dict[str, object]:
         "breaker_opens": run.breaker_opens,
         "deadline_salvages": run.deadline_salvages,
         "adaptive_backoff_s": round(run.adaptive_backoff_s, 4),
+        "collisions_detected": run.collisions_detected,
+        "repair_rounds": run.repair_rounds,
+        "repair_bytes": run.repair_bytes,
     }
     for key, value in sorted(run.breakdown.items()):
         row[f"breakdown.{key}"] = value

@@ -30,13 +30,24 @@ __all__ = [
 
 
 def _wire_outcome(result, new: bytes) -> MethodOutcome:
-    """Flatten a protocol result (with ``.stats``) into a MethodOutcome."""
+    """Flatten a protocol result (with ``.stats``) into a MethodOutcome.
+
+    The integrity fields exist only on the rsync/multiround results (the
+    stacks with surgical repair); ``getattr`` keeps the core protocol's
+    result compatible.  A protocol-internal full-transfer fallback
+    reclassifies its traffic into ``stats.retransmitted_bits``, which
+    must survive the flattening even without a supervisor around.
+    """
     return MethodOutcome(
         total_bytes=result.total_bytes,
         client_to_server=result.stats.client_to_server_bytes,
         server_to_client=result.stats.server_to_client_bytes,
         breakdown=dict(result.stats.breakdown()),
         correct=result.reconstructed == new,
+        retransmitted_bytes=result.stats.retransmitted_bytes,
+        collisions_detected=getattr(result, "collisions_detected", 0),
+        repair_rounds=getattr(result, "repair_rounds", 0),
+        repair_bytes=getattr(result, "repair_bytes", 0),
     )
 
 

@@ -60,6 +60,9 @@ class CollectionRun:
     breaker_opens: int = 0
     deadline_salvages: int = 0
     adaptive_backoff_s: float = 0.0
+    collisions_detected: int = 0
+    repair_rounds: int = 0
+    repair_bytes: int = 0
 
     @property
     def total_kb(self) -> float:
@@ -149,4 +152,7 @@ def run_method_on_collection(
         breaker_opens=report.breaker_opens,
         deadline_salvages=report.deadline_salvages,
         adaptive_backoff_s=report.adaptive_backoff_s,
+        collisions_detected=report.collisions_detected,
+        repair_rounds=report.repair_rounds,
+        repair_bytes=report.repair_bytes,
     )

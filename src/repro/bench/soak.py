@@ -18,8 +18,10 @@ table or JSON — the artifact the CI ``chaos-soak`` job uploads.
 from __future__ import annotations
 
 import json
+import tempfile
 import time
 from dataclasses import asdict, dataclass, field
+from pathlib import Path
 
 from repro.net.chaos import chaos_plan
 
@@ -199,4 +201,216 @@ def run_soak(
                     failed_names=sorted(cell.failed),
                 )
             )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Scrub soak: bit rot at rest → detect → repair → converge
+# ----------------------------------------------------------------------
+
+#: (workload scale, files bit-rotted, bit flips per file, repair-link
+#: headline fault rate) per profile.  The repair sync runs over a
+#: *hostile* link on purpose: convergence must survive both the rot and
+#: the weather.
+SCRUB_SOAK_PROFILES: dict[str, tuple[float, int, int, float]] = {
+    "short": (0.04, 3, 2, 0.08),
+    "long": (0.15, 6, 3, 0.15),
+}
+
+#: Manifest entries audited per scrub slice in the soak — small enough
+#: that every soak cell exercises the resumable cursor several times.
+SCRUB_SOAK_SLICE = 4
+
+
+@dataclass
+class ScrubSoakRow:
+    """One seed of the scrub soak: rot → detect → repair → re-verify."""
+
+    seed: int
+    files_total: int
+    files_rotted: int
+    files_deleted: int
+    scrub_slices: int
+    divergent_found: int
+    missing_found: int
+    quarantined: int
+    repair_bytes_total: int
+    collisions_detected: int
+    repair_rounds: int
+    retries: int
+    fallback_files: int
+    converged: bool
+    elapsed_seconds: float
+
+    @property
+    def detected_all_damage(self) -> bool:
+        """Did the scrub find every file the plan damaged?"""
+        return (
+            self.divergent_found + self.missing_found
+            >= self.files_rotted + self.files_deleted
+        )
+
+
+@dataclass
+class ScrubSoakReport:
+    """The scrub soak matrix plus the knobs that produced it."""
+
+    profile: str
+    shape: str
+    seeds: tuple[int, ...]
+    rate: float
+    adaptive: bool
+    rows: list[ScrubSoakRow] = field(default_factory=list)
+
+    @property
+    def all_converged(self) -> bool:
+        return all(
+            row.converged and row.detected_all_damage for row in self.rows
+        )
+
+    def render(self) -> str:
+        header = (
+            f"scrub soak [{self.profile}] shape={self.shape} "
+            f"rate={self.rate} adaptive={'on' if self.adaptive else 'off'}"
+        )
+        lines = [header, "-" * len(header)]
+        lines.append(
+            f"{'seed':>4} {'files':>5} {'rot':>4} {'del':>4} {'slices':>6} "
+            f"{'diverg':>6} {'miss':>4} {'quar':>4} {'rep B':>8} "
+            f"{'coll':>4} {'rounds':>6} {'retry':>5} {'conv':>5}"
+        )
+        for row in self.rows:
+            lines.append(
+                f"{row.seed:>4} {row.files_total:>5} {row.files_rotted:>4} "
+                f"{row.files_deleted:>4} {row.scrub_slices:>6} "
+                f"{row.divergent_found:>6} {row.missing_found:>4} "
+                f"{row.quarantined:>4} {row.repair_bytes_total:>8,} "
+                f"{row.collisions_detected:>4} {row.repair_rounds:>6} "
+                f"{row.retries:>5} {str(row.converged):>5}"
+            )
+        verdict = (
+            "every rotted replica converged back to byte-identical"
+            if self.all_converged
+            else "DIVERGENCE SURVIVED REPAIR — see rows above"
+        )
+        lines.append(f"=> {verdict}")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        payload = asdict(self)
+        payload["all_converged"] = self.all_converged
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def run_scrub_soak(
+    seeds: tuple[int, ...] = DEFAULT_SEEDS,
+    profile: str = "short",
+    shape: str = "bursty",
+    adaptive: bool = True,
+    root: str | Path | None = None,
+) -> ScrubSoakReport:
+    """Prove a bit-rotted replica converges back to byte-identical.
+
+    Each seed materialises a seeded workload into an on-disk store,
+    applies :class:`~repro.net.chaos.BitRotPlan` damage (plus one
+    deterministic whole-file deletion), scrubs the store in resumable
+    rate-limited slices, repairs the damage over a *faulty* link with the
+    adaptive supervisor and ``on_error="fallback"``, then re-scrubs and
+    byte-compares the store against the pristine source.  ``root`` keeps
+    the stores somewhere inspectable; by default each cell works in a
+    fresh temporary directory.
+    """
+    from repro.collection import CollectionStore, Manifest, StoreScrubber
+    from repro.net.chaos import BitRotPlan
+    from repro.workloads import gcc_like
+
+    if profile not in SCRUB_SOAK_PROFILES:
+        raise ValueError(
+            f"profile must be one of {sorted(SCRUB_SOAK_PROFILES)}, "
+            f"got {profile!r}"
+        )
+    scale, files_affected, flips_per_file, rate = SCRUB_SOAK_PROFILES[profile]
+
+    report = ScrubSoakReport(
+        profile=profile,
+        shape=shape,
+        seeds=tuple(seeds),
+        rate=rate,
+        adaptive=adaptive,
+    )
+    base = Path(root) if root is not None else None
+    for seed in seeds:
+        tree = gcc_like(scale=scale, seed=200 + seed)
+        source = tree.new
+        started = time.perf_counter()
+        with tempfile.TemporaryDirectory(dir=base) as workdir:
+            store = CollectionStore(Path(workdir) / f"store-{seed}")
+            store.write_collection(source)
+            manifest = Manifest.of_collection(source)
+
+            rot = BitRotPlan(
+                seed=seed,
+                files_affected=files_affected,
+                flips_per_file=flips_per_file,
+            )
+            victims = rot.apply(store.root)
+            # One deterministic whole-file loss exercises the missing
+            # path alongside the divergent one.
+            deleted = sorted(set(source) - set(victims))[seed % 3]
+            store.path_for(deleted).unlink()
+
+            scrubber = StoreScrubber(
+                store,
+                manifest,
+                cursor_path=Path(workdir) / f"cursor-{seed}",
+                rate_limit_bps=1 << 30,
+            )
+            slices = 0
+            merged = None
+            while True:
+                part = scrubber.scrub(max_entries=SCRUB_SOAK_SLICE)
+                slices += 1
+                if merged is None:
+                    merged = part
+                else:
+                    merged.scanned += part.scanned
+                    merged.ok += part.ok
+                    merged.divergent.extend(part.divergent)
+                    merged.missing.extend(part.missing)
+                    merged.quarantined.extend(part.quarantined)
+                if part.completed:
+                    break
+
+            repair = scrubber.repair(
+                source,
+                report=merged,
+                fault_plan=chaos_plan(shape, seed=seed, rate=rate),
+                adaptive_retry=adaptive,
+                on_error="fallback",
+                workers=1,
+            )
+            final = scrubber.scrub_all(quarantine=False)
+            converged = final.clean and all(
+                store.read_file(name) == data
+                for name, data in source.items()
+            )
+        report.rows.append(
+            ScrubSoakRow(
+                seed=seed,
+                files_total=len(source),
+                files_rotted=len(victims),
+                files_deleted=1,
+                scrub_slices=slices,
+                divergent_found=len(merged.divergent),
+                missing_found=len(merged.missing),
+                quarantined=len(merged.quarantined),
+                repair_bytes_total=repair.total_bytes,
+                collisions_detected=repair.collisions_detected,
+                repair_rounds=repair.repair_rounds,
+                retries=repair.total_retries,
+                fallback_files=repair.files_fallback,
+                converged=converged,
+                elapsed_seconds=round(time.perf_counter() - started, 3),
+            )
+        )
     return report

@@ -177,6 +177,9 @@ def _cmd_sync(args: argparse.Namespace) -> int:
                     "breaker_opens": run.breaker_opens,
                     "deadline_salvages": run.deadline_salvages,
                     "adaptive_backoff_s": round(run.adaptive_backoff_s, 4),
+                    "collisions_detected": run.collisions_detected,
+                    "repair_rounds": run.repair_rounds,
+                    "repair_bytes": run.repair_bytes,
                 },
                 indent=2,
             )
@@ -208,6 +211,10 @@ def _cmd_sync(args: argparse.Namespace) -> int:
                   f"{run.breaker_opens} breaker opens, "
                   f"{run.deadline_salvages} deadline salvages, "
                   f"{run.adaptive_backoff_s:.1f}s adaptive backoff")
+        if run.collisions_detected:
+            print(f"integrity       : {run.collisions_detected} collisions "
+                  f"detected, {run.repair_rounds} repair rounds, "
+                  f"{run.repair_bytes:,} B surgical repair")
         if args.checkpoint_dir is not None:
             print(f"checkpoints     : {run.rounds_salvaged} rounds salvaged, "
                   f"{run.resume_handshake_bits} handshake bits, "
@@ -251,12 +258,25 @@ def _sync_batched(
 def _cmd_recover(args: argparse.Namespace) -> int:
     """Post-crash sweep: quarantine temporaries, list resumable journals."""
     from repro.collection import load_manifest
-    from repro.resilience import recover_store
+    from repro.resilience import QUARANTINE_DIR, recover_store
 
     manifest = load_manifest(args.manifest) if args.manifest else None
     report = recover_store(
         args.path, manifest=manifest, checkpoint_dir=args.checkpoint_dir
     )
+    purged: list[str] = []
+    quarantine = Path(args.path) / QUARANTINE_DIR
+    if args.purge and quarantine.is_dir():
+        # Listing above preserved the evidence for this run's output;
+        # now the incident is acknowledged, empty the quarantine.
+        for entry in sorted(quarantine.iterdir()):
+            if entry.is_file():
+                purged.append(str(entry))
+                entry.unlink()
+        try:
+            quarantine.rmdir()
+        except OSError:
+            pass  # non-file residue: leave the directory in place
     if args.json:
         print(
             json.dumps(
@@ -269,6 +289,7 @@ def _cmd_recover(args: argparse.Namespace) -> int:
                     "pending_journals": [
                         str(p) for p in report.pending_journals
                     ],
+                    "purged": purged,
                 },
                 indent=2,
             )
@@ -293,7 +314,99 @@ def _cmd_recover(args: argparse.Namespace) -> int:
             if report.pending_journals:
                 print("rerun the sync with --resume to salvage the "
                       "journalled rounds")
+        if purged:
+            print(f"purged {len(purged)} quarantined files")
+        elif not args.purge and quarantine.is_dir():
+            print("quarantine kept (pass --purge to empty it)")
     return 0
+
+
+def _cmd_scrub(args: argparse.Namespace) -> int:
+    """Anti-entropy audit of a replica store, or the scrub-soak matrix."""
+    if args.soak:
+        from repro.bench.soak import run_scrub_soak
+
+        report = run_scrub_soak(
+            seeds=tuple(args.seeds),
+            profile=args.profile,
+            shape=args.shape,
+            adaptive=not args.static,
+        )
+        print(report.to_json() if args.json else report.render())
+        if args.out is not None:
+            Path(args.out).write_text(report.to_json() + "\n")
+            print(f"wrote {args.out}", file=sys.stderr)
+        return 0 if report.all_converged else 1
+
+    if args.path is None or args.manifest is None:
+        print("error: scrub needs a store PATH and --manifest "
+              "(or --soak for the synthetic matrix)", file=sys.stderr)
+        return 2
+    from repro.collection import StoreScrubber, load_manifest
+
+    manifest = load_manifest(args.manifest)
+    scrubber = StoreScrubber(
+        args.path,
+        manifest,
+        cursor_path=args.cursor,
+        rate_limit_bps=args.rate_limit,
+    )
+    report = scrubber.scrub(
+        max_entries=args.max_entries,
+        quarantine=not args.no_quarantine,
+    )
+    repaired = None
+    if args.repair and not report.clean:
+        if args.source is None:
+            print("error: --repair needs --source (the pristine "
+                  "collection to fetch damaged entries from)",
+                  file=sys.stderr)
+            return 2
+        source = _load_side(Path(args.source))
+        repaired = scrubber.repair(
+            source,
+            report=report,
+            adaptive_retry=True,
+            on_error="fallback",
+        )
+    if args.json:
+        payload: dict[str, object] = {
+            "root": str(report.root),
+            "scanned": report.scanned,
+            "ok": report.ok,
+            "divergent": report.divergent,
+            "missing": report.missing,
+            "quarantined": [str(p) for p in report.quarantined],
+            "completed": report.completed,
+            "bytes_read": report.bytes_read,
+            "clean": report.clean,
+        }
+        if repaired is not None:
+            payload["repair"] = {
+                "total_bytes": repaired.total_bytes,
+                "files_changed": repaired.files_changed,
+                "collisions_detected": repaired.collisions_detected,
+                "repair_rounds": repaired.repair_rounds,
+                "repair_bytes": repaired.repair_bytes,
+            }
+        print(json.dumps(payload, indent=2))
+    else:
+        for name in report.divergent:
+            print(f"! divergent {name}")
+        for name in report.missing:
+            print(f"! missing   {name}")
+        progress = "pass complete" if report.completed else \
+            "pass paused (cursor saved)"
+        print(f"scrubbed {report.scanned} entries "
+              f"({report.bytes_read:,} B): {report.ok} ok, "
+              f"{len(report.divergent)} divergent, "
+              f"{len(report.missing)} missing — {progress}")
+        if repaired is not None:
+            print(f"repaired {repaired.files_changed + len(report.missing)} "
+                  f"entries with {repaired.total_bytes:,} B on the wire")
+    if repaired is not None:
+        return 0 if scrubber.scrub_all(quarantine=False).clean else 1
+    return 0 if report.clean else 1
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -693,7 +806,60 @@ def build_parser() -> argparse.ArgumentParser:
                          help="checkpoint directory to scan for resumable "
                               "session journals")
     recover.add_argument("--json", action="store_true")
+    recover.add_argument("--purge", action="store_true",
+                         help="after listing, empty the quarantine "
+                              "directory (without this flag quarantined "
+                              "evidence is always kept)")
     recover.set_defaults(handler=_cmd_recover)
+
+    scrub = sub.add_parser(
+        "scrub", help="anti-entropy audit: re-fingerprint a replica store "
+                      "against its manifest, quarantine divergence, "
+                      "optionally repair it; or run the scrub-soak matrix"
+    )
+    scrub.add_argument("path", nargs="?", default=None,
+                       help="replica store root to audit")
+    scrub.add_argument("--manifest", default=None,
+                       help="stored manifest recording the expected "
+                            "fingerprints")
+    scrub.add_argument("--cursor", default=None,
+                       help="cursor file making bounded scrubs resumable "
+                            "across invocations")
+    scrub.add_argument("--max-entries", type=int, default=None,
+                       help="audit at most this many entries, parking the "
+                            "cursor for the next invocation")
+    scrub.add_argument("--rate-limit", type=int, default=None,
+                       help="bound the audit's read bandwidth "
+                            "(bytes/second)")
+    scrub.add_argument("--no-quarantine", action="store_true",
+                       help="report divergence without copying evidence "
+                            "into the quarantine directory")
+    scrub.add_argument("--repair", action="store_true",
+                       help="sync the damaged entries back from --source "
+                            "(adaptive supervisor, full-transfer rescue)")
+    scrub.add_argument("--source", default=None,
+                       help="pristine collection directory to repair from")
+    scrub.add_argument("--soak", action="store_true",
+                       help="run the synthetic bit-rot soak matrix instead "
+                            "of auditing a real store; exits non-zero "
+                            "unless every replica converges")
+    scrub.add_argument("--profile", choices=("short", "long"),
+                       default="short",
+                       help="soak workload scale / damage / fault preset")
+    scrub.add_argument("--seeds", nargs="+", type=int, default=[1, 2, 3],
+                       help="soak bit-rot seeds to sweep")
+    scrub.add_argument("--shape", default="bursty",
+                       help="fault schedule shape for the soak's repair "
+                            "link")
+    scrub.add_argument("--static", action="store_true",
+                       help="soak with the static retry policy instead of "
+                            "the adaptive stack")
+    scrub.add_argument("--json", action="store_true",
+                       help="machine-readable output")
+    scrub.add_argument("--out", default=None,
+                       help="also write the soak JSON report to this path "
+                            "(the CI integrity artifact)")
+    scrub.set_defaults(handler=_cmd_scrub)
     return parser
 
 

@@ -17,6 +17,7 @@ from repro.collection.store import (
     load_manifest,
     save_manifest,
 )
+from repro.collection.scrub import ScrubReport, StoreScrubber
 from repro.collection.sync import (
     CollectionReport,
     sync_collection,
@@ -26,6 +27,8 @@ from repro.collection.sync import (
 __all__ = [
     "CollectionReport",
     "CollectionStore",
+    "ScrubReport",
+    "StoreScrubber",
     "Manifest",
     "ManifestDiff",
     "TMP_SUFFIX",

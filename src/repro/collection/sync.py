@@ -135,6 +135,27 @@ class CollectionReport:
             outcome.adaptive_backoff_s for outcome in self.per_file.values()
         )
 
+    @property
+    def collisions_detected(self) -> int:
+        """Whole-file fingerprint rejections across the collection."""
+        return sum(
+            outcome.collisions_detected for outcome in self.per_file.values()
+        )
+
+    @property
+    def repair_rounds(self) -> int:
+        """Group-digest descent roundtrips spent localizing collisions."""
+        return sum(
+            outcome.repair_rounds for outcome in self.per_file.values()
+        )
+
+    @property
+    def repair_bytes(self) -> int:
+        """Wire bytes of the surgical repair exchanges."""
+        return sum(
+            outcome.repair_bytes for outcome in self.per_file.values()
+        )
+
     def summary(self) -> dict[str, int]:
         return {
             "manifest": self.manifest_bytes,
@@ -458,6 +479,9 @@ def sync_collection(
                 breaker_opens=result.outcome.breaker_opens,
                 deadline_salvages=result.outcome.deadline_salvages,
                 adaptive_backoff_s=result.outcome.adaptive_backoff_s,
+                collisions_detected=result.outcome.collisions_detected,
+                repair_rounds=result.outcome.repair_rounds,
+                repair_bytes=result.outcome.repair_bytes,
             )
             report.fallbacks[name] = "rescue-full"
             if result.outcome.retries:

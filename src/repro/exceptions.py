@@ -61,6 +61,22 @@ class IntegrityError(ReproError):
     The protocols detect (extremely unlikely) hash-collision failures with a
     strong whole-file checksum; this error signals that the fallback path
     (full transfer) had to be taken or that decoding produced bad data.
+
+    Unqualified, this means *decode corruption*: the bytes are wrong for a
+    reason no protocol retry can cure (a beaten rung — the ladder should
+    descend).  The repairable flavour is :class:`ChecksumMismatchError`.
+    """
+
+
+class ChecksumMismatchError(IntegrityError):
+    """A reconstruction diverged from the expected fingerprint but is
+    structurally sound — the signature of a weak-hash block collision.
+
+    Unlike its parent (decode corruption: the rung is beaten), this is
+    *recoverable in place*: the divergence is localized to a handful of
+    blocks that a surgical repair round (or, at worst, one full transfer
+    on the same rung) can fix.  ``classify_failure`` routes it as
+    repair-now rather than ladder-descend.
     """
 
 

@@ -12,8 +12,10 @@ Per round (block size ``b``, halving):
 
 After the final round the server covers ``F_new`` with pinned client
 blocks where possible and compressed literals elsewhere, and the client
-reconstructs.  A whole-file checksum plus full-transfer fallback handles
-hash collisions, as everywhere in this repository.
+reconstructs.  A whole-file checksum detects hash collisions; a
+surgical repair round (:mod:`repro.core.repair`) localizes and
+re-fetches only the divergent blocks, with the full-transfer fallback
+reserved for damage repair cannot cure.
 
 Checkpointing: the state both endpoints carry across a round boundary is
 tiny and flat — the active block frontier, the pinned matches, and the
@@ -31,6 +33,11 @@ import numpy as np
 
 from repro.core.blocks import Block, BlockStatus
 from repro.core.engine import resolve_engine
+from repro.core.repair import (
+    DEFAULT_REPAIR_FANOUT,
+    PHASE_REPAIR,
+    repair_exchange,
+)
 from repro.exceptions import DeltaFormatError, SyncStalledError
 from repro.hashing.decomposable import DecomposableAdler
 from repro.hashing.scan import HashIndex, PrefixHasher, pack_to_width
@@ -69,6 +76,10 @@ class MultiroundConfig:
     hash_bits: int = 30  # must carry all confidence: no verification pass
     hash_seed: int = 1
     max_rounds: int | None = None
+    #: Attempt a surgical repair round on fingerprint mismatch before
+    #: surrendering to the full-transfer fallback.
+    repair: bool = True
+    repair_fanout: int = DEFAULT_REPAIR_FANOUT
 
     def __post_init__(self) -> None:
         if self.min_block_size < 2:
@@ -79,6 +90,8 @@ class MultiroundConfig:
             raise ValueError("hash_bits must be in [8, 32]")
         if self.max_rounds is not None and self.max_rounds < 1:
             raise ValueError("max_rounds must be >= 1")
+        if self.repair_fanout < 2:
+            raise ValueError("repair_fanout must be >= 2")
 
     @property
     def round_limit(self) -> int:
@@ -90,12 +103,23 @@ class MultiroundConfig:
 
 @dataclass
 class MultiroundResult:
-    """Outcome of one multiround-rsync run."""
+    """Outcome of one multiround-rsync run.
+
+    ``collisions_detected`` counts whole-file fingerprint rejections (0
+    or 1 per run); ``repaired`` means the surgical repair rounds fixed
+    the divergence in place (``repair_rounds`` descent roundtrips,
+    ``repair_bytes`` on the wire).  ``used_fallback`` still means a full
+    compressed transfer happened.
+    """
 
     reconstructed: bytes
     stats: TransferStats
     rounds: int
     used_fallback: bool
+    collisions_detected: int = 0
+    repaired: bool = False
+    repair_rounds: int = 0
+    repair_bytes: int = 0
 
     @property
     def total_bytes(self) -> int:
@@ -478,17 +502,49 @@ def multiround_rsync_sync(
 
     reconstructed = bytes(out)
     used_fallback = False
+    collisions_detected = 0
+    repaired = False
+    repair_rounds = 0
+    repair_bytes = 0
     if file_fingerprint(reconstructed) != expected_fingerprint:
-        used_fallback = True
-        channel.send(Direction.CLIENT_TO_SERVER, b"\x01", PHASE_FALLBACK, bits=1)
-        channel.receive(Direction.CLIENT_TO_SERVER)
-        channel.send(
-            Direction.SERVER_TO_CLIENT, zlib.compress(new_data, 9),
-            PHASE_FALLBACK,
-        )
-        reconstructed = zlib.decompress(
-            channel.receive(Direction.SERVER_TO_CLIENT)
-        )
+        collisions_detected = 1
+        # A truncated-hash collision preserves lengths; anything else
+        # (decode damage) is not surgically repairable.
+        if (config.repair and new_data
+                and len(reconstructed) == len(new_data)):
+            channel.send(
+                Direction.CLIENT_TO_SERVER, b"\x02", PHASE_REPAIR, bits=2
+            )
+            channel.receive(Direction.CLIENT_TO_SERVER)
+            outcome = repair_exchange(
+                channel,
+                reconstructed,
+                new_data,
+                expected_fingerprint,
+                leaf_size=config.min_block_size,
+                fanout=config.repair_fanout,
+            )
+            repair_rounds = outcome.rounds
+            repair_bytes = channel.stats.bytes_in_phase(PHASE_REPAIR)
+            if outcome.converged:
+                reconstructed = outcome.data
+                repaired = True
+        if not repaired:
+            used_fallback = True
+            channel.send(Direction.CLIENT_TO_SERVER, b"\x01", PHASE_FALLBACK, bits=1)
+            channel.receive(Direction.CLIENT_TO_SERVER)
+            channel.send(
+                Direction.SERVER_TO_CLIENT, zlib.compress(new_data, 9),
+                PHASE_FALLBACK,
+            )
+            reconstructed = zlib.decompress(
+                channel.receive(Direction.SERVER_TO_CLIENT)
+            )
+            # The NACK plus the whole compressed file — and any repair
+            # descent that failed to converge — is recovery traffic, not
+            # first-try payload.
+            channel.stats.reclassify_phase_as_retransmission(PHASE_FALLBACK)
+            channel.stats.reclassify_phase_as_retransmission(PHASE_REPAIR)
     else:
         channel.send(Direction.CLIENT_TO_SERVER, b"\x00", PHASE_FALLBACK, bits=1)
         channel.receive(Direction.CLIENT_TO_SERVER)
@@ -497,4 +553,8 @@ def multiround_rsync_sync(
         stats=channel.stats,
         rounds=rounds,
         used_fallback=used_fallback,
+        collisions_detected=collisions_detected,
+        repaired=repaired,
+        repair_rounds=repair_rounds,
+        repair_bytes=repair_bytes,
     )

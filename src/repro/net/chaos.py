@@ -17,7 +17,9 @@ of these shapes × seeds over multi-file collection runs; the CI
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.net.faults import FaultKind, FaultPlan
 
@@ -128,3 +130,74 @@ def chaos_plan(
     settings.update(profile_overrides)
     profile = ChaosProfile(shape=shape, rate=rate, **settings)
     return ScheduledFaultPlan(seed=seed, profile=profile)
+
+
+@dataclass
+class BitRotPlan:
+    """Seeded, deterministic bit rot for a replica store on disk.
+
+    The wire plans above attack traffic; this one attacks *rest*: it
+    flips ``flips_per_file`` seeded bits in each of ``files_affected``
+    victim files under a store root, writing the damage back in place —
+    deliberately not via the store's atomic temp+rename path, because
+    media rot does not fsync.  Victims are chosen deterministically from
+    the sorted file list, so a given ``(seed, root contents)`` pair
+    always rots the same bytes; the scrubber soak relies on that to
+    replay its convergence proof.
+
+    Quarantine entries, in-flight ``.repro.tmp`` temporaries and empty
+    files are never touched.  Returns the victims' store-relative names.
+    """
+
+    seed: int = 0
+    files_affected: int = 1
+    flips_per_file: int = 1
+
+    #: Every flip applied, as ``(name, byte_offset, bit)`` — test and
+    #: soak reporting hooks.
+    rot_log: list[tuple[str, int, int]] = field(
+        default_factory=list, init=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.files_affected < 1:
+            raise ValueError("files_affected must be >= 1")
+        if self.flips_per_file < 1:
+            raise ValueError("flips_per_file must be >= 1")
+
+    def apply(self, root: str | Path, names: list[str] | None = None) -> list[str]:
+        """Rot files under ``root``; return the affected relative names.
+
+        ``names`` (optional) restricts the victim pool to specific
+        store-relative names instead of everything on disk.
+        """
+        from repro.collection.store import TMP_SUFFIX
+        from repro.resilience.recovery import QUARANTINE_DIR
+
+        root = Path(root)
+        rng = random.Random(self.seed)
+        if names is not None:
+            pool = [name for name in sorted(names) if (root / name).is_file()]
+        else:
+            pool = sorted(
+                str(path.relative_to(root))
+                for path in root.rglob("*")
+                if path.is_file()
+                and QUARANTINE_DIR not in path.relative_to(root).parts
+                and not path.name.endswith(TMP_SUFFIX)
+            )
+        pool = [name for name in pool if (root / name).stat().st_size > 0]
+        if not pool:
+            return []
+        victims = sorted(
+            rng.sample(pool, min(self.files_affected, len(pool)))
+        )
+        for name in victims:
+            path = root / name
+            data = bytearray(path.read_bytes())
+            for _ in range(self.flips_per_file):
+                bit = rng.randrange(8 * len(data))
+                data[bit // 8] ^= 1 << (bit % 8)
+                self.rot_log.append((name, bit // 8, bit % 8))
+            path.write_bytes(bytes(data))
+        return victims

@@ -50,6 +50,9 @@ class FaultKind(Enum):
     TRUNCATE = "truncate"
     DROP = "drop"
     DISCONNECT = "disconnect"
+    #: Semantic mutation of a delta payload that survives CRC framing:
+    #: the wire-level weak-hash collision (:class:`CollisionFaultPlan`).
+    COLLIDE = "collide"
 
 
 class FaultEvent(NamedTuple):
@@ -182,6 +185,10 @@ class FaultPlan:
             return frame[: self._rng.randrange(len(frame))]
         raise ValueError(f"{kind} does not mangle payloads")
 
+    def collide(self, payload: bytes, phase: str, round_index: int = 0) -> bytes:
+        """Semantically mutate a payload (collision plans override)."""
+        raise ValueError(f"{type(self).__name__} does not inject collisions")
+
     def channel(self, link: LinkModel | None = None) -> "FaultyChannel":
         """A fresh channel driven by (and advancing) this plan."""
         return FaultyChannel(self, link)
@@ -217,6 +224,13 @@ class FaultyChannel(SimulatedChannel):
                 f"link dropped during {phase!r} send "
                 f"#{self.plan.sends_seen} (injected disconnect)"
             )
+        if fault is FaultKind.COLLIDE:
+            # Semantic mutation happens *before* framing: the mutated
+            # payload carries a valid CRC and decodes cleanly, exactly
+            # like a weak-hash collision the frame layer cannot see.
+            payload = self.plan.collide(
+                payload, phase, round_index=self.current_round
+            )
         # Base-class send performs the exact accounting (bits, roundtrips)
         # and enqueues the raw payload; swap it for the (possibly mangled)
         # frame so the receiver can check integrity.
@@ -229,3 +243,159 @@ class FaultyChannel(SimulatedChannel):
 
     def receive(self, direction: Direction) -> bytes:
         return decode_frame(super().receive(direction))
+
+
+@dataclass
+class CollisionFaultPlan(FaultPlan):
+    """Force weak-hash-collision semantics onto delta traffic.
+
+    Frame-level corruption is *detectable* — the CRC catches it.  A
+    truncated-hash collision is not: the transmitted rolling/strong
+    hashes are all genuine, the delta decodes cleanly, and only the
+    whole-file fingerprint can reveal that a block's *content* is wrong.
+    This plan reproduces exactly that: it rewrites a delta payload's
+    decompressed token stream (a length-preserving literal byte flip, or
+    retargeting a copy token to equally-sized wrong source bytes) and
+    re-compresses, leaving every transmitted hash and the CRC framing
+    intact.  Understands the rsync delta layout (16-byte fingerprint +
+    zlib token stream) and the multiround layout (bare zlib token
+    stream); unrecognised payloads pass through untouched and unrecorded.
+
+    Deterministic like its parent: the first ``max_collisions`` sends in
+    ``collide_phase`` (after ``skip_deltas`` passes) are hit, and every
+    random choice inside the mutation comes from the plan's seeded RNG.
+    The classic probabilistic fault rates still apply on top if set.
+    """
+
+    max_collisions: int = 1
+    collide_phase: str = "delta"
+    #: Delta-phase sends to let through before colliding — selects which
+    #: file of a collection run takes the hit.
+    skip_deltas: int = 0
+
+    _deltas_seen: int = field(default=0, init=False, repr=False)
+
+    def next_fault(self, phase: str, round_index: int = 0) -> FaultKind | None:
+        fault = super().next_fault(phase, round_index)
+        if fault is not None:
+            return fault
+        if phase != self.collide_phase:
+            return None
+        self._deltas_seen += 1
+        if self._deltas_seen <= self.skip_deltas:
+            return None
+        if self.injected[FaultKind.COLLIDE] >= self.max_collisions:
+            return None
+        return FaultKind.COLLIDE
+
+    def collide(self, payload: bytes, phase: str, round_index: int = 0) -> bytes:
+        mutated = self._mutate_delta(payload)
+        if mutated is None:
+            return payload
+        self._record(FaultKind.COLLIDE, phase, round_index)
+        return mutated
+
+    def _mutate_delta(self, payload: bytes) -> bytes | None:
+        """Rewrite one delta payload; ``None`` when nothing safe to hit."""
+        import zlib
+
+        for prefix in (0, 16):  # multiround: bare stream; rsync: fp + stream
+            if len(payload) <= prefix:
+                continue
+            try:
+                raw = zlib.decompress(payload[prefix:])
+            except zlib.error:
+                continue
+            mutated = self._mutate_tokens(raw, rsync_refs=(prefix == 16))
+            if mutated is None:
+                return None
+            return payload[:prefix] + zlib.compress(mutated, 9)
+        return None
+
+    def _mutate_tokens(self, raw: bytes, rsync_refs: bool) -> bytes | None:
+        """Flip one byte inside a literal run, preserving stream shape.
+
+        Shared token grammar: ``0x00`` literal (varint length + bytes),
+        ``0x01`` copy (rsync: varint block index; multiround: varint
+        client_start + varint length).  When the stream carries no
+        mutable literal, retarget a copy token instead: rsync copies get
+        their block index nudged to an adjacent interior block,
+        multiround copies their ``client_start`` shifted back one length
+        — both substitute equally-sized wrong source bytes.
+        """
+        from repro.io.varint import decode_uvarint, encode_uvarint
+
+        literal_spans: list[tuple[int, int]] = []  # (data_start, length)
+        copy_tokens: list[tuple[int, int, tuple[int, ...]]] = []
+        position = 0
+        try:
+            while position < len(raw):
+                kind = raw[position]
+                position += 1
+                if kind == 0x00:
+                    length, position = decode_uvarint(raw, position)
+                    if position + length > len(raw):
+                        return None
+                    if length > 0:
+                        literal_spans.append((position, length))
+                    position += length
+                elif kind == 0x01:
+                    start = position
+                    first, position = decode_uvarint(raw, position)
+                    if rsync_refs:
+                        copy_tokens.append((start, position, (first,)))
+                    else:
+                        second, position = decode_uvarint(raw, position)
+                        copy_tokens.append((start, position, (first, second)))
+                else:
+                    return None
+        except (IndexError, ValueError):
+            return None
+
+        if literal_spans:
+            data_start, length = literal_spans[
+                self._rng.randrange(len(literal_spans))
+            ]
+            at = data_start + self._rng.randrange(length)
+            mutated = bytearray(raw)
+            mutated[at] ^= self._rng.randrange(1, 256)
+            return bytes(mutated)
+
+        if rsync_refs:
+            # Retarget a reference to a different interior block: indexes
+            # below the maximum seen are full-size, so lengths hold.
+            indexes = sorted({args[0] for _s, _e, args in copy_tokens})
+            interior = indexes[:-1]
+            if len(interior) < 2:
+                return None
+            victim_index = self._rng.choice(interior)
+            replacement = self._rng.choice(
+                [i for i in interior if i != victim_index]
+            )
+            for start, end, args in copy_tokens:
+                if args[0] == victim_index:
+                    return (
+                        raw[:start]
+                        + encode_uvarint(replacement)
+                        + raw[end:]
+                    )
+            return None
+
+        # Multiround: shift a copy's client_start back by its own length
+        # (stays in range — the original window already fits).
+        candidates = [
+            (start, end, args)
+            for start, end, args in copy_tokens
+            if args[0] >= args[1] > 0
+        ]
+        if not candidates:
+            return None
+        start, end, (client_start, length) = candidates[
+            self._rng.randrange(len(candidates))
+        ]
+        return (
+            raw[:start]
+            + encode_uvarint(client_start - length)
+            + encode_uvarint(length)
+            + raw[end:]
+        )

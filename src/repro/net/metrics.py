@@ -106,6 +106,22 @@ class TransferStats:
             sum(wasted.bits_by.values()) + wasted.retransmitted_bits
         )
 
+    def reclassify_phase_as_retransmission(self, phase: str) -> int:
+        """Move everything recorded under ``phase`` into ``retransmitted_bits``.
+
+        Recovery traffic that was recorded optimistically under a payload
+        phase (e.g. the rsync full-transfer fallback's NACK plus the whole
+        compressed file) is recovery cost, not first-try payload: charging
+        it like every other recovery path keeps ``total_bytes`` comparable
+        across methods.  Message and roundtrip counts are untouched — the
+        frames did cross the wire.  Returns the number of bits moved.
+        """
+        moved = 0
+        for key in [k for k in self.bits_by if k[1] == phase]:
+            moved += self.bits_by.pop(key)
+        self.retransmitted_bits += moved
+        return moved
+
     def merge(self, other: "TransferStats") -> None:
         """Fold another run's accounting into this one (collection sync).
 

@@ -51,8 +51,10 @@ from repro.resilience.checkpoint import (
 )
 from repro.resilience.recovery import (
     PHASE_RESUME,
+    QUARANTINE_DIR,
     RecoveryReport,
     attempt_resume,
+    quarantine_entry,
     recover_store,
 )
 from repro.resilience.health import (
@@ -80,6 +82,7 @@ __all__ = [
     "FailureSignature",
     "LinkHealthMonitor",
     "PHASE_RESUME",
+    "QUARANTINE_DIR",
     "RECOVERABLE_ERRORS",
     "RecoveryReport",
     "RetryPolicy",
@@ -92,5 +95,6 @@ __all__ = [
     "classify_failure",
     "config_digest",
     "default_ladder",
+    "quarantine_entry",
     "recover_store",
 ]

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from repro.exceptions import (
     ChannelClosedError,
     ChannelEmptyError,
+    ChecksumMismatchError,
     DeltaFormatError,
     FrameCorruptionError,
     IntegrityError,
@@ -52,15 +53,19 @@ class FailureSignature:
     CORRUPTION = "corruption"    # mangled/truncated frame: transient
     DROP = "drop"                # message vanished: transient
     DISCONNECT = "disconnect"    # link torn down: resume from checkpoint
+    COLLISION = "collision"      # checksum mismatch: repair now, same rung
     DECODE = "decode"            # delta/verification failed: rung is beaten
     STALL = "stall"              # round circuit tripped: rung is beaten
     PROTOCOL = "protocol"        # malformed exchange: rung is beaten
 
 
 #: Signatures the adaptive router answers by staying on the same rung.
+#: A collision belongs here: the rung itself works — one unlucky truncated
+#: hash matched the wrong block — so the answer is an immediate repair
+#: retry on the same rung, not a descent to a coarser method.
 TRANSIENT_SIGNATURES = frozenset(
     {FailureSignature.CORRUPTION, FailureSignature.DROP,
-     FailureSignature.DISCONNECT}
+     FailureSignature.DISCONNECT, FailureSignature.COLLISION}
 )
 
 
@@ -68,7 +73,9 @@ def classify_failure(error: BaseException) -> str:
     """Map a recoverable error to its :class:`FailureSignature`.
 
     Order matters: :class:`ChannelEmptyError` (a dropped message) is a
-    subclass of :class:`ChannelClosedError` (the link is gone), and
+    subclass of :class:`ChannelClosedError` (the link is gone),
+    :class:`ChecksumMismatchError` (a repairable collision) of
+    :class:`IntegrityError` (decode corruption), and
     :class:`SyncStalledError` of :class:`ProtocolError`.
     """
     if isinstance(error, FrameCorruptionError):
@@ -77,6 +84,8 @@ def classify_failure(error: BaseException) -> str:
         return FailureSignature.DROP
     if isinstance(error, ChannelClosedError):
         return FailureSignature.DISCONNECT
+    if isinstance(error, ChecksumMismatchError):
+        return FailureSignature.COLLISION
     if isinstance(error, (DeltaFormatError, IntegrityError)):
         return FailureSignature.DECODE
     if isinstance(error, SyncStalledError):
@@ -201,7 +210,9 @@ def fault_delta(plan, mark: int) -> FaultLogDelta:
     corruption = drops = disconnects = 0
     if plan is not None:
         for event in plan.fault_log[mark:]:
-            if event.kind in (FaultKind.CORRUPT, FaultKind.TRUNCATE):
+            if event.kind in (
+                FaultKind.CORRUPT, FaultKind.TRUNCATE, FaultKind.COLLIDE
+            ):
                 corruption += 1
             elif event.kind is FaultKind.DROP:
                 drops += 1

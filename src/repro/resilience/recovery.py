@@ -98,6 +98,31 @@ def attempt_resume(
 QUARANTINE_DIR = ".repro-quarantine"
 
 
+def quarantine_entry(root: str | Path, source: Path, copy: bool = False) -> Path:
+    """Put ``source`` into ``root/.repro-quarantine/`` for post-mortems.
+
+    The quarantine name is the source's, suffixed with a serial when a
+    previous incident already parked the same name.  ``copy=False``
+    (crash sweep) *moves* the file out of the visible tree; ``copy=True``
+    (scrubber) leaves the original in place — the divergent bytes stay
+    usable as a delta base for the repair sync while the evidence is
+    preserved.
+    """
+    root = Path(root)
+    quarantine = root / QUARANTINE_DIR
+    quarantine.mkdir(parents=True, exist_ok=True)
+    target = quarantine / source.name
+    serial = 0
+    while target.exists():
+        serial += 1
+        target = quarantine / f"{source.name}.{serial}"
+    if copy:
+        target.write_bytes(source.read_bytes())
+    else:
+        source.replace(target)
+    return target
+
+
 @dataclass
 class RecoveryReport:
     """What a startup sweep of a replica directory found and did."""
@@ -145,14 +170,7 @@ def recover_store(
         for temp in sorted(root.rglob(f"*{TMP_SUFFIX}")):
             if quarantine in temp.parents:
                 continue
-            quarantine.mkdir(parents=True, exist_ok=True)
-            target = quarantine / temp.name
-            serial = 0
-            while target.exists():
-                serial += 1
-                target = quarantine / f"{temp.name}.{serial}"
-            temp.replace(target)
-            report.quarantined.append(target)
+            report.quarantined.append(quarantine_entry(root, temp))
 
     if manifest is not None:
         for name in sorted(manifest.entries):

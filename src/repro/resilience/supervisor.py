@@ -47,6 +47,7 @@ from __future__ import annotations
 
 from repro.exceptions import (
     ChannelClosedError,
+    ChecksumMismatchError,
     CircuitOpenError,
     DeadlineExceededError,
     DeltaFormatError,
@@ -338,7 +339,11 @@ class SyncSupervisor(SyncMethod):
                     else:
                         outcome = rung.sync_file_over(old, new, channel)
                     if not outcome.correct:
-                        raise IntegrityError(
+                        # Wrong bytes that slipped past the protocol's own
+                        # fingerprint+repair machinery: a checksum mismatch
+                        # worth an immediate same-rung retry, not a rung
+                        # descent.
+                        raise ChecksumMismatchError(
                             f"{rung.name} reconstructed the wrong bytes"
                         )
                 except RECOVERABLE_ERRORS as error:
@@ -377,10 +382,13 @@ class SyncSupervisor(SyncMethod):
                         # immediately: the link already came back (the
                         # plan disarms one-shot disconnects) and every
                         # second of backoff only re-exposes the window.
+                        # A checksum mismatch is repaired now for the same
+                        # reason: the collision is content luck, not link
+                        # weather — waiting cannot improve the odds.
                         if (
                             signature == FailureSignature.DISCONNECT
                             and head is not None
-                        ):
+                        ) or signature == FailureSignature.COLLISION:
                             backoff = 0.0
                         else:
                             backoff = self.retry.backoff_seconds(retries)

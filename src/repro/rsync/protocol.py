@@ -8,8 +8,13 @@ Wire layout:
   token stream (rsync compresses this stream "using an algorithm similar
   to gzip"), preceded by the 16-byte whole-file checksum used to detect
   the unlikely double-checksum failure;
-* on checksum failure the server falls back to sending the whole file
-  (compressed), which is also accounted.
+* on checksum failure the client first requests a *surgical repair*
+  (phase ``"repair"``): a group-digest descent under a fresh salt
+  localizes the divergent blocks and re-fetches only those
+  (:mod:`repro.core.repair`);
+* only if repair cannot converge does the server fall back to sending
+  the whole file (compressed) — recovery traffic charged to
+  ``retransmitted_bits`` like every other recovery path.
 """
 
 from __future__ import annotations
@@ -17,6 +22,11 @@ from __future__ import annotations
 import zlib
 from dataclasses import dataclass
 
+from repro.core.repair import (
+    DEFAULT_REPAIR_FANOUT,
+    PHASE_REPAIR,
+    repair_exchange,
+)
 from repro.exceptions import DeltaFormatError
 from repro.hashing.strong import file_fingerprint
 from repro.io.varint import decode_uvarint, encode_uvarint
@@ -39,12 +49,23 @@ _TOKEN_REFERENCE = 0x01
 
 @dataclass
 class RsyncResult:
-    """Outcome of one rsync run."""
+    """Outcome of one rsync run.
+
+    ``collisions_detected`` counts whole-file fingerprint rejections (0
+    or 1 per run); ``repaired`` means the surgical repair rounds fixed
+    the divergence in place, with ``repair_rounds`` descent roundtrips
+    costing ``repair_bytes`` on the wire.  ``used_fallback`` still means
+    a full compressed transfer happened (repair declined or failed).
+    """
 
     reconstructed: bytes
     stats: TransferStats
     block_size: int
     used_fallback: bool
+    collisions_detected: int = 0
+    repaired: bool = False
+    repair_rounds: int = 0
+    repair_bytes: int = 0
 
     @property
     def total_bytes(self) -> int:
@@ -129,12 +150,15 @@ def rsync_sync(
     strong_bytes: int = DEFAULT_STRONG_BYTES,
     channel: SimulatedChannel | None = None,
     salt: bytes = b"",
+    repair: bool = True,
+    repair_fanout: int = DEFAULT_REPAIR_FANOUT,
 ) -> RsyncResult:
     """Synchronise the client's ``old_data`` to the server's ``new_data``.
 
     Returns the reconstructed file (always equal to ``new_data``: the
-    whole-file checksum triggers the full-transfer fallback on the rare
-    double-collision) along with exact transfer accounting.
+    whole-file checksum catches the rare double-collision, answered by a
+    surgical repair round or — when ``repair`` is off or cannot converge
+    — the full-transfer fallback) along with exact transfer accounting.
     """
     if channel is None:
         channel = SimulatedChannel()
@@ -169,17 +193,50 @@ def rsync_sync(
         old_data, decode_tokens(received[16:]), block_size
     )
     used_fallback = False
+    collisions_detected = 0
+    repaired = False
+    repair_rounds = 0
+    repair_bytes = 0
     if file_fingerprint(reconstructed) != expected_fingerprint:
-        # Fallback: one NACK byte, then the whole file compressed.
-        used_fallback = True
-        channel.send(Direction.CLIENT_TO_SERVER, b"\x01", phase="fallback")
-        channel.receive(Direction.CLIENT_TO_SERVER)
-        full_payload = zlib.compress(new_data, 9)
-        channel.send(Direction.SERVER_TO_CLIENT, full_payload, phase="fallback")
-        reconstructed = zlib.decompress(channel.receive(Direction.SERVER_TO_CLIENT))
+        collisions_detected = 1
+        # A truncated-hash collision preserves lengths; anything else
+        # (decode damage, truncation) is not surgically repairable.
+        if repair and new_data and len(reconstructed) == len(new_data):
+            channel.send(Direction.CLIENT_TO_SERVER, b"\x02", phase=PHASE_REPAIR)
+            channel.receive(Direction.CLIENT_TO_SERVER)
+            outcome = repair_exchange(
+                channel,
+                reconstructed,
+                new_data,
+                expected_fingerprint,
+                leaf_size=block_size,
+                fanout=repair_fanout,
+            )
+            repair_rounds = outcome.rounds
+            repair_bytes = channel.stats.bytes_in_phase(PHASE_REPAIR)
+            if outcome.converged:
+                reconstructed = outcome.data
+                repaired = True
+        if not repaired:
+            # Fallback: one NACK byte, then the whole file compressed.
+            used_fallback = True
+            channel.send(Direction.CLIENT_TO_SERVER, b"\x01", phase="fallback")
+            channel.receive(Direction.CLIENT_TO_SERVER)
+            full_payload = zlib.compress(new_data, 9)
+            channel.send(Direction.SERVER_TO_CLIENT, full_payload, phase="fallback")
+            reconstructed = zlib.decompress(channel.receive(Direction.SERVER_TO_CLIENT))
+            # The NACK plus the whole compressed file — and any repair
+            # descent that failed to converge — is recovery traffic, not
+            # first-try payload.
+            channel.stats.reclassify_phase_as_retransmission("fallback")
+            channel.stats.reclassify_phase_as_retransmission(PHASE_REPAIR)
     return RsyncResult(
         reconstructed=reconstructed,
         stats=channel.stats,
         block_size=block_size,
         used_fallback=used_fallback,
+        collisions_detected=collisions_detected,
+        repaired=repaired,
+        repair_rounds=repair_rounds,
+        repair_bytes=repair_bytes,
     )

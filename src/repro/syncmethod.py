@@ -37,6 +37,12 @@ class MethodOutcome:
     checkpointed rounds preserved by a deadline breach, and
     ``adaptive_backoff_s`` the simulated seconds the AIMD schedule spent
     waiting (a subset of ``recovery_seconds``).
+
+    The integrity fields stay zero unless the whole-file fingerprint
+    rejected a reconstruction: ``collisions_detected`` counts those
+    rejections, ``repair_rounds`` the group-digest descent roundtrips
+    spent localizing them, and ``repair_bytes`` the wire bytes of the
+    surgical repair exchanges (already included in ``total_bytes``).
     """
 
     total_bytes: int
@@ -55,6 +61,9 @@ class MethodOutcome:
     breaker_opens: int = 0
     deadline_salvages: int = 0
     adaptive_backoff_s: float = 0.0
+    collisions_detected: int = 0
+    repair_rounds: int = 0
+    repair_bytes: int = 0
 
     def __add__(self, other: "MethodOutcome") -> "MethodOutcome":
         merged = dict(self.breakdown)
@@ -85,6 +94,11 @@ class MethodOutcome:
             adaptive_backoff_s=(
                 self.adaptive_backoff_s + other.adaptive_backoff_s
             ),
+            collisions_detected=(
+                self.collisions_detected + other.collisions_detected
+            ),
+            repair_rounds=self.repair_rounds + other.repair_rounds,
+            repair_bytes=self.repair_bytes + other.repair_bytes,
         )
 
 

@@ -1,0 +1,161 @@
+"""Tests for semantic fault injection: forced collisions and bit rot."""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+import pytest
+
+from repro.hashing import file_fingerprint
+from repro.multiround.protocol import multiround_rsync_sync
+from repro.net.chaos import BitRotPlan
+from repro.net.faults import CollisionFaultPlan, FaultKind, FaultPlan
+from repro.rsync import rsync_sync
+from tests.conftest import make_version_pair
+
+
+@pytest.fixture
+def pair():
+    return make_version_pair(seed=81, nbytes=48_000)
+
+
+class TestCollisionFaultPlan:
+    def test_base_plan_refuses_collide(self):
+        with pytest.raises(ValueError):
+            FaultPlan().collide(b"payload", "delta")
+
+    def test_rsync_delta_is_mutated_hashes_preserved(self, pair):
+        """The poisoned payload keeps its framing, fingerprint prefix and
+        compressed shape — only decoded content changes."""
+        old, new = pair
+        plan = CollisionFaultPlan(seed=4)
+        result = rsync_sync(old, new, channel=plan.channel(), repair=False)
+        assert plan.injected[FaultKind.COLLIDE] == 1
+        assert result.collisions_detected == 1
+        # Detected by the whole-file fingerprint, answered by fallback.
+        assert result.used_fallback
+        assert result.reconstructed == new
+
+    def test_multiround_delta_is_mutated(self, pair):
+        old, new = pair
+        plan = CollisionFaultPlan(seed=4)
+        config_kwargs = {}
+        result = multiround_rsync_sync(
+            old, new, channel=plan.channel(), **config_kwargs
+        )
+        assert plan.injected[FaultKind.COLLIDE] == 1
+        assert result.collisions_detected == 1
+        assert result.reconstructed == new
+
+    def test_deterministic_per_seed(self, pair):
+        old, new = pair
+        logs = []
+        for _ in range(2):
+            plan = CollisionFaultPlan(seed=9)
+            rsync_sync(old, new, channel=plan.channel(), repair=False)
+            logs.append(list(plan.fault_log))
+        assert logs[0] == logs[1]
+        different = CollisionFaultPlan(seed=10)
+        rsync_sync(old, new, channel=different.channel(), repair=False)
+        # Same victim send, but the seeded mutation differs.
+        assert different.fault_log != []
+
+    def test_budget_respected(self, pair):
+        old, new = pair
+        plan = CollisionFaultPlan(seed=4, max_collisions=0)
+        result = rsync_sync(old, new, channel=plan.channel())
+        assert plan.injected[FaultKind.COLLIDE] == 0
+        assert result.collisions_detected == 0
+        assert result.reconstructed == new
+
+    def test_skip_deltas_selects_a_later_victim(self, pair):
+        old, new = pair
+        plan = CollisionFaultPlan(seed=4, skip_deltas=50)
+        result = rsync_sync(old, new, channel=plan.channel())
+        # Only one delta send crosses this session: skipping it means
+        # no collision at all.
+        assert plan.injected[FaultKind.COLLIDE] == 0
+        assert result.collisions_detected == 0
+
+    def test_unparseable_payload_passes_through_unrecorded(self):
+        plan = CollisionFaultPlan(seed=1)
+        for payload in (b"", b"not zlib at all", zlib.compress(b"\xff\x00")):
+            assert plan.collide(payload, "delta") == payload
+        assert plan.injected[FaultKind.COLLIDE] == 0
+        assert plan.fault_log == []
+
+    def test_wrong_phase_untouched(self):
+        plan = CollisionFaultPlan(seed=1)
+        assert plan.next_fault("signature") is None
+        assert plan.next_fault("fingerprint") is None
+
+    def test_classic_rates_still_apply(self, pair):
+        """Probabilistic corruption composes with the forced collision."""
+        old, new = pair
+        plan = CollisionFaultPlan(seed=2, corrupt_rate=1.0)
+        fault = plan.next_fault("signature")
+        assert fault is FaultKind.CORRUPT
+
+
+class TestBitRotPlan:
+    @pytest.fixture
+    def store_dir(self, tmp_path):
+        rng = random.Random(11)
+        for i in range(6):
+            sub = tmp_path / ("deep" if i % 2 else ".")
+            sub.mkdir(exist_ok=True)
+            (sub / f"f{i}.bin").write_bytes(rng.randbytes(3000))
+        return tmp_path
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BitRotPlan(files_affected=0)
+        with pytest.raises(ValueError):
+            BitRotPlan(flips_per_file=0)
+
+    def test_rot_is_deterministic_and_logged(self, store_dir):
+        baseline = {
+            p.name: p.read_bytes() for p in store_dir.rglob("*.bin")
+        }
+        plan = BitRotPlan(seed=3, files_affected=2, flips_per_file=2)
+        victims = plan.apply(store_dir)
+        assert len(victims) == 2
+        assert len(plan.rot_log) == 4
+        replay = BitRotPlan(seed=3, files_affected=2, flips_per_file=2)
+        # Rotting an identical tree rots the identical bits.
+        assert replay.apply(store_dir) == victims
+        for name, offset, bit in plan.rot_log:
+            rotted = (store_dir / name).read_bytes()
+            # Two applications of the same flip cancel out...
+            assert rotted[offset] == baseline[(store_dir / name).name][offset]
+        # ...which the second plan's log confirms bit-for-bit.
+        assert replay.rot_log == plan.rot_log
+
+    def test_single_flip_changes_fingerprint(self, store_dir):
+        plan = BitRotPlan(seed=5)
+        (victim,) = plan.apply(store_dir)
+        before_rot = BitRotPlan(seed=5)  # same victim choice
+        data = (store_dir / victim).read_bytes()
+        flipped = bytearray(data)
+        name, offset, bit = plan.rot_log[0]
+        flipped[offset] ^= 1 << bit
+        assert file_fingerprint(data) != file_fingerprint(bytes(flipped))
+
+    def test_quarantine_tmp_and_empty_excluded(self, tmp_path):
+        (tmp_path / "real.bin").write_bytes(b"x" * 100)
+        (tmp_path / "empty.bin").write_bytes(b"")
+        (tmp_path / "ghost.repro.tmp").write_bytes(b"y" * 100)
+        qdir = tmp_path / ".repro-quarantine"
+        qdir.mkdir()
+        (qdir / "evidence").write_bytes(b"z" * 100)
+        plan = BitRotPlan(seed=0, files_affected=10)
+        assert plan.apply(tmp_path) == ["real.bin"]
+
+    def test_names_restricts_pool(self, store_dir):
+        plan = BitRotPlan(seed=0, files_affected=10)
+        victims = plan.apply(store_dir, names=["f0.bin"])
+        assert victims == ["f0.bin"]
+
+    def test_empty_pool_is_a_noop(self, tmp_path):
+        assert BitRotPlan(seed=0).apply(tmp_path) == []

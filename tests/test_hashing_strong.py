@@ -85,3 +85,44 @@ class TestStrongHasher:
         hasher = StrongHasher()
         ones = sum(hasher.bits(i.to_bytes(2, "big"), 1) for i in range(400))
         assert 120 < ones < 280
+
+
+class TestStrongHashProperties:
+    """Hypothesis property pins for the digests the repair rounds rely on.
+
+    The group-digest descent (DESIGN §15) assumes exactly these
+    invariants: a fresh salt re-randomises every digest, group digests
+    commit to member *order*, and truncation stays a pure prefix at both
+    extremes of the allowed range.
+    """
+
+    @given(st.binary(max_size=256),
+           st.binary(max_size=24), st.binary(max_size=24))
+    def test_salt_sensitivity(self, data, salt_a, salt_b):
+        digests_equal = (
+            strong_digest(data, salt=salt_a) == strong_digest(data, salt=salt_b)
+        )
+        assert digests_equal == (salt_a == salt_b)
+
+    @given(st.lists(st.binary(min_size=1, max_size=16),
+                    min_size=2, max_size=8, unique=True),
+           st.randoms(use_true_random=False))
+    def test_group_digest_member_order_sensitivity(self, members, rnd):
+        shuffled = list(members)
+        rnd.shuffle(shuffled)
+        groups_equal = group_digest(members) == group_digest(shuffled)
+        assert groups_equal == (members == shuffled)
+
+    @given(st.binary(max_size=256), st.binary(max_size=16))
+    def test_truncation_edges(self, data, salt):
+        full = strong_digest(data, nbytes=16, salt=salt)
+        single = strong_digest(data, nbytes=1, salt=salt)
+        assert len(full) == 16 and len(single) == 1
+        assert single == full[:1]
+
+    @given(st.lists(st.binary(min_size=16, max_size=16),
+                    min_size=0, max_size=6))
+    def test_group_digest_truncation_edges(self, members):
+        full = group_digest(members, nbytes=16)
+        assert group_digest(members, nbytes=1) == full[:1]
+        assert len(full) == 16

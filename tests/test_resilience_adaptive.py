@@ -27,6 +27,7 @@ from repro.collection import sync_collection
 from repro.exceptions import (
     CircuitOpenError,
     DeadlineExceededError,
+    DeltaFormatError,
     IntegrityError,
     SyncFailedError,
 )
@@ -320,9 +321,34 @@ class TestSupervisorIntegration:
         assert info.value.partial.retries == 0
 
     def test_decode_signature_descends_ladder_immediately(self):
-        """A rung that reconstructs wrong bytes under the adaptive policy
+        """A rung whose delta cannot be decoded under the adaptive policy
         burns ONE attempt, not max_attempts — the signature router sends
         the supervisor down the ladder."""
+
+        class BrokenDecoder(SyncMethod):
+            name = "broken"
+
+            def __init__(self):
+                self.calls = 0
+
+            def sync_file(self, old, new):
+                self.calls += 1
+                raise DeltaFormatError("unknown opcode")
+
+        old, new = make_version_pair(seed=405, nbytes=3000, edits=2)
+        broken = BrokenDecoder()
+        outcome = SyncSupervisor(
+            broken, retry=AdaptiveRetryPolicy(max_attempts=4)
+        ).sync_file(old, new)
+        assert outcome.correct
+        assert broken.calls == 1
+        assert outcome.retries == 1
+        assert outcome.fallback_method == "multiround"
+
+    def test_collision_signature_repairs_now_on_same_rung(self):
+        """Wrong bytes are a *collision*, not a beaten rung: the adaptive
+        router retries the same rung immediately (zero backoff) instead
+        of descending the ladder after one attempt."""
 
         class LyingMethod(SyncMethod):
             name = "liar"
@@ -340,9 +366,12 @@ class TestSupervisorIntegration:
             liar, retry=AdaptiveRetryPolicy(max_attempts=4)
         ).sync_file(old, new)
         assert outcome.correct
-        assert liar.calls == 1
-        assert outcome.retries == 1
+        # The whole same-rung budget is spent before descending...
+        assert liar.calls == 4
+        assert outcome.retries >= 4
         assert outcome.fallback_method == "multiround"
+        # ...and repair-now means none of it waits out a backoff.
+        assert outcome.adaptive_backoff_s == 0.0
 
     def test_static_policy_keeps_pr2_ladder_semantics(self):
         """The same lying rung under the *static* policy burns its whole

@@ -12,6 +12,7 @@ import pytest
 from repro.exceptions import (
     ChannelClosedError,
     ChannelEmptyError,
+    ChecksumMismatchError,
     DeltaFormatError,
     FrameCorruptionError,
     IntegrityError,
@@ -38,6 +39,7 @@ class TestClassifyFailure:
             (ChannelClosedError("gone"), FailureSignature.DISCONNECT),
             (DeltaFormatError("bad opcode"), FailureSignature.DECODE),
             (IntegrityError("hash mismatch"), FailureSignature.DECODE),
+            (ChecksumMismatchError("collision"), FailureSignature.COLLISION),
             (SyncStalledError("no progress"), FailureSignature.STALL),
             (ProtocolError("malformed"), FailureSignature.PROTOCOL),
             (RuntimeError("unknown"), FailureSignature.PROTOCOL),
@@ -48,11 +50,15 @@ class TestClassifyFailure:
 
     def test_subclass_order_matters(self):
         """ChannelEmptyError subclasses ChannelClosedError but must map
-        to DROP, and SyncStalledError subclasses ProtocolError but must
-        map to STALL — the dedicated branches win."""
+        to DROP, ChecksumMismatchError subclasses IntegrityError but must
+        map to COLLISION, and SyncStalledError subclasses ProtocolError
+        but must map to STALL — the dedicated branches win."""
         assert issubclass(ChannelEmptyError, ChannelClosedError)
+        assert issubclass(ChecksumMismatchError, IntegrityError)
         assert issubclass(SyncStalledError, ProtocolError)
         assert classify_failure(ChannelEmptyError("x")) == FailureSignature.DROP
+        assert (classify_failure(ChecksumMismatchError("x"))
+                == FailureSignature.COLLISION)
         assert classify_failure(SyncStalledError("x")) == FailureSignature.STALL
 
     def test_transient_set(self):
@@ -60,6 +66,7 @@ class TestClassifyFailure:
             FailureSignature.CORRUPTION,
             FailureSignature.DROP,
             FailureSignature.DISCONNECT,
+            FailureSignature.COLLISION,
         }
         assert FailureSignature.DECODE not in TRANSIENT_SIGNATURES
         assert FailureSignature.STALL not in TRANSIENT_SIGNATURES
