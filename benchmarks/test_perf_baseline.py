@@ -20,6 +20,9 @@ Environment knobs (CI machines differ from the reference box):
 * ``REPRO_PERF_MIN_PROTOCOL_SPEEDUP`` vectorized-over-scalar protocol
   engine floor for the *current* machine (default 1.5; the committed
   baseline itself must show >= 3.0)
+* ``REPRO_PERF_MIN_PIPELINE_SPEEDUP`` pipelined-over-sequential link
+  wall-clock floor (default 4.0 — the measurement is simulated and
+  machine-independent, so current and committed use the same floor)
 """
 
 from __future__ import annotations
@@ -33,11 +36,13 @@ from conftest import publish
 from repro.bench.perfbaseline import (
     DEFAULT_BASELINE_NAME,
     DEFAULT_DELTA_BASELINE_NAME,
+    DEFAULT_PIPELINE_BASELINE_NAME,
     DEFAULT_PROTOCOL_BASELINE_NAME,
     compare_baselines,
     load_baseline,
     measure,
     measure_delta,
+    measure_pipeline,
     measure_protocol,
     render_baseline,
     save_baseline,
@@ -48,6 +53,7 @@ REPO_ROOT = Path(__file__).parent.parent
 BASELINE_PATH = REPO_ROOT / DEFAULT_BASELINE_NAME
 DELTA_BASELINE_PATH = REPO_ROOT / DEFAULT_DELTA_BASELINE_NAME
 PROTOCOL_BASELINE_PATH = REPO_ROOT / DEFAULT_PROTOCOL_BASELINE_NAME
+PIPELINE_BASELINE_PATH = REPO_ROOT / DEFAULT_PIPELINE_BASELINE_NAME
 
 WORKERS = int(os.environ.get("REPRO_PERF_WORKERS", "4"))
 TOLERANCE = float(os.environ.get("REPRO_PERF_TOLERANCE", "2.0"))
@@ -57,6 +63,9 @@ MIN_DELTA_SPEEDUP = float(
 )
 MIN_PROTOCOL_SPEEDUP = float(
     os.environ.get("REPRO_PERF_MIN_PROTOCOL_SPEEDUP", "1.5")
+)
+MIN_PIPELINE_SPEEDUP = float(
+    os.environ.get("REPRO_PERF_MIN_PIPELINE_SPEEDUP", "4.0")
 )
 
 #: The committed reference baseline must demonstrate this dispatch
@@ -70,6 +79,10 @@ COMMITTED_DELTA_SPEEDUP_FLOOR = 3.0
 #: The committed protocol baseline must demonstrate this vectorized-
 #: over-scalar whole-round engine speedup (the ISSUE 6 acceptance floor).
 COMMITTED_PROTOCOL_SPEEDUP_FLOOR = 3.0
+
+#: The committed pipeline baseline must demonstrate this pipelined-over-
+#: sequential link wall-clock speedup (the ISSUE 9 acceptance floor).
+COMMITTED_PIPELINE_SPEEDUP_FLOOR = 4.0
 
 
 @pytest.fixture(scope="module")
@@ -217,4 +230,64 @@ def test_vectorized_protocol_still_faster_than_scalar(current_protocol):
         f"vectorized protocol speedup "
         f"{current_protocol.protocol_speedup:.2f}x fell below the "
         f"{MIN_PROTOCOL_SPEEDUP}x floor on this machine"
+    )
+
+
+# ----------------------------------------------------------------------
+# Pipelined-scheduler latency gate (BENCH_pipeline.json)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def committed_pipeline():
+    if not PIPELINE_BASELINE_PATH.exists():
+        pytest.fail(f"missing committed baseline {PIPELINE_BASELINE_PATH}")
+    return load_baseline(PIPELINE_BASELINE_PATH)
+
+
+@pytest.fixture(scope="module")
+def current_pipeline():
+    baseline = measure_pipeline()
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    save_baseline(baseline, results_dir / "BENCH_pipeline.current.json")
+    return baseline
+
+
+def test_committed_pipeline_baseline_demonstrates_speedup(committed_pipeline):
+    """The checked-in trajectory point must show the >= 4x latency win."""
+    assert (
+        committed_pipeline.pipeline_speedup >= COMMITTED_PIPELINE_SPEEDUP_FLOOR
+    ), (
+        f"committed BENCH_pipeline.json records pipeline speedup "
+        f"{committed_pipeline.pipeline_speedup:.2f}x < "
+        f"{COMMITTED_PIPELINE_SPEEDUP_FLOOR}x"
+    )
+    for op in ("collection_sequential", "collection_pipelined"):
+        assert op in committed_pipeline.ops, (
+            f"committed baseline missing {op}"
+        )
+
+
+def test_pipeline_measurement_is_reproducible(current_pipeline,
+                                              committed_pipeline):
+    """Modelled wall clocks are machine-independent: the current run must
+    reproduce the committed numbers exactly, not merely within tolerance."""
+    publish("perf_baseline_pipeline", render_baseline(current_pipeline))
+    for name, committed_op in committed_pipeline.ops.items():
+        current_op = current_pipeline.ops.get(name)
+        assert current_op is not None, f"current measurement missing {name}"
+        assert current_op.rounds == committed_op.rounds, (
+            f"{name}: {current_op.rounds} wire roundtrips != committed "
+            f"{committed_op.rounds}"
+        )
+        assert abs(current_op.seconds - committed_op.seconds) < 1e-3, (
+            f"{name}: modelled {current_op.seconds:.4f}s != committed "
+            f"{committed_op.seconds:.4f}s"
+        )
+
+
+def test_pipelined_wall_clock_beats_sequential(current_pipeline):
+    """The pipelined scheduler must hide >= 4x of the link wall clock."""
+    assert current_pipeline.pipeline_speedup >= MIN_PIPELINE_SPEEDUP, (
+        f"pipeline speedup {current_pipeline.pipeline_speedup:.2f}x fell "
+        f"below the {MIN_PIPELINE_SPEEDUP}x floor"
     )

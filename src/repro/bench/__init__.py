@@ -22,12 +22,14 @@ from repro.bench.methods import (
 from repro.bench.export import export_runs, run_to_row
 from repro.bench.perfbaseline import (
     DEFAULT_BASELINE_NAME,
+    DEFAULT_PIPELINE_BASELINE_NAME,
     FingerprintProbeMethod,
     OpTiming,
     PerfBaseline,
     compare_baselines,
     load_baseline,
     measure,
+    measure_pipeline,
     render_baseline,
     save_baseline,
 )
@@ -46,6 +48,7 @@ __all__ = [
     "AdaptiveMethod",
     "CollectionRun",
     "DEFAULT_BASELINE_NAME",
+    "DEFAULT_PIPELINE_BASELINE_NAME",
     "DEFAULT_SEEDS",
     "DEFAULT_SHAPES",
     "SOAK_PROFILES",
@@ -68,6 +71,7 @@ __all__ = [
     "format_kb",
     "load_baseline",
     "measure",
+    "measure_pipeline",
     "render_baseline",
     "render_grouped_bars",
     "render_table",

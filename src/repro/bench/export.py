@@ -53,6 +53,11 @@ def run_to_row(run: CollectionRun) -> dict[str, object]:
         "collisions_detected": run.collisions_detected,
         "repair_rounds": run.repair_rounds,
         "repair_bytes": run.repair_bytes,
+        "pipelined": run.pipelined,
+        "waves": run.waves,
+        "mux_overhead_bytes": run.mux_overhead_bytes,
+        "roundtrips_on_wire": run.roundtrips_on_wire,
+        "link_wall_clock_s": round(run.link_wall_clock_s, 4),
     }
     for key, value in sorted(run.breakdown.items()):
         row[f"breakdown.{key}"] = value

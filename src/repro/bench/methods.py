@@ -12,7 +12,7 @@ from repro.rsync import (
     rsync_optimal,
     rsync_sync,
 )
-from repro.syncmethod import MethodOutcome, SyncMethod
+from repro.syncmethod import MethodOutcome, SyncMethod, wire_outcome
 
 __all__ = [
     "AdaptiveMethod",
@@ -29,26 +29,10 @@ __all__ = [
 ]
 
 
-def _wire_outcome(result, new: bytes) -> MethodOutcome:
-    """Flatten a protocol result (with ``.stats``) into a MethodOutcome.
-
-    The integrity fields exist only on the rsync/multiround results (the
-    stacks with surgical repair); ``getattr`` keeps the core protocol's
-    result compatible.  A protocol-internal full-transfer fallback
-    reclassifies its traffic into ``stats.retransmitted_bits``, which
-    must survive the flattening even without a supervisor around.
-    """
-    return MethodOutcome(
-        total_bytes=result.total_bytes,
-        client_to_server=result.stats.client_to_server_bytes,
-        server_to_client=result.stats.server_to_client_bytes,
-        breakdown=dict(result.stats.breakdown()),
-        correct=result.reconstructed == new,
-        retransmitted_bytes=result.stats.retransmitted_bytes,
-        collisions_detected=getattr(result, "collisions_detected", 0),
-        repair_rounds=getattr(result, "repair_rounds", 0),
-        repair_bytes=getattr(result, "repair_bytes", 0),
-    )
+# Now lives in repro.syncmethod (import-cycle-free home shared with the
+# pipelined collection scheduler); kept under the old private name for
+# the harness modules that import it.
+_wire_outcome = wire_outcome
 
 
 class OursMethod(SyncMethod):
@@ -56,6 +40,7 @@ class OursMethod(SyncMethod):
 
     supports_checkpoint = True
     supports_pickle = True
+    supports_pipeline = True
 
     def __init__(self, config: ProtocolConfig | None = None, name: str = "ours") -> None:
         self.config = config or ProtocolConfig()
@@ -92,6 +77,11 @@ class OursMethod(SyncMethod):
             ),
             new,
         )
+
+    def open_session(self, old: bytes, new: bytes, checkpointer=None):
+        from repro.core.protocol import CoreSyncSession
+
+        return CoreSyncSession(old, new, self.config, checkpointer=checkpointer)
 
 
 class RsyncMethod(SyncMethod):
@@ -133,6 +123,7 @@ class MultiroundRsyncMethod(SyncMethod):
     name = "multiround"
     supports_checkpoint = True
     supports_pickle = True
+    supports_pipeline = True
 
     def __init__(self, config=None) -> None:
         from repro.multiround import MultiroundConfig
@@ -173,6 +164,11 @@ class MultiroundRsyncMethod(SyncMethod):
             resume_from=resume_from,
         )
         return _wire_outcome(result, new)
+
+    def open_session(self, old: bytes, new: bytes, checkpointer=None):
+        from repro.multiround import MultiroundSession
+
+        return MultiroundSession(old, new, self.config, checkpointer=checkpointer)
 
 
 class AdaptiveMethod(SyncMethod):

@@ -45,6 +45,9 @@ DEFAULT_DELTA_BASELINE_NAME = "BENCH_delta.json"
 #: Committed baseline for the protocol-engine throughput gate.
 DEFAULT_PROTOCOL_BASELINE_NAME = "BENCH_protocol.json"
 
+#: Committed baseline for the pipelined-scheduler latency gate.
+DEFAULT_PIPELINE_BASELINE_NAME = "BENCH_pipeline.json"
+
 #: Seeded workload defaults: 64 changed files, ~48 MB of payload.
 DEFAULT_FILES = 64
 DEFAULT_FILE_KB = 384
@@ -64,6 +67,14 @@ DEFAULT_SCALAR_FILES = 4
 #: End-to-end protocol runs are expensive (a full multi-round sync per
 #: file), so the protocol gate times a single cold-cache pass per engine.
 DEFAULT_PROTOCOL_ROUNDS = 1
+
+#: Pipeline-latency workload: 64 small changed files over a 300 ms-RTT
+#: link.  The gate compares *modelled* link wall clock (bytes plus
+#: latency times direction reversals) so the number is machine-independent
+#: — small files keep the protocol compute CI-affordable.
+DEFAULT_PIPELINE_FILE_KB = 24
+DEFAULT_PIPELINE_WINDOW = 8
+DEFAULT_PIPELINE_LATENCY_S = 0.150
 
 #: Comparison tolerance: an op regresses when it is slower than
 #: ``committed * (1 + tolerance)``.  0.5 locally; CI uses 2.0 (3x).
@@ -157,6 +168,23 @@ class PerfBaseline:
         return vector_op.mb_per_s / scalar_op.mb_per_s
 
     @property
+    def pipeline_speedup(self) -> float:
+        """Latency-hiding factor: sequential link wall clock / pipelined.
+
+        Both ops record *modelled* link wall clock on the same workload
+        and link, so the ratio is deterministic and machine-independent.
+        """
+        sequential_op = self.ops.get("collection_sequential")
+        pipelined_op = self.ops.get("collection_pipelined")
+        if (
+            sequential_op is None
+            or pipelined_op is None
+            or pipelined_op.seconds <= 0
+        ):
+            return 0.0
+        return sequential_op.seconds / pipelined_op.seconds
+
+    @property
     def protocol_speedup(self) -> float:
         """Whole-round engine speedup: vectorized MB/s over scalar MB/s.
 
@@ -178,6 +206,10 @@ class PerfBaseline:
         if self.protocol_speedup:
             derived["protocol_vectorized_speedup"] = round(
                 self.protocol_speedup, 3
+            )
+        if self.pipeline_speedup:
+            derived["pipeline_latency_speedup"] = round(
+                self.pipeline_speedup, 3
             )
         payload = {
             "schema": self.schema,
@@ -312,9 +344,13 @@ def measure(
     workers: int = DEFAULT_WORKERS,
     rounds: int = DEFAULT_ROUNDS,
     seed: int = DEFAULT_SEED,
-    include_protocol: bool = True,
 ) -> PerfBaseline:
-    """Time every substrate op on the seeded workload; return the record."""
+    """Time every substrate op on the seeded workload; return the record.
+
+    End-to-end protocol throughput is *not* measured here: the dedicated
+    per-engine gate (:func:`measure_protocol` / BENCH_protocol.json)
+    superseded the old single-engine ``protocol_sync`` op.
+    """
     from repro.delta import zdelta_encode
     from repro.hashing import DecomposableAdler, window_hashes
     from repro.parallel import FileTask, SyncExecutor, arena_available
@@ -359,20 +395,6 @@ def measure(
         len(delta_new),
         rounds,
     )
-
-    if include_protocol:
-        from repro.core import ProtocolConfig, synchronize
-
-        protocol_old = sample_old[: 256 * 1024]
-        protocol_new = sample_new[: 256 * 1024]
-        record(
-            "protocol_sync",
-            _best_of(
-                1, lambda: synchronize(protocol_old, protocol_new, ProtocolConfig())
-            ),
-            len(protocol_new),
-            1,
-        )
 
     # --- collection-sync dispatch: pickle vs zero-copy arena ----------
     probe = FingerprintProbeMethod()
@@ -552,6 +574,74 @@ def measure_protocol(
     return PerfBaseline(workload=workload, ops=ops, environment=environment)
 
 
+def measure_pipeline(
+    files: int = DEFAULT_FILES,
+    file_kb: int = DEFAULT_PIPELINE_FILE_KB,
+    window: int = DEFAULT_PIPELINE_WINDOW,
+    seed: int = DEFAULT_SEED,
+    latency_s: float = DEFAULT_PIPELINE_LATENCY_S,
+) -> PerfBaseline:
+    """Measure the pipelined scheduler's latency hiding (BENCH_pipeline).
+
+    Runs the same seeded 64-file workload through
+    :func:`~repro.collection.sync.sync_collection` twice with the
+    paper's protocol — sequentially and pipelined with ``window`` files
+    in flight — over a ``latency_s`` one-way-delay link (0.150 s = a
+    300 ms-RTT slow network).  Each op records the *modelled* link wall
+    clock as its timing and the wire direction reversals as its round
+    count, so the record (and the derived ``pipeline_latency_speedup``)
+    is fully deterministic: byte counts and reversal counts do not
+    depend on the machine.
+    """
+    from repro.bench.methods import OursMethod
+    from repro.collection.sync import sync_collection
+    from repro.net.channel import LinkModel
+
+    old_side, new_side = build_workload(files=files, file_kb=file_kb, seed=seed)
+    payload = sum(len(data) for data in new_side.values())
+    link = LinkModel(latency_s=latency_s)
+    ops: dict[str, OpTiming] = {}
+
+    sequential = sync_collection(
+        old_side, new_side, OursMethod(), link=link
+    )
+    ops["collection_sequential"] = OpTiming(
+        "collection_sequential",
+        sequential.link_wall_clock_s,
+        payload,
+        sequential.roundtrips_on_wire,
+    )
+
+    pipelined = sync_collection(
+        old_side,
+        new_side,
+        OursMethod(),
+        link=link,
+        pipeline=True,
+        window=window,
+    )
+    ops["collection_pipelined"] = OpTiming(
+        "collection_pipelined",
+        pipelined.link_wall_clock_s,
+        payload,
+        pipelined.roundtrips_on_wire,
+    )
+
+    environment = {
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    workload = {
+        "files": files,
+        "file_kb": file_kb,
+        "window": window,
+        "seed": seed,
+        "latency_ms": int(latency_s * 1000),
+    }
+    return PerfBaseline(workload=workload, ops=ops, environment=environment)
+
+
 def render_baseline(baseline: PerfBaseline) -> str:
     """Terminal table of one measurement (CLI + benchmark output)."""
     from repro.bench.report import render_table
@@ -582,6 +672,9 @@ def render_baseline(baseline: PerfBaseline) -> str:
     protocol = baseline.protocol_speedup
     if protocol:
         title += f"; vectorized protocol {protocol:.2f}x over scalar"
+    pipeline = baseline.pipeline_speedup
+    if pipeline:
+        title += f"; pipelined wall clock {pipeline:.2f}x over sequential"
     return render_table(
         ["op", "ms (best)", "MB/s", "payload KB", "rounds"], rows, title=title
     )

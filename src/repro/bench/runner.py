@@ -63,6 +63,11 @@ class CollectionRun:
     collisions_detected: int = 0
     repair_rounds: int = 0
     repair_bytes: int = 0
+    pipelined: bool = False
+    waves: int = 0
+    mux_overhead_bytes: int = 0
+    roundtrips_on_wire: int = 0
+    link_wall_clock_s: float = 0.0
 
     @property
     def total_kb(self) -> float:
@@ -92,6 +97,8 @@ def run_method_on_collection(
     deadline_s: float | None = None,
     run_deadline_s: float | None = None,
     breaker_threshold=None,
+    pipeline: bool = False,
+    window: int = 8,
 ) -> CollectionRun:
     """Synchronise one collection pair and flatten the report to a row."""
     started = time.perf_counter()
@@ -113,6 +120,8 @@ def run_method_on_collection(
         deadline_s=deadline_s,
         run_deadline_s=run_deadline_s,
         breaker_threshold=breaker_threshold,
+        pipeline=pipeline,
+        window=window,
     )
     elapsed = time.perf_counter() - started
 
@@ -155,4 +164,9 @@ def run_method_on_collection(
         collisions_detected=report.collisions_detected,
         repair_rounds=report.repair_rounds,
         repair_bytes=report.repair_bytes,
+        pipelined=report.pipelined,
+        waves=report.waves,
+        mux_overhead_bytes=report.mux_overhead_bytes,
+        roundtrips_on_wire=report.roundtrips_on_wire,
+        link_wall_clock_s=report.link_wall_clock_s,
     )

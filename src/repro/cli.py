@@ -120,6 +120,28 @@ def _cmd_sync(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         return _sync_batched(args, old_side, new_side)
+    if args.pipeline:
+        if args.method not in ("ours", "multiround"):
+            print("error: --pipeline requires --method ours or multiround",
+                  file=sys.stderr)
+            return 2
+        if fault_plan is not None:
+            print("error: --pipeline does not support fault injection",
+                  file=sys.stderr)
+            return 2
+        if (
+            args.retries is not None
+            or args.adaptive_retry
+            or args.deadline is not None
+            or args.run_deadline is not None
+            or args.breaker_threshold is not None
+        ):
+            print("error: --pipeline does not support retries, deadlines "
+                  "or breakers", file=sys.stderr)
+            return 2
+        # Error isolation needs the sequential path; pipelined runs
+        # always abort on failure.
+        args.on_error = "raise"
     method: SyncMethod = _METHOD_FACTORIES[args.method](args)
     run = run_method_on_collection(
         method,
@@ -137,6 +159,8 @@ def _cmd_sync(args: argparse.Namespace) -> int:
         deadline_s=args.deadline,
         run_deadline_s=args.run_deadline,
         breaker_threshold=args.breaker_threshold,
+        pipeline=args.pipeline,
+        window=args.window,
     )
     adaptive_active = (
         args.adaptive_retry
@@ -180,6 +204,11 @@ def _cmd_sync(args: argparse.Namespace) -> int:
                     "collisions_detected": run.collisions_detected,
                     "repair_rounds": run.repair_rounds,
                     "repair_bytes": run.repair_bytes,
+                    "pipelined": run.pipelined,
+                    "waves": run.waves,
+                    "mux_overhead_bytes": run.mux_overhead_bytes,
+                    "roundtrips_on_wire": run.roundtrips_on_wire,
+                    "link_wall_clock_s": round(run.link_wall_clock_s, 4),
                 },
                 indent=2,
             )
@@ -215,6 +244,11 @@ def _cmd_sync(args: argparse.Namespace) -> int:
             print(f"integrity       : {run.collisions_detected} collisions "
                   f"detected, {run.repair_rounds} repair rounds, "
                   f"{run.repair_bytes:,} B surgical repair")
+        print(f"link latency    : {run.roundtrips_on_wire} roundtrips on "
+              f"wire (~{run.link_wall_clock_s:.1f}s modelled wall clock)")
+        if run.pipelined:
+            print(f"pipeline        : {run.waves} waves, "
+                  f"{run.mux_overhead_bytes:,} B mux framing overhead")
         if args.checkpoint_dir is not None:
             print(f"checkpoints     : {run.rounds_salvaged} rounds salvaged, "
                   f"{run.resume_handshake_bits} handshake bits, "
@@ -506,18 +540,20 @@ def _cmd_manifest(args: argparse.Namespace) -> int:
 def _cmd_bench_perf(args: argparse.Namespace) -> int:
     """Measure the substrate perf baselines; record or compare them.
 
-    Three baselines make up the perf gate: the parallel-substrate record
+    Four baselines make up the perf gate: the parallel-substrate record
     (``BENCH_parallel.json``), the delta-encode throughput record
-    (``BENCH_delta.json``), and the whole-round protocol-engine record
-    (``BENCH_protocol.json``).  All are measured, printed, and compared
-    (or rewritten with ``--update``) in one invocation so CI stays a
-    single command.
+    (``BENCH_delta.json``), the whole-round protocol-engine record
+    (``BENCH_protocol.json``), and the pipelined-scheduler latency
+    record (``BENCH_pipeline.json``).  All are measured, printed, and
+    compared (or rewritten with ``--update``) in one invocation so CI
+    stays a single command.
     """
     from repro.bench.perfbaseline import (
         compare_baselines,
         load_baseline,
         measure,
         measure_delta,
+        measure_pipeline,
         measure_protocol,
         render_baseline,
         save_baseline,
@@ -532,6 +568,10 @@ def _cmd_bench_perf(args: argparse.Namespace) -> int:
     if not args.no_protocol:
         measurements.append(
             (Path(args.protocol_baseline), measure_protocol())
+        )
+    if not args.no_pipeline:
+        measurements.append(
+            (Path(args.pipeline_baseline), measure_pipeline())
         )
 
     for _path, measurement in measurements:
@@ -652,6 +692,13 @@ def build_parser() -> argparse.ArgumentParser:
     sync.add_argument("--batched", action="store_true",
                       help="share roundtrips across all changed files "
                            "(only with --method ours)")
+    sync.add_argument("--pipeline", action="store_true",
+                      help="interleave the changed files' protocol rounds "
+                           "over one multiplexed channel, hiding link "
+                           "latency (only with --method ours/multiround)")
+    sync.add_argument("--window", type=int, default=8,
+                      help="max files in flight under --pipeline "
+                           "(default 8)")
     sync.add_argument("--fault-rate", type=float, default=0.0,
                       help="inject channel faults (corruption/truncation/"
                            "drops) at this per-message rate")
@@ -755,6 +802,12 @@ def build_parser() -> argparse.ArgumentParser:
                                  "compare against or update")
     bench_perf.add_argument("--no-protocol", action="store_true",
                             help="skip the protocol-engine measurement")
+    bench_perf.add_argument("--pipeline-baseline",
+                            default="BENCH_pipeline.json",
+                            help="pipelined-scheduler latency baseline JSON "
+                                 "to compare against or update")
+    bench_perf.add_argument("--no-pipeline", action="store_true",
+                            help="skip the pipeline-latency measurement")
     bench_perf.add_argument("--update", action="store_true",
                             help="record the current measurement as the "
                                  "new baseline instead of comparing")

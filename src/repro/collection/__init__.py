@@ -8,6 +8,11 @@ costs aggregated.
 """
 
 from repro.collection.manifest import Manifest, ManifestDiff, diff_manifests
+from repro.collection.pipeline import (
+    CollectionScheduler,
+    PipelineRun,
+    RecordingChannel,
+)
 from repro.collection.reconcile import reconcile_manifests
 from repro.collection.store import (
     TMP_SUFFIX,
@@ -26,7 +31,10 @@ from repro.collection.sync import (
 
 __all__ = [
     "CollectionReport",
+    "CollectionScheduler",
     "CollectionStore",
+    "PipelineRun",
+    "RecordingChannel",
     "ScrubReport",
     "StoreScrubber",
     "Manifest",

@@ -44,6 +44,17 @@ class CollectionReport:
     retries: dict[str, int] = field(default_factory=dict)
     fallbacks: dict[str, str] = field(default_factory=dict)
     failed: dict[str, str] = field(default_factory=dict)
+    #: Wire-latency accounting (always filled for the changed files):
+    #: ``roundtrips_on_wire`` counts direction reversals on the (real or
+    #: modelled) link — per-file sums for the sequential path, the shared
+    #: multiplexed channel's count for the pipelined path — and
+    #: ``link_wall_clock_s`` the modelled wall clock those bytes and
+    #: reversals cost on the configured :class:`~repro.net.LinkModel`.
+    pipelined: bool = False
+    waves: int = 0
+    mux_overhead_bytes: int = 0
+    roundtrips_on_wire: int = 0
+    link_wall_clock_s: float = 0.0
 
     @property
     def changed_transfer_bytes(self) -> int:
@@ -242,6 +253,8 @@ def sync_collection(
     deadline_s: float | None = None,
     run_deadline_s: float | None = None,
     breaker_threshold=None,
+    pipeline: bool = False,
+    window: int = 8,
 ) -> CollectionReport:
     """Update ``client_files`` to ``server_files`` using ``method``.
 
@@ -306,12 +319,55 @@ def sync_collection(
     :class:`~repro.exceptions.SyncFailedError` only for other errors.
     All four default to off, leaving behaviour byte-identical to a run
     without them.
+
+    Pipelined scheduling (DESIGN §16): ``pipeline=True`` interleaves the
+    changed files' protocol rounds — up to ``window`` in flight — over
+    one multiplexed channel so the link's round-trip latency is paid per
+    *wave* instead of per file per round
+    (:class:`~repro.collection.pipeline.CollectionScheduler`).  Per-file
+    transcripts, byte accounting and round checkpoints stay bit-identical
+    to the sequential run; only ``roundtrips_on_wire`` and
+    ``link_wall_clock_s`` collapse.  Requires a method with a step-wise
+    session (``supports_pipeline``), forces serial in-process compute,
+    and is incompatible with fault injection, retries, breakers,
+    deadlines and ``on_error`` isolation (checkpoints/resume compose
+    fine).
     """
     if on_error not in ("raise", "skip", "fallback"):
         raise ValueError(
             f"on_error must be 'raise', 'skip' or 'fallback', "
             f"got {on_error!r}"
         )
+    if pipeline:
+        if not getattr(method, "supports_pipeline", False):
+            raise ValueError(
+                f"method {method.name} does not support pipelined "
+                f"scheduling (no step-wise session)"
+            )
+        if window < 1:
+            raise ValueError(f"window must be at least 1, got {window}")
+        if (
+            fault_plan is not None
+            or retry_policy is not None
+            or adaptive_retry
+            or breaker_threshold is not None
+            or deadline_s is not None
+            or run_deadline_s is not None
+        ):
+            raise ValueError(
+                "pipeline=True is incompatible with fault injection, "
+                "retries, breakers and deadlines — run those sequentially"
+            )
+        if on_error != "raise":
+            raise ValueError(
+                "pipeline=True is incompatible with on_error isolation; "
+                "use on_error='raise'"
+            )
+        if executor is not None:
+            raise ValueError(
+                "pipeline=True forces serial in-process execution; "
+                "drop executor="
+            )
     if checkpoints is None and checkpoint_dir is not None:
         from repro.resilience import CheckpointStore
 
@@ -368,7 +424,7 @@ def sync_collection(
         or retry_policy is not None
         or checkpoints is not None
         or graceful
-    ):
+    ) and not pipeline:  # the pipelined scheduler drives journals itself
         from repro.resilience import SyncSupervisor
 
         if not isinstance(method, SyncSupervisor):
@@ -411,6 +467,47 @@ def sync_collection(
         payload = zlib.compress(server_files[name], 9)
         report.added_bytes += len(payload)
         report.reconstructed[name] = zlib.decompress(payload)
+
+    if pipeline:
+        from repro.collection.pipeline import CollectionScheduler
+
+        scheduler = CollectionScheduler(
+            method, window=window, link=link, checkpoints=checkpoints
+        )
+        run = scheduler.run(
+            [
+                (name, client_files[name], server_files[name])
+                for name in diff.changed
+            ]
+        )
+        report.workers = 1
+        report.pipelined = True
+        report.waves = run.waves
+        report.mux_overhead_bytes = run.mux_overhead_bytes
+        report.roundtrips_on_wire = run.roundtrips_on_wire
+        report.link_wall_clock_s = run.link_wall_clock_s
+        for name in diff.changed:
+            outcome = run.per_file[name]
+            report.per_file[name] = outcome
+            report.per_file_seconds[name] = run.per_file_seconds[name]
+            report.cpu_seconds += run.per_file_seconds[name]
+            report.reconstructed[name] = run.reconstructed[name]
+            if verify and not outcome.correct:
+                raise IntegrityError(f"method {method.name} failed on {name}")
+
+        if verify:
+            for name, data in server_files.items():
+                if report.reconstructed.get(name) != data:
+                    raise IntegrityError(
+                        f"collection reconstruction differs at {name}"
+                    )
+        if store is not None:
+            from repro.collection.store import CollectionStore
+
+            if not isinstance(store, CollectionStore):
+                store = CollectionStore(store)
+            store.write_collection(report.reconstructed)
+        return report
 
     if executor is None:
         executor = SyncExecutor(workers=workers, use_arena=use_arena)
@@ -496,6 +593,21 @@ def sync_collection(
             report.fallbacks[name] = result.outcome.fallback_method
         if verify and not result.outcome.correct:
             raise IntegrityError(f"method {method.name} failed on {name}")
+
+    # Wire-latency accounting for the sequential path: each file's
+    # session pays its own direction reversals on the link, so the
+    # collection's cost is the per-file sum — the figure the pipelined
+    # scheduler collapses.
+    from repro.net.channel import LinkModel
+
+    outcomes = list(report.per_file.values())
+    report.roundtrips_on_wire = sum(o.roundtrips for o in outcomes)
+    if outcomes:
+        report.link_wall_clock_s = (link or LinkModel()).transfer_seconds(
+            [o.client_to_server for o in outcomes],
+            [o.server_to_client for o in outcomes],
+            [o.roundtrips for o in outcomes],
+        )
 
     if verify:
         for name, data in server_files.items():

@@ -19,7 +19,7 @@ from repro.core.client import Candidate, ClientSession
 from repro.core.config import ProtocolConfig
 from repro.core.engine import ENGINE_ENV, ENGINES, default_engine, resolve_engine
 from repro.core.filemap import FileMap, MatchEntry
-from repro.core.protocol import SyncResult, synchronize
+from repro.core.protocol import CoreSyncSession, SyncResult, synchronize
 from repro.core.server import ServerSession
 
 __all__ = [
@@ -36,6 +36,7 @@ __all__ = [
     "BlockTracker",
     "Candidate",
     "ClientSession",
+    "CoreSyncSession",
     "ENGINES",
     "ENGINE_ENV",
     "default_engine",

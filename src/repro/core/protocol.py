@@ -307,6 +307,254 @@ def _run_subphase(
     return (continuation_candidates, continuation_accepted, trace)
 
 
+class CoreSyncSession:
+    """Resumable step-wise state machine for one core-protocol exchange.
+
+    The schedulable decomposition of :func:`synchronize` — handshake
+    (:meth:`start`), one map-construction round per :meth:`step_round`,
+    and the refinement/delta/fallback endgame (:meth:`finish`) — with
+    the exact send/receive sequence of the former run-to-completion
+    loop, so the sequential driver below stays byte-identical and the
+    pipelined collection scheduler can interleave many sessions' rounds
+    over one shared channel.
+
+    Round checkpoints (``checkpointer``) use the same
+    :func:`~repro.core.snapshot.snapshot_round_state` payloads as
+    before, so checkpoints stay interchangeable between schedulers and
+    engines.
+    """
+
+    def __init__(
+        self,
+        client_data: bytes,
+        server_data: bytes,
+        config: ProtocolConfig | None = None,
+        checkpointer=None,
+        engine: str | None = None,
+    ) -> None:
+        self.client_data = client_data
+        self.server_data = server_data
+        self.config = config or ProtocolConfig()
+        self.checkpointer = checkpointer
+        self.engine = resolve_engine(engine)
+        self.server = ServerSession(server_data, self.config, engine=self.engine)
+        self.client = ClientSession(client_data, self.config, engine=self.engine)
+        self.rounds = 0
+        self.unchanged = False
+        self.continuation_candidates = 0
+        self.continuation_accepted = 0
+        self.trace: list[SubphaseTrace] = []
+        self._started = False
+        self._no_more = False
+
+    # ------------------------------------------------------------------
+    def start(self, channel: SimulatedChannel, resume_from=None) -> None:
+        """Run the handshake, or restore a checkpointed round boundary."""
+        if resume_from is not None:
+            from repro.core.snapshot import restore_round_state
+
+            (
+                self.rounds,
+                self.continuation_candidates,
+                self.continuation_accepted,
+            ) = restore_round_state(resume_from.payload, self.client, self.server)
+        else:
+            # --- Handshake ---------------------------------------------
+            request = BitWriter()
+            request.write_uvarint(len(self.client_data))
+            channel.send(
+                Direction.CLIENT_TO_SERVER,
+                request.getvalue(),
+                PHASE_HANDSHAKE,
+                bits=request.bit_length,
+            )
+            self.server.set_client_length(
+                BitReader(
+                    channel.receive(Direction.CLIENT_TO_SERVER)
+                ).read_uvarint()
+            )
+
+            hello = BitWriter()
+            hello.write_bytes(self.server.fingerprint())
+            hello.write_uvarint(len(self.server_data))
+            channel.send(
+                Direction.SERVER_TO_CLIENT, hello.getvalue(), PHASE_HANDSHAKE
+            )
+            hello_reader = BitReader(channel.receive(Direction.SERVER_TO_CLIENT))
+            self.unchanged = self.client.process_handshake(
+                hello_reader.read_bytes(16), hello_reader.read_uvarint()
+            )
+
+            channel.send(
+                Direction.CLIENT_TO_SERVER,
+                b"\x00" if self.unchanged else b"\x01",
+                PHASE_HANDSHAKE,
+                bits=1,
+            )
+            channel.receive(Direction.CLIENT_TO_SERVER)
+        if not self.unchanged:
+            assert self.server.global_bits is not None
+        self._started = True
+
+    @property
+    def done(self) -> bool:
+        """True when no map-construction rounds remain.
+
+        Mirrors the former loop condition exactly: the ``max_rounds``
+        guard doubles as part of the condition so a run resumed *at* the
+        cap does not buy extra rounds.
+        """
+        if not self._started:
+            return False
+        if self.unchanged or self._no_more:
+            return True
+        if not (
+            self.server.tracker.has_active()
+            or self.client._require_tracker().has_active()
+        ):
+            return True
+        config = self.config
+        return config.max_rounds is not None and self.rounds >= config.max_rounds
+
+    # ------------------------------------------------------------------
+    def step_round(self, channel: SimulatedChannel) -> None:
+        """Execute exactly one map-construction round, checkpoint included."""
+        if not self._started:
+            raise ValueError("step_round before start()")
+        config = self.config
+        self.rounds += 1
+        if self.rounds > _STALL_ROUND_LIMIT:
+            raise SyncStalledError(
+                f"map construction still has active blocks after "
+                f"{_STALL_ROUND_LIMIT} rounds — session is not converging"
+            )
+        channel.mark_round(self.rounds)
+        client_tracker = self.client._require_tracker()
+        if config.continuation_first and config.continuation_enabled:
+            planners = [
+                lambda tracker, bits: plan_continuation(tracker),
+                plan_global,
+            ]
+        else:
+            planners = [plan_mixed]
+        for planner in planners:
+            # Plans must be derived immediately before each sub-phase:
+            # the continuation sub-phase's confirmations feed the global
+            # sub-phase's skip rules.
+            found, accepted, subphase_trace = _run_subphase(
+                channel,
+                self.client,
+                self.server,
+                planner(self.server.tracker, self.server.global_bits),
+                planner(client_tracker, self.client.global_bits),
+                round_index=self.rounds,
+            )
+            self.continuation_candidates += found
+            self.continuation_accepted += accepted
+            if subphase_trace is not None:
+                self.trace.append(subphase_trace)
+        more_server = self.server.tracker.advance_level()
+        more_client = client_tracker.advance_level()
+        if more_server != more_client:
+            raise ProtocolError("endpoint trees diverged while splitting")
+        if self.checkpointer is not None:
+            from repro.core.snapshot import snapshot_round_state
+
+            self.checkpointer.record_round(
+                self.rounds,
+                snapshot_round_state(
+                    self.client,
+                    self.server,
+                    self.rounds,
+                    self.continuation_candidates,
+                    self.continuation_accepted,
+                ),
+                channel.stats,
+            )
+        if not more_server:
+            self._no_more = True
+
+    # ------------------------------------------------------------------
+    def finish(self, channel: SimulatedChannel) -> SyncResult:
+        """Refinement, delta and the fingerprint-guarded endgame."""
+        if self.unchanged:
+            return SyncResult(
+                reconstructed=self.client_data,
+                stats=channel.stats,
+                unchanged=True,
+                used_fallback=False,
+                matched_blocks=0,
+                known_fraction=1.0,
+                rounds=0,
+                trace=[],
+            )
+        config = self.config
+
+        # --- Boundary refinement (optional, §5.4) ----------------------
+        if config.refine_boundaries:
+            from repro.core.refine import run_boundary_refinement
+
+            run_boundary_refinement(channel, self.client, self.server)
+
+        # --- Delta phase -----------------------------------------------
+        delta = self.server.emit_delta()
+        channel.send(Direction.SERVER_TO_CLIENT, delta, PHASE_DELTA)
+        reconstructed = self.client.apply_delta(
+            channel.receive(Direction.SERVER_TO_CLIENT)
+        )
+
+        used_fallback = False
+        if reconstructed is None:
+            used_fallback = True
+            channel.send(
+                Direction.CLIENT_TO_SERVER, b"\x01", PHASE_FALLBACK, bits=1
+            )
+            channel.receive(Direction.CLIENT_TO_SERVER)
+            if config.collision_retries > 0:
+                # Repeat with an independent hash function (different
+                # substitution table); all bytes land on the same channel.
+                retry_config = config.with_overrides(
+                    hash_seed=config.hash_seed + 1,
+                    collision_retries=config.collision_retries - 1,
+                )
+                retry = synchronize(
+                    self.client_data,
+                    self.server_data,
+                    retry_config,
+                    channel,
+                    engine=self.engine,
+                )
+                retry.used_fallback = True
+                return retry
+            channel.send(
+                Direction.SERVER_TO_CLIENT,
+                zlib.compress(self.server_data, 9),
+                PHASE_FALLBACK,
+            )
+            reconstructed = zlib.decompress(
+                channel.receive(Direction.SERVER_TO_CLIENT)
+            )
+        else:
+            channel.send(
+                Direction.CLIENT_TO_SERVER, b"\x00", PHASE_FALLBACK, bits=1
+            )
+            channel.receive(Direction.CLIENT_TO_SERVER)
+
+        file_map = self.client._require_map()
+        return SyncResult(
+            reconstructed=reconstructed,
+            stats=channel.stats,
+            unchanged=False,
+            used_fallback=used_fallback,
+            matched_blocks=len(file_map),
+            known_fraction=file_map.known_fraction,
+            rounds=self.rounds,
+            continuation_candidates=self.continuation_candidates,
+            continuation_accepted=self.continuation_accepted,
+            trace=self.trace,
+        )
+
+
 def synchronize(
     client_data: bytes,
     server_data: bytes,
@@ -336,180 +584,17 @@ def synchronize(
     put byte-identical traffic on the wire and write interchangeable
     checkpoints, so a resumed run may use a different engine than the one
     that crashed.
+
+    This is the sequential driver over :class:`CoreSyncSession`; the
+    pipelined collection scheduler drives the same state machine with
+    the rounds of many files interleaved.
     """
-    if config is None:
-        config = ProtocolConfig()
     if channel is None:
         channel = SimulatedChannel()
-    engine = resolve_engine(engine)
-
-    server = ServerSession(server_data, config, engine=engine)
-    client = ClientSession(client_data, config, engine=engine)
-
-    trace: list[SubphaseTrace] = []
-    if resume_from is not None:
-        from repro.core.snapshot import restore_round_state
-
-        rounds, continuation_candidates, continuation_accepted = (
-            restore_round_state(resume_from.payload, client, server)
-        )
-    else:
-        # --- Handshake -------------------------------------------------
-        request = BitWriter()
-        request.write_uvarint(len(client_data))
-        channel.send(
-            Direction.CLIENT_TO_SERVER,
-            request.getvalue(),
-            PHASE_HANDSHAKE,
-            bits=request.bit_length,
-        )
-        server.set_client_length(
-            BitReader(channel.receive(Direction.CLIENT_TO_SERVER)).read_uvarint()
-        )
-
-        hello = BitWriter()
-        hello.write_bytes(server.fingerprint())
-        hello.write_uvarint(len(server_data))
-        channel.send(Direction.SERVER_TO_CLIENT, hello.getvalue(), PHASE_HANDSHAKE)
-        hello_reader = BitReader(channel.receive(Direction.SERVER_TO_CLIENT))
-        unchanged = client.process_handshake(
-            hello_reader.read_bytes(16), hello_reader.read_uvarint()
-        )
-
-        channel.send(
-            Direction.CLIENT_TO_SERVER,
-            b"\x00" if unchanged else b"\x01",
-            PHASE_HANDSHAKE,
-            bits=1,
-        )
-        channel.receive(Direction.CLIENT_TO_SERVER)
-        if unchanged:
-            return SyncResult(
-                reconstructed=client_data,
-                stats=channel.stats,
-                unchanged=True,
-                used_fallback=False,
-                matched_blocks=0,
-                known_fraction=1.0,
-                rounds=0,
-                trace=[],
-            )
-        rounds = 0
-        continuation_candidates = 0
-        continuation_accepted = 0
-
-    # --- Map construction ----------------------------------------------
-    assert server.global_bits is not None
-    # The max_rounds guard doubles as the loop condition so a run resumed
-    # *at* the cap does not buy extra rounds; for fresh runs the in-loop
-    # break below fires first and behaviour is unchanged.
-    while (
-        server.tracker.has_active() or client._require_tracker().has_active()
-    ) and not (config.max_rounds is not None and rounds >= config.max_rounds):
-        rounds += 1
-        if rounds > _STALL_ROUND_LIMIT:
-            raise SyncStalledError(
-                f"map construction still has active blocks after "
-                f"{_STALL_ROUND_LIMIT} rounds — session is not converging"
-            )
-        channel.mark_round(rounds)
-        client_tracker = client._require_tracker()
-        if config.continuation_first and config.continuation_enabled:
-            planners = [
-                lambda tracker, bits: plan_continuation(tracker),
-                plan_global,
-            ]
-        else:
-            planners = [plan_mixed]
-        for planner in planners:
-            # Plans must be derived immediately before each sub-phase:
-            # the continuation sub-phase's confirmations feed the global
-            # sub-phase's skip rules.
-            found, accepted, subphase_trace = _run_subphase(
-                channel,
-                client,
-                server,
-                planner(server.tracker, server.global_bits),
-                planner(client_tracker, client.global_bits),
-                round_index=rounds,
-            )
-            continuation_candidates += found
-            continuation_accepted += accepted
-            if subphase_trace is not None:
-                trace.append(subphase_trace)
-        more_server = server.tracker.advance_level()
-        more_client = client_tracker.advance_level()
-        if more_server != more_client:
-            raise ProtocolError("endpoint trees diverged while splitting")
-        if checkpointer is not None:
-            from repro.core.snapshot import snapshot_round_state
-
-            checkpointer.record_round(
-                rounds,
-                snapshot_round_state(
-                    client,
-                    server,
-                    rounds,
-                    continuation_candidates,
-                    continuation_accepted,
-                ),
-                channel.stats,
-            )
-        if not more_server:
-            break
-        if config.max_rounds is not None and rounds >= config.max_rounds:
-            break
-
-    # --- Boundary refinement (optional, §5.4) ----------------------------
-    if config.refine_boundaries:
-        from repro.core.refine import run_boundary_refinement
-
-        run_boundary_refinement(channel, client, server)
-
-    # --- Delta phase -----------------------------------------------------
-    delta = server.emit_delta()
-    channel.send(Direction.SERVER_TO_CLIENT, delta, PHASE_DELTA)
-    reconstructed = client.apply_delta(channel.receive(Direction.SERVER_TO_CLIENT))
-
-    used_fallback = False
-    if reconstructed is None:
-        used_fallback = True
-        channel.send(Direction.CLIENT_TO_SERVER, b"\x01", PHASE_FALLBACK, bits=1)
-        channel.receive(Direction.CLIENT_TO_SERVER)
-        if config.collision_retries > 0:
-            # Repeat with an independent hash function (different
-            # substitution table); all bytes land on the same channel.
-            retry_config = config.with_overrides(
-                hash_seed=config.hash_seed + 1,
-                collision_retries=config.collision_retries - 1,
-            )
-            retry = synchronize(
-                client_data, server_data, retry_config, channel, engine=engine
-            )
-            retry.used_fallback = True
-            return retry
-        channel.send(
-            Direction.SERVER_TO_CLIENT,
-            zlib.compress(server_data, 9),
-            PHASE_FALLBACK,
-        )
-        reconstructed = zlib.decompress(
-            channel.receive(Direction.SERVER_TO_CLIENT)
-        )
-    else:
-        channel.send(Direction.CLIENT_TO_SERVER, b"\x00", PHASE_FALLBACK, bits=1)
-        channel.receive(Direction.CLIENT_TO_SERVER)
-
-    file_map = client._require_map()
-    return SyncResult(
-        reconstructed=reconstructed,
-        stats=channel.stats,
-        unchanged=False,
-        used_fallback=used_fallback,
-        matched_blocks=len(file_map),
-        known_fraction=file_map.known_fraction,
-        rounds=rounds,
-        continuation_candidates=continuation_candidates,
-        continuation_accepted=continuation_accepted,
-        trace=trace,
+    session = CoreSyncSession(
+        client_data, server_data, config, checkpointer=checkpointer, engine=engine
     )
+    session.start(channel, resume_from=resume_from)
+    while not session.done:
+        session.step_round(channel)
+    return session.finish(channel)

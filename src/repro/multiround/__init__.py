@@ -17,11 +17,13 @@ end with a stream of block references and literals.
 from repro.multiround.protocol import (
     MultiroundConfig,
     MultiroundResult,
+    MultiroundSession,
     multiround_rsync_sync,
 )
 
 __all__ = [
     "MultiroundConfig",
     "MultiroundResult",
+    "MultiroundSession",
     "multiround_rsync_sync",
 ]

@@ -185,31 +185,165 @@ def decode_round_state(
     return expected_fingerprint, blocks, pinned
 
 
-def _run_rounds_scalar(
-    channel: SimulatedChannel,
-    config: MultiroundConfig,
-    client_prefix: PrefixHasher,
-    server_index,
-    blocks: list[Block],
-    pinned: list[_Pinned],
-    rounds: int,
-    checkpointer,
-    expected_fingerprint: bytes,
-) -> int:
-    """Parity oracle: the original block-at-a-time round loop."""
-    round_limit = config.round_limit
-    while blocks:
-        rounds += 1
-        if rounds > round_limit:
-            raise SyncStalledError(
-                f"multiround session still has {len(blocks)} active blocks "
-                f"after {round_limit} rounds — frontier is not converging"
+class MultiroundSession:
+    """Resumable step-wise state machine for one multiround exchange.
+
+    Splits :func:`multiround_rsync_sync` into the schedulable pieces the
+    pipelined collection scheduler needs — without changing a bit on the
+    wire: the driver loop below replays the exact send/receive sequence
+    of the former run-to-completion function.
+
+    Lifecycle::
+
+        session.start(channel, resume_from=...)   # handshake or restore
+        while not session.done:
+            session.step_round(channel)           # exactly one round
+        result = session.finish(channel)          # delta + integrity
+
+    Every completed round is checkpointed through ``checkpointer`` (when
+    given) with the same :func:`encode_round_state` payloads as before,
+    so checkpoints stay interchangeable between schedulers and engines.
+    """
+
+    def __init__(
+        self,
+        old_data: bytes,
+        new_data: bytes,
+        config: MultiroundConfig | None = None,
+        checkpointer=None,
+        engine: str | None = None,
+    ) -> None:
+        self.old_data = old_data
+        self.new_data = new_data
+        self.config = config or MultiroundConfig()
+        self.checkpointer = checkpointer
+        self.engine = resolve_engine(engine)
+        self.rounds = 0
+        self.pinned: list[_Pinned] = []
+        self.expected_fingerprint = b""
+        self._started = False
+        self._hasher = DecomposableAdler(seed=self.config.hash_seed)
+        self._client_prefix = PrefixHasher(old_data, self._hasher)
+        self._server_fingerprint = file_fingerprint(new_data)
+        self._index_cache: HashIndexCache = default_cache()
+        self._server_indexes: dict[int, HashIndex] = {}
+        # Engine-specific frontier: Block objects (scalar) or two int64
+        # arrays (vectorized); both advance in the same interleaved
+        # left/right order Block.split produces.
+        self._blocks: list[Block] = []
+        self._starts = np.empty(0, dtype=np.int64)
+        self._lengths = np.empty(0, dtype=np.int64)
+
+    def _server_index(self, length: int) -> HashIndex:
+        """Per-session memo over the shared content-keyed index cache."""
+        index = self._server_indexes.get(length)
+        if index is None:
+            if length > len(self.new_data):
+                # No window of this length exists; an empty index, built
+                # without scanning the data (and without a cache slot).
+                index = HashIndex(b"", length, self._hasher)
+            else:
+                index = self._index_cache.hash_index(
+                    self.new_data,
+                    length,
+                    self._hasher,
+                    fingerprint=self._server_fingerprint,
+                )
+            self._server_indexes[length] = index
+        return index
+
+    # ------------------------------------------------------------------
+    def start(self, channel: SimulatedChannel, resume_from=None) -> None:
+        """Run the handshake, or restore a checkpointed round boundary."""
+        if resume_from is not None:
+            self.expected_fingerprint, blocks, self.pinned = (
+                decode_round_state(resume_from.payload)
             )
-        channel.mark_round(rounds)
+            self.rounds = resume_from.round_index
+        else:
+            # Handshake: fingerprint for the final integrity check.
+            hello = BitWriter()
+            hello.write_bytes(self._server_fingerprint)
+            channel.send(
+                Direction.SERVER_TO_CLIENT, hello.getvalue(), PHASE_HANDSHAKE,
+                bits=hello.bit_length,
+            )
+            self.expected_fingerprint = BitReader(
+                channel.receive(Direction.SERVER_TO_CLIENT)
+            ).read_bytes(16)
+            blocks = _initial_blocks(
+                len(self.old_data), self.config.start_block_size
+            )
+            self.pinned = []
+            self.rounds = 0
+        if self.engine == "scalar":
+            self._blocks = blocks
+        else:
+            self._starts = np.fromiter(
+                (b.start for b in blocks), dtype=np.int64, count=len(blocks)
+            )
+            self._lengths = np.fromiter(
+                (b.length for b in blocks), dtype=np.int64, count=len(blocks)
+            )
+        self._started = True
+
+    @property
+    def active_blocks(self) -> int:
+        """Blocks still on the reconciliation frontier."""
+        if self.engine == "scalar":
+            return len(self._blocks)
+        return int(self._starts.size)
+
+    @property
+    def done(self) -> bool:
+        """True when no rounds remain (ready for :meth:`finish`)."""
+        return self._started and self.active_blocks == 0
+
+    def _frontier_state(self) -> bytes:
+        if self.engine == "scalar":
+            frontier = self._blocks
+        else:
+            frontier = [
+                Block(start=start, length=length, level=0)
+                for start, length in zip(
+                    self._starts.tolist(), self._lengths.tolist()
+                )
+            ]
+        return encode_round_state(
+            self.expected_fingerprint, frontier, self.pinned
+        )
+
+    # ------------------------------------------------------------------
+    def step_round(self, channel: SimulatedChannel) -> None:
+        """Execute exactly one hash/bitmap round, checkpoint included."""
+        if not self._started:
+            raise ValueError("step_round before start()")
+        round_limit = self.config.round_limit
+        self.rounds += 1
+        if self.rounds > round_limit:
+            raise SyncStalledError(
+                f"multiround session still has {self.active_blocks} active "
+                f"blocks after {round_limit} rounds — frontier is not "
+                f"converging"
+            )
+        channel.mark_round(self.rounds)
+        if self.engine == "scalar":
+            self._step_scalar(channel)
+        else:
+            self._step_vectorized(channel)
+        if self.checkpointer is not None:
+            self.checkpointer.record_round(
+                self.rounds, self._frontier_state(), channel.stats
+            )
+
+    def _step_scalar(self, channel: SimulatedChannel) -> None:
+        """Parity oracle: the original block-at-a-time round body."""
+        config = self.config
+        blocks = self._blocks
         message = BitWriter()
         for block in blocks:
             packed = DecomposableAdler.pack(
-                client_prefix.block_pair(block.start, block.length),
+                self._client_prefix.block_pair(block.start, block.length),
                 config.hash_bits,
             )
             message.write(packed, config.hash_bits)
@@ -223,7 +357,7 @@ def _run_rounds_scalar(
         matches_this_round: list[tuple[Block, int]] = []
         for block in blocks:
             value = reader.read(config.hash_bits)
-            index = server_index(block.length)
+            index = self._server_index(block.length)
             positions = index.lookup(value, config.hash_bits, max_results=1)
             matched = bool(positions)
             bitmap.write_bit(matched)
@@ -242,7 +376,7 @@ def _run_rounds_scalar(
             if confirm.read_bit():
                 matched_block, server_position = matches_this_round[match_cursor]
                 match_cursor += 1
-                pinned.append(
+                self.pinned.append(
                     _Pinned(block.start, block.length, server_position)
                 )
                 block.status = BlockStatus.MATCHED
@@ -250,55 +384,16 @@ def _run_rounds_scalar(
                 next_blocks.extend(block.split())
             else:
                 block.status = BlockStatus.EXHAUSTED
-        blocks = next_blocks
-        if checkpointer is not None:
-            checkpointer.record_round(
-                rounds,
-                encode_round_state(expected_fingerprint, blocks, pinned),
-                channel.stats,
-            )
-    return rounds
+        self._blocks = next_blocks
 
-
-def _run_rounds_vectorized(
-    channel: SimulatedChannel,
-    config: MultiroundConfig,
-    client_prefix: PrefixHasher,
-    server_index,
-    blocks: list[Block],
-    pinned: list[_Pinned],
-    rounds: int,
-    checkpointer,
-    expected_fingerprint: bytes,
-) -> int:
-    """Whole-round engine: the active frontier is two int64 arrays.
-
-    Each round hashes, packs, transmits, looks up, and splits *every*
-    block in batched numpy passes; ``Block`` objects are materialised only
-    when a checkpointer needs :func:`encode_round_state` (whose payload is
-    bit-identical to the scalar engine's — the frontier order is the same
-    interleaved left/right order ``Block.split`` produces).
-    """
-    starts = np.fromiter(
-        (b.start for b in blocks), dtype=np.int64, count=len(blocks)
-    )
-    lengths = np.fromiter(
-        (b.length for b in blocks), dtype=np.int64, count=len(blocks)
-    )
-    hash_bits = config.hash_bits
-    round_limit = config.round_limit
-    while starts.size:
-        rounds += 1
-        if rounds > round_limit:
-            raise SyncStalledError(
-                f"multiround session still has {int(starts.size)} active "
-                f"blocks after {round_limit} rounds — frontier is not "
-                f"converging"
-            )
-        channel.mark_round(rounds)
+    def _step_vectorized(self, channel: SimulatedChannel) -> None:
+        """Whole-round engine: the active frontier is two int64 arrays."""
+        config = self.config
+        starts, lengths = self._starts, self._lengths
+        hash_bits = config.hash_bits
         count = int(starts.size)
         packed = pack_to_width(
-            client_prefix.block_pairs(starts, lengths), hash_bits
+            self._client_prefix.block_pairs(starts, lengths), hash_bits
         )
         message = BitWriter()
         message.write_many(packed, hash_bits)
@@ -312,7 +407,7 @@ def _run_rounds_vectorized(
         positions = np.full(count, -1, dtype=np.int64)
         for length in np.unique(lengths).tolist():
             rows = np.flatnonzero(lengths == length)
-            positions[rows] = server_index(length).lookup_many(
+            positions[rows] = self._server_index(length).lookup_many(
                 values[rows], hash_bits
             )
         matched = positions >= 0
@@ -326,7 +421,7 @@ def _run_rounds_vectorized(
         # Both sides advance identically from the bitmap.
         confirm = BitReader(channel.receive(Direction.SERVER_TO_CLIENT))
         flags = confirm.read_flags(count)
-        pinned.extend(
+        self.pinned.extend(
             _Pinned(client_start, length, server_start)
             for client_start, length, server_start in zip(
                 starts[flags].tolist(),
@@ -338,23 +433,129 @@ def _run_rounds_vectorized(
         split_starts = starts[split]
         split_lengths = lengths[split]
         left_lengths = (split_lengths + 1) // 2
-        starts = np.empty(2 * split_starts.size, dtype=np.int64)
-        lengths = np.empty(2 * split_starts.size, dtype=np.int64)
-        starts[0::2] = split_starts
-        starts[1::2] = split_starts + left_lengths
-        lengths[0::2] = left_lengths
-        lengths[1::2] = split_lengths - left_lengths
-        if checkpointer is not None:
-            frontier = [
-                Block(start=start, length=length, level=0)
-                for start, length in zip(starts.tolist(), lengths.tolist())
-            ]
-            checkpointer.record_round(
-                rounds,
-                encode_round_state(expected_fingerprint, frontier, pinned),
-                channel.stats,
-            )
-    return rounds
+        self._starts = np.empty(2 * split_starts.size, dtype=np.int64)
+        self._lengths = np.empty(2 * split_starts.size, dtype=np.int64)
+        self._starts[0::2] = split_starts
+        self._starts[1::2] = split_starts + left_lengths
+        self._lengths[0::2] = left_lengths
+        self._lengths[1::2] = split_lengths - left_lengths
+
+    # ------------------------------------------------------------------
+    def finish(self, channel: SimulatedChannel) -> MultiroundResult:
+        """Delta covering, reconstruction, and the integrity endgame."""
+        old_data, new_data, config = self.old_data, self.new_data, self.config
+
+        # --- Delta: cover F_new with pinned client blocks + literals ---
+        by_server_position = sorted(
+            self.pinned, key=lambda p: (p.server_start, -p.length)
+        )
+        tokens = bytearray()
+        literals_pending = bytearray()
+        cursor = 0
+
+        def flush_literals() -> None:
+            nonlocal literals_pending
+            if literals_pending:
+                tokens.append(_TOKEN_LITERAL)
+                tokens.extend(encode_uvarint(len(literals_pending)))
+                tokens.extend(literals_pending)
+                literals_pending = bytearray()
+
+        for pin in by_server_position:
+            if pin.server_start < cursor:
+                continue  # overlaps something already covered
+            if pin.server_start > cursor:
+                literals_pending.extend(new_data[cursor : pin.server_start])
+            flush_literals()
+            tokens.append(_TOKEN_BLOCK)
+            tokens.extend(encode_uvarint(pin.client_start))
+            tokens.extend(encode_uvarint(pin.length))
+            cursor = pin.server_start + pin.length
+        if cursor < len(new_data):
+            literals_pending.extend(new_data[cursor:])
+        flush_literals()
+        delta_payload = zlib.compress(bytes(tokens), 9)
+        channel.send(Direction.SERVER_TO_CLIENT, delta_payload, PHASE_DELTA)
+
+        # --- Client reconstruction -------------------------------------
+        raw = zlib.decompress(channel.receive(Direction.SERVER_TO_CLIENT))
+        out = bytearray()
+        position = 0
+        try:
+            while position < len(raw):
+                kind = raw[position]
+                position += 1
+                if kind == _TOKEN_LITERAL:
+                    length, position = decode_uvarint(raw, position)
+                    out += raw[position : position + length]
+                    position += length
+                elif kind == _TOKEN_BLOCK:
+                    client_start, position = decode_uvarint(raw, position)
+                    length, position = decode_uvarint(raw, position)
+                    out += old_data[client_start : client_start + length]
+                else:
+                    raise DeltaFormatError(f"unknown token {kind:#x}")
+        except DeltaFormatError:
+            out = bytearray()  # force the fallback below
+
+        reconstructed = bytes(out)
+        used_fallback = False
+        collisions_detected = 0
+        repaired = False
+        repair_rounds = 0
+        repair_bytes = 0
+        if file_fingerprint(reconstructed) != self.expected_fingerprint:
+            collisions_detected = 1
+            # A truncated-hash collision preserves lengths; anything else
+            # (decode damage) is not surgically repairable.
+            if (config.repair and new_data
+                    and len(reconstructed) == len(new_data)):
+                channel.send(
+                    Direction.CLIENT_TO_SERVER, b"\x02", PHASE_REPAIR, bits=2
+                )
+                channel.receive(Direction.CLIENT_TO_SERVER)
+                outcome = repair_exchange(
+                    channel,
+                    reconstructed,
+                    new_data,
+                    self.expected_fingerprint,
+                    leaf_size=config.min_block_size,
+                    fanout=config.repair_fanout,
+                )
+                repair_rounds = outcome.rounds
+                repair_bytes = channel.stats.bytes_in_phase(PHASE_REPAIR)
+                if outcome.converged:
+                    reconstructed = outcome.data
+                    repaired = True
+            if not repaired:
+                used_fallback = True
+                channel.send(Direction.CLIENT_TO_SERVER, b"\x01", PHASE_FALLBACK, bits=1)
+                channel.receive(Direction.CLIENT_TO_SERVER)
+                channel.send(
+                    Direction.SERVER_TO_CLIENT, zlib.compress(new_data, 9),
+                    PHASE_FALLBACK,
+                )
+                reconstructed = zlib.decompress(
+                    channel.receive(Direction.SERVER_TO_CLIENT)
+                )
+                # The NACK plus the whole compressed file — and any repair
+                # descent that failed to converge — is recovery traffic, not
+                # first-try payload.
+                channel.stats.reclassify_phase_as_retransmission(PHASE_FALLBACK)
+                channel.stats.reclassify_phase_as_retransmission(PHASE_REPAIR)
+        else:
+            channel.send(Direction.CLIENT_TO_SERVER, b"\x00", PHASE_FALLBACK, bits=1)
+            channel.receive(Direction.CLIENT_TO_SERVER)
+        return MultiroundResult(
+            reconstructed=reconstructed,
+            stats=channel.stats,
+            rounds=self.rounds,
+            used_fallback=used_fallback,
+            collisions_detected=collisions_detected,
+            repaired=repaired,
+            repair_rounds=repair_rounds,
+            repair_bytes=repair_bytes,
+        )
 
 
 def multiround_rsync_sync(
@@ -383,178 +584,17 @@ def multiround_rsync_sync(
     engines put byte-identical traffic on the wire and record
     bit-identical round checkpoints, so a checkpoint written by one
     engine resumes cleanly under the other.
+
+    This is the sequential driver over :class:`MultiroundSession`; the
+    pipelined collection scheduler drives the same state machine with
+    the rounds of many files interleaved.
     """
-    if config is None:
-        config = MultiroundConfig()
     if channel is None:
         channel = SimulatedChannel()
-    engine = resolve_engine(engine)
-
-    hasher = DecomposableAdler(seed=config.hash_seed)
-    client_prefix = PrefixHasher(old_data, hasher)
-    server_fingerprint = file_fingerprint(new_data)
-    index_cache: HashIndexCache = default_cache()
-    server_indexes: dict[int, HashIndex] = {}
-
-    def server_index(length: int) -> HashIndex:
-        """Per-call memo over the shared content-keyed index cache."""
-        index = server_indexes.get(length)
-        if index is None:
-            if length > len(new_data):
-                # No window of this length exists; an empty index, built
-                # without scanning the data (and without a cache slot).
-                index = HashIndex(b"", length, hasher)
-            else:
-                index = index_cache.hash_index(
-                    new_data, length, hasher, fingerprint=server_fingerprint
-                )
-            server_indexes[length] = index
-        return index
-
-    if resume_from is not None:
-        expected_fingerprint, blocks, pinned = decode_round_state(
-            resume_from.payload
-        )
-        rounds = resume_from.round_index
-    else:
-        # Handshake: fingerprint for the final integrity check.
-        hello = BitWriter()
-        hello.write_bytes(server_fingerprint)
-        channel.send(
-            Direction.SERVER_TO_CLIENT, hello.getvalue(), PHASE_HANDSHAKE,
-            bits=hello.bit_length,
-        )
-        expected_fingerprint = BitReader(
-            channel.receive(Direction.SERVER_TO_CLIENT)
-        ).read_bytes(16)
-        blocks = _initial_blocks(len(old_data), config.start_block_size)
-        pinned = []
-        rounds = 0
-
-    # --- Rounds ----------------------------------------------------------
-    run_rounds = (
-        _run_rounds_scalar if engine == "scalar" else _run_rounds_vectorized
+    session = MultiroundSession(
+        old_data, new_data, config, checkpointer=checkpointer, engine=engine
     )
-    rounds = run_rounds(
-        channel,
-        config,
-        client_prefix,
-        server_index,
-        blocks,
-        pinned,
-        rounds,
-        checkpointer,
-        expected_fingerprint,
-    )
-
-    # --- Delta: cover F_new with pinned client blocks + literals ---------
-    by_server_position = sorted(
-        pinned, key=lambda p: (p.server_start, -p.length)
-    )
-    tokens = bytearray()
-    literals_pending = bytearray()
-    cursor = 0
-
-    def flush_literals() -> None:
-        nonlocal literals_pending
-        if literals_pending:
-            tokens.append(_TOKEN_LITERAL)
-            tokens.extend(encode_uvarint(len(literals_pending)))
-            tokens.extend(literals_pending)
-            literals_pending = bytearray()
-
-    for pin in by_server_position:
-        if pin.server_start < cursor:
-            continue  # overlaps something already covered
-        if pin.server_start > cursor:
-            literals_pending.extend(new_data[cursor : pin.server_start])
-        flush_literals()
-        tokens.append(_TOKEN_BLOCK)
-        tokens.extend(encode_uvarint(pin.client_start))
-        tokens.extend(encode_uvarint(pin.length))
-        cursor = pin.server_start + pin.length
-    if cursor < len(new_data):
-        literals_pending.extend(new_data[cursor:])
-    flush_literals()
-    delta_payload = zlib.compress(bytes(tokens), 9)
-    channel.send(Direction.SERVER_TO_CLIENT, delta_payload, PHASE_DELTA)
-
-    # --- Client reconstruction -------------------------------------------
-    raw = zlib.decompress(channel.receive(Direction.SERVER_TO_CLIENT))
-    out = bytearray()
-    position = 0
-    try:
-        while position < len(raw):
-            kind = raw[position]
-            position += 1
-            if kind == _TOKEN_LITERAL:
-                length, position = decode_uvarint(raw, position)
-                out += raw[position : position + length]
-                position += length
-            elif kind == _TOKEN_BLOCK:
-                client_start, position = decode_uvarint(raw, position)
-                length, position = decode_uvarint(raw, position)
-                out += old_data[client_start : client_start + length]
-            else:
-                raise DeltaFormatError(f"unknown token {kind:#x}")
-    except DeltaFormatError:
-        out = bytearray()  # force the fallback below
-
-    reconstructed = bytes(out)
-    used_fallback = False
-    collisions_detected = 0
-    repaired = False
-    repair_rounds = 0
-    repair_bytes = 0
-    if file_fingerprint(reconstructed) != expected_fingerprint:
-        collisions_detected = 1
-        # A truncated-hash collision preserves lengths; anything else
-        # (decode damage) is not surgically repairable.
-        if (config.repair and new_data
-                and len(reconstructed) == len(new_data)):
-            channel.send(
-                Direction.CLIENT_TO_SERVER, b"\x02", PHASE_REPAIR, bits=2
-            )
-            channel.receive(Direction.CLIENT_TO_SERVER)
-            outcome = repair_exchange(
-                channel,
-                reconstructed,
-                new_data,
-                expected_fingerprint,
-                leaf_size=config.min_block_size,
-                fanout=config.repair_fanout,
-            )
-            repair_rounds = outcome.rounds
-            repair_bytes = channel.stats.bytes_in_phase(PHASE_REPAIR)
-            if outcome.converged:
-                reconstructed = outcome.data
-                repaired = True
-        if not repaired:
-            used_fallback = True
-            channel.send(Direction.CLIENT_TO_SERVER, b"\x01", PHASE_FALLBACK, bits=1)
-            channel.receive(Direction.CLIENT_TO_SERVER)
-            channel.send(
-                Direction.SERVER_TO_CLIENT, zlib.compress(new_data, 9),
-                PHASE_FALLBACK,
-            )
-            reconstructed = zlib.decompress(
-                channel.receive(Direction.SERVER_TO_CLIENT)
-            )
-            # The NACK plus the whole compressed file — and any repair
-            # descent that failed to converge — is recovery traffic, not
-            # first-try payload.
-            channel.stats.reclassify_phase_as_retransmission(PHASE_FALLBACK)
-            channel.stats.reclassify_phase_as_retransmission(PHASE_REPAIR)
-    else:
-        channel.send(Direction.CLIENT_TO_SERVER, b"\x00", PHASE_FALLBACK, bits=1)
-        channel.receive(Direction.CLIENT_TO_SERVER)
-    return MultiroundResult(
-        reconstructed=reconstructed,
-        stats=channel.stats,
-        rounds=rounds,
-        used_fallback=used_fallback,
-        collisions_detected=collisions_detected,
-        repaired=repaired,
-        repair_rounds=repair_rounds,
-        repair_bytes=repair_bytes,
-    )
+    session.start(channel, resume_from=resume_from)
+    while not session.done:
+        session.step_round(channel)
+    return session.finish(channel)

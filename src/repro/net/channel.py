@@ -71,6 +71,45 @@ class LinkModel:
         propagation = 2.0 * self.latency_s * roundtrips
         return up + down + propagation
 
+    def transfer_seconds(
+        self,
+        client_to_server_bytes,
+        server_to_client_bytes,
+        roundtrips,
+    ) -> float:
+        """Accumulating wall-clock estimate over per-item counters.
+
+        The vectorized sibling of :meth:`transfer_time_directional`:
+        each argument may be a scalar or a sequence/array of per-file
+        (or per-wave) counters, broadcast against each other; the return
+        value is the summed wall-clock estimate.  This is the one
+        formula the pipelined scheduler and the collection reports
+        share, so ``link_wall_clock_s`` means the same thing wherever it
+        appears.
+
+        Validation mirrors the constructor's: negative counters are a
+        caller bug and are rejected eagerly, not folded into a
+        nonsensical estimate.
+        """
+        import numpy as np
+
+        up_bytes = np.asarray(client_to_server_bytes, dtype=np.float64)
+        down_bytes = np.asarray(server_to_client_bytes, dtype=np.float64)
+        trips = np.asarray(roundtrips, dtype=np.float64)
+        for name, values in (
+            ("client_to_server_bytes", up_bytes),
+            ("server_to_client_bytes", down_bytes),
+            ("roundtrips", trips),
+        ):
+            if np.any(values < 0):
+                raise ValueError(f"{name} must be non-negative, got {values}")
+        seconds = (
+            8.0 * up_bytes / self.effective_uplink_bps
+            + 8.0 * down_bytes / self.bandwidth_bps
+            + 2.0 * self.latency_s * trips
+        )
+        return float(np.sum(seconds))
+
 
 class SimulatedChannel:
     """Orders messages between client and server and accounts their size.

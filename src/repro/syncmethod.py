@@ -64,6 +64,7 @@ class MethodOutcome:
     collisions_detected: int = 0
     repair_rounds: int = 0
     repair_bytes: int = 0
+    roundtrips: int = 0
 
     def __add__(self, other: "MethodOutcome") -> "MethodOutcome":
         merged = dict(self.breakdown)
@@ -99,7 +100,37 @@ class MethodOutcome:
             ),
             repair_rounds=self.repair_rounds + other.repair_rounds,
             repair_bytes=self.repair_bytes + other.repair_bytes,
+            roundtrips=self.roundtrips + other.roundtrips,
         )
+
+
+def wire_outcome(result, new: bytes) -> MethodOutcome:
+    """Flatten a protocol result (with ``.stats``) into a MethodOutcome.
+
+    ``result`` is a :class:`~repro.core.protocol.SyncResult` or
+    :class:`~repro.multiround.protocol.MultiroundResult` — anything with
+    ``reconstructed``, ``total_bytes`` and a
+    :class:`~repro.net.metrics.TransferStats` ``stats``.  The integrity
+    fields exist only on the rsync/multiround results (the stacks with
+    surgical repair); ``getattr`` keeps the core protocol's result
+    compatible.  A protocol-internal full-transfer fallback reclassifies
+    its traffic into ``stats.retransmitted_bits``, which must survive
+    the flattening even without a supervisor around.  Lives here (not in
+    ``bench.methods``) so the pipelined collection scheduler can account
+    per-file sessions without importing the benchmark harness.
+    """
+    return MethodOutcome(
+        total_bytes=result.total_bytes,
+        client_to_server=result.stats.client_to_server_bytes,
+        server_to_client=result.stats.server_to_client_bytes,
+        breakdown=dict(result.stats.breakdown()),
+        correct=result.reconstructed == new,
+        retransmitted_bytes=result.stats.retransmitted_bytes,
+        collisions_detected=getattr(result, "collisions_detected", 0),
+        repair_rounds=getattr(result, "repair_rounds", 0),
+        repair_bytes=getattr(result, "repair_bytes", 0),
+        roundtrips=result.stats.roundtrips,
+    )
 
 
 class SyncMethod(ABC):
@@ -118,10 +149,29 @@ class SyncMethod(ABC):
     #: unpicklable state (closures, open handles) must override this
     #: back to ``None`` or ``False``.
     supports_pickle: bool | None = None
+    #: True for methods whose protocol is factored into a resumable
+    #: step-wise session (``start``/``done``/``step_round``/``finish``)
+    #: that the pipelined collection scheduler can drive round-by-round;
+    #: they then also implement :meth:`open_session`.
+    supports_pipeline: bool = False
 
     @abstractmethod
     def sync_file(self, old: bytes, new: bytes) -> MethodOutcome:
         """Synchronise one file pair; return the transfer accounting."""
+
+    def open_session(self, old: bytes, new: bytes, checkpointer=None):
+        """Build a step-wise protocol session for one file pair.
+
+        Only meaningful when ``supports_pipeline`` is true.  The returned
+        object exposes ``start(channel, resume_from=None)``, ``done``,
+        ``step_round(channel)`` and ``finish(channel)`` with the exact
+        wire traffic of the run-to-completion path, so a scheduler can
+        interleave many files' rounds while keeping each file's
+        transcript byte-identical to a sequential run.
+        """
+        raise NotImplementedError(
+            f"{self.name} does not support pipelined scheduling"
+        )
 
     def sync_named_file(self, name: str | None, old: bytes, new: bytes) -> MethodOutcome:
         """Synchronise one *named* file pair.
