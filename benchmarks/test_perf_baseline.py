@@ -23,6 +23,9 @@ Environment knobs (CI machines differ from the reference box):
 * ``REPRO_PERF_MIN_PIPELINE_SPEEDUP`` pipelined-over-sequential link
   wall-clock floor (default 4.0 — the measurement is simulated and
   machine-independent, so current and committed use the same floor)
+* ``REPRO_PERF_MIN_REUSE_SPEEDUP`` warm-over-cold Nth-client serve
+  floor for the *current* machine (default 5.0; the committed baseline
+  itself must show >= 5.0 too — the ISSUE 10 acceptance floor)
 """
 
 from __future__ import annotations
@@ -38,12 +41,14 @@ from repro.bench.perfbaseline import (
     DEFAULT_DELTA_BASELINE_NAME,
     DEFAULT_PIPELINE_BASELINE_NAME,
     DEFAULT_PROTOCOL_BASELINE_NAME,
+    DEFAULT_REUSE_BASELINE_NAME,
     compare_baselines,
     load_baseline,
     measure,
     measure_delta,
     measure_pipeline,
     measure_protocol,
+    measure_reuse,
     render_baseline,
     save_baseline,
 )
@@ -54,6 +59,7 @@ BASELINE_PATH = REPO_ROOT / DEFAULT_BASELINE_NAME
 DELTA_BASELINE_PATH = REPO_ROOT / DEFAULT_DELTA_BASELINE_NAME
 PROTOCOL_BASELINE_PATH = REPO_ROOT / DEFAULT_PROTOCOL_BASELINE_NAME
 PIPELINE_BASELINE_PATH = REPO_ROOT / DEFAULT_PIPELINE_BASELINE_NAME
+REUSE_BASELINE_PATH = REPO_ROOT / DEFAULT_REUSE_BASELINE_NAME
 
 WORKERS = int(os.environ.get("REPRO_PERF_WORKERS", "4"))
 TOLERANCE = float(os.environ.get("REPRO_PERF_TOLERANCE", "2.0"))
@@ -66,6 +72,9 @@ MIN_PROTOCOL_SPEEDUP = float(
 )
 MIN_PIPELINE_SPEEDUP = float(
     os.environ.get("REPRO_PERF_MIN_PIPELINE_SPEEDUP", "4.0")
+)
+MIN_REUSE_SPEEDUP = float(
+    os.environ.get("REPRO_PERF_MIN_REUSE_SPEEDUP", "5.0")
 )
 
 #: The committed reference baseline must demonstrate this dispatch
@@ -83,6 +92,10 @@ COMMITTED_PROTOCOL_SPEEDUP_FLOOR = 3.0
 #: The committed pipeline baseline must demonstrate this pipelined-over-
 #: sequential link wall-clock speedup (the ISSUE 9 acceptance floor).
 COMMITTED_PIPELINE_SPEEDUP_FLOOR = 4.0
+
+#: The committed reuse baseline must demonstrate this warm-over-cold
+#: Nth-client serve speedup (the ISSUE 10 acceptance floor).
+COMMITTED_REUSE_SPEEDUP_FLOOR = 5.0
 
 
 @pytest.fixture(scope="module")
@@ -291,3 +304,69 @@ def test_pipelined_wall_clock_beats_sequential(current_pipeline):
         f"pipeline speedup {current_pipeline.pipeline_speedup:.2f}x fell "
         f"below the {MIN_PIPELINE_SPEEDUP}x floor"
     )
+
+
+# ----------------------------------------------------------------------
+# Cross-file reuse gate (BENCH_reuse.json)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def committed_reuse():
+    if not REUSE_BASELINE_PATH.exists():
+        pytest.fail(f"missing committed baseline {REUSE_BASELINE_PATH}")
+    return load_baseline(REUSE_BASELINE_PATH)
+
+
+@pytest.fixture(scope="module")
+def current_reuse():
+    baseline = measure_reuse()
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    save_baseline(baseline, results_dir / "BENCH_reuse.current.json")
+    return baseline
+
+
+def test_committed_reuse_baseline_demonstrates_speedup(committed_reuse):
+    """The checked-in trajectory point must show the >= 5x memo win."""
+    assert committed_reuse.reuse_speedup >= COMMITTED_REUSE_SPEEDUP_FLOOR, (
+        f"committed BENCH_reuse.json records reuse speedup "
+        f"{committed_reuse.reuse_speedup:.2f}x < "
+        f"{COMMITTED_REUSE_SPEEDUP_FLOOR}x"
+    )
+    for op in ("broadcast_cold_client", "broadcast_warm_client",
+               "broadcast_wire_sibling", "broadcast_wire_full"):
+        assert op in committed_reuse.ops, f"committed baseline missing {op}"
+
+
+def test_committed_reuse_baseline_shows_sibling_savings(committed_reuse):
+    """Sibling references must save measurable fleet wire bytes."""
+    assert committed_reuse.sibling_wire_savings > 0.0, (
+        "committed BENCH_reuse.json records no sibling wire savings"
+    )
+
+
+def test_no_reuse_op_regressed_past_tolerance(current_reuse, committed_reuse):
+    publish("perf_baseline_reuse", render_baseline(current_reuse))
+    findings = compare_baselines(
+        current_reuse, committed_reuse, tolerance=TOLERANCE
+    )
+    assert not findings, "\n".join(findings)
+
+
+def test_warm_serve_still_faster_than_cold(current_reuse):
+    """The Nth-client memo speedup must hold on this machine."""
+    assert current_reuse.reuse_speedup >= MIN_REUSE_SPEEDUP, (
+        f"reuse memo speedup {current_reuse.reuse_speedup:.2f}x fell "
+        f"below the {MIN_REUSE_SPEEDUP}x floor on this machine"
+    )
+
+
+def test_sibling_wire_savings_reproducible(current_reuse, committed_reuse):
+    """Wire bytes are deterministic: the current run must reproduce the
+    committed byte counts exactly, not merely within tolerance."""
+    for name in ("broadcast_wire_sibling", "broadcast_wire_full"):
+        assert current_reuse.ops[name].payload_bytes == (
+            committed_reuse.ops[name].payload_bytes
+        ), (
+            f"{name}: {current_reuse.ops[name].payload_bytes} wire bytes "
+            f"!= committed {committed_reuse.ops[name].payload_bytes}"
+        )

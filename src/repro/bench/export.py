@@ -58,6 +58,11 @@ def run_to_row(run: CollectionRun) -> dict[str, object]:
         "mux_overhead_bytes": run.mux_overhead_bytes,
         "roundtrips_on_wire": run.roundtrips_on_wire,
         "link_wall_clock_s": round(run.link_wall_clock_s, 4),
+        "dedup_hits": run.dedup_hits,
+        "delta_memo_hits": run.delta_memo_hits,
+        "delta_memo_misses": run.delta_memo_misses,
+        "sibling_refs_used": run.sibling_refs_used,
+        "bytes_saved_vs_self_ref": run.bytes_saved_vs_self_ref,
     }
     for key, value in sorted(run.breakdown.items()):
         row[f"breakdown.{key}"] = value

@@ -48,6 +48,9 @@ DEFAULT_PROTOCOL_BASELINE_NAME = "BENCH_protocol.json"
 #: Committed baseline for the pipelined-scheduler latency gate.
 DEFAULT_PIPELINE_BASELINE_NAME = "BENCH_pipeline.json"
 
+#: Committed baseline for the cross-file reuse gate (DESIGN §17).
+DEFAULT_REUSE_BASELINE_NAME = "BENCH_reuse.json"
+
 #: Seeded workload defaults: 64 changed files, ~48 MB of payload.
 DEFAULT_FILES = 64
 DEFAULT_FILE_KB = 384
@@ -75,6 +78,16 @@ DEFAULT_PROTOCOL_ROUNDS = 1
 DEFAULT_PIPELINE_FILE_KB = 24
 DEFAULT_PIPELINE_WINDOW = 8
 DEFAULT_PIPELINE_LATENCY_S = 0.150
+
+#: Cross-file reuse workload: an 8-client fleet at mixed staleness
+#: pulling one ~24 KB-mean-file collection.  The gate compares the cold
+#: (fresh memo) and warm (fleet-primed memo) wall clock of serving the
+#: last client, plus total fleet wire bytes with and without sibling
+#: references.
+DEFAULT_REUSE_CLIENTS = 8
+DEFAULT_REUSE_FILES = 12
+DEFAULT_REUSE_VERSIONS = 4
+DEFAULT_REUSE_FILE_KB = 24
 
 #: Comparison tolerance: an op regresses when it is slower than
 #: ``committed * (1 + tolerance)``.  0.5 locally; CI uses 2.0 (3x).
@@ -197,6 +210,33 @@ class PerfBaseline:
             return 0.0
         return vector_op.mb_per_s / scalar_op.mb_per_s
 
+    @property
+    def reuse_speedup(self) -> float:
+        """Nth-client memo speedup: cold serve wall clock / warm.
+
+        Both ops serve the *same* client's update from the same fleet
+        workload; the only difference is whether the delta memo cache
+        was primed by the rest of the fleet first.
+        """
+        cold_op = self.ops.get("broadcast_cold_client")
+        warm_op = self.ops.get("broadcast_warm_client")
+        if cold_op is None or warm_op is None or warm_op.seconds <= 0:
+            return 0.0
+        return cold_op.seconds / warm_op.seconds
+
+    @property
+    def sibling_wire_savings(self) -> float:
+        """Fleet wire-byte fraction saved by sibling references.
+
+        Deterministic: both ops record total fleet wire bytes (as their
+        payload) on the same workload, with the sibling path on and off.
+        """
+        full_op = self.ops.get("broadcast_wire_full")
+        sibling_op = self.ops.get("broadcast_wire_sibling")
+        if full_op is None or sibling_op is None or full_op.payload_bytes <= 0:
+            return 0.0
+        return 1.0 - sibling_op.payload_bytes / full_op.payload_bytes
+
     def to_json(self) -> str:
         derived: dict[str, float] = {}
         if self.arena_speedup:
@@ -210,6 +250,12 @@ class PerfBaseline:
         if self.pipeline_speedup:
             derived["pipeline_latency_speedup"] = round(
                 self.pipeline_speedup, 3
+            )
+        if self.reuse_speedup:
+            derived["reuse_memo_speedup"] = round(self.reuse_speedup, 3)
+        if self.sibling_wire_savings:
+            derived["sibling_wire_savings"] = round(
+                self.sibling_wire_savings, 4
             )
         payload = {
             "schema": self.schema,
@@ -642,6 +688,106 @@ def measure_pipeline(
     return PerfBaseline(workload=workload, ops=ops, environment=environment)
 
 
+def measure_reuse(
+    clients: int = DEFAULT_REUSE_CLIENTS,
+    files: int = DEFAULT_REUSE_FILES,
+    versions: int = DEFAULT_REUSE_VERSIONS,
+    file_kb: int = DEFAULT_REUSE_FILE_KB,
+    rounds: int = DEFAULT_ROUNDS,
+    seed: int = DEFAULT_SEED,
+) -> PerfBaseline:
+    """Measure the cross-file reuse layer on the fleet workload.
+
+    Four ops make up the BENCH_reuse record:
+
+    * ``broadcast_cold_client`` — serving the last fleet client from a
+      freshly-built :class:`~repro.reuse.broadcast.BroadcastDeltaServer`
+      (empty memo: every delta computed from scratch);
+    * ``broadcast_warm_client`` — serving the *same* client after the
+      rest of the fleet primed the shared memo cache (the steady-state
+      Nth-client cost the layer is designed for);
+    * ``broadcast_wire_sibling`` / ``broadcast_wire_full`` — total fleet
+      wire bytes (recorded as the payload) with the sibling-reference
+      path on and off; their ratio is the deterministic
+      ``sibling_wire_savings``.
+
+    The derived ``reuse_memo_speedup`` is cold over warm wall clock.
+    """
+    from repro.reuse import BroadcastDeltaServer, DedupStore, DeltaMemoCache
+    from repro.workloads.fleet import make_fleet
+
+    fleet = make_fleet(
+        clients=clients,
+        files=files,
+        versions=versions,
+        seed=seed,
+        mean_size=file_kb * 1024,
+    )
+    last_client = fleet.clients[-1].files
+    payload = sum(len(data) for data in fleet.server.values())
+    ops: dict[str, OpTiming] = {}
+
+    def fresh_server(resemblance_threshold: float = 0.5) -> BroadcastDeltaServer:
+        server = BroadcastDeltaServer(
+            fleet.server,
+            memo=DeltaMemoCache(),
+            dedup=DedupStore(),
+            resemblance_threshold=resemblance_threshold,
+        )
+        for version in fleet.versions[:-1]:
+            server.ingest_history(version)
+        return server
+
+    rounds = max(1, rounds)
+    cold_best = float("inf")
+    for _ in range(rounds):
+        server = fresh_server()
+        started = time.perf_counter()
+        server.serve(last_client)
+        cold_best = min(cold_best, time.perf_counter() - started)
+    ops["broadcast_cold_client"] = OpTiming(
+        "broadcast_cold_client", cold_best, payload, rounds
+    )
+
+    warm_server = fresh_server()
+    for client in fleet.clients:
+        warm_server.serve(client.files)
+    ops["broadcast_warm_client"] = OpTiming(
+        "broadcast_warm_client",
+        _best_of(rounds, lambda: warm_server.serve(last_client)),
+        payload,
+        rounds,
+    )
+
+    for op_name, threshold in (
+        ("broadcast_wire_sibling", 0.5),
+        ("broadcast_wire_full", 2.0),  # nothing resembles above 1.0
+    ):
+        server = fresh_server(resemblance_threshold=threshold)
+        started = time.perf_counter()
+        wire = sum(
+            server.serve(client.files).wire_bytes for client in fleet.clients
+        )
+        ops[op_name] = OpTiming(
+            op_name, time.perf_counter() - started, wire, 1
+        )
+
+    environment = {
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    workload = {
+        "clients": clients,
+        "files": files,
+        "versions": versions,
+        "file_kb": file_kb,
+        "rounds": rounds,
+        "seed": seed,
+    }
+    return PerfBaseline(workload=workload, ops=ops, environment=environment)
+
+
 def render_baseline(baseline: PerfBaseline) -> str:
     """Terminal table of one measurement (CLI + benchmark output)."""
     from repro.bench.report import render_table
@@ -675,6 +821,12 @@ def render_baseline(baseline: PerfBaseline) -> str:
     pipeline = baseline.pipeline_speedup
     if pipeline:
         title += f"; pipelined wall clock {pipeline:.2f}x over sequential"
+    reuse = baseline.reuse_speedup
+    if reuse:
+        title += f"; warm memo serve {reuse:.2f}x over cold"
+    savings = baseline.sibling_wire_savings
+    if savings:
+        title += f"; sibling refs save {savings:.1%} of fleet wire bytes"
     return render_table(
         ["op", "ms (best)", "MB/s", "payload KB", "rounds"], rows, title=title
     )

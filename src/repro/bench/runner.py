@@ -68,6 +68,11 @@ class CollectionRun:
     mux_overhead_bytes: int = 0
     roundtrips_on_wire: int = 0
     link_wall_clock_s: float = 0.0
+    dedup_hits: int = 0
+    delta_memo_hits: int = 0
+    delta_memo_misses: int = 0
+    sibling_refs_used: int = 0
+    bytes_saved_vs_self_ref: int = 0
 
     @property
     def total_kb(self) -> float:
@@ -99,6 +104,9 @@ def run_method_on_collection(
     breaker_threshold=None,
     pipeline: bool = False,
     window: int = 8,
+    delta_memo: bool | None = None,
+    sibling_refs: bool = False,
+    resemblance_threshold: float = 0.5,
 ) -> CollectionRun:
     """Synchronise one collection pair and flatten the report to a row."""
     started = time.perf_counter()
@@ -122,6 +130,9 @@ def run_method_on_collection(
         breaker_threshold=breaker_threshold,
         pipeline=pipeline,
         window=window,
+        delta_memo=delta_memo,
+        sibling_refs=sibling_refs,
+        resemblance_threshold=resemblance_threshold,
     )
     elapsed = time.perf_counter() - started
 
@@ -169,4 +180,9 @@ def run_method_on_collection(
         mux_overhead_bytes=report.mux_overhead_bytes,
         roundtrips_on_wire=report.roundtrips_on_wire,
         link_wall_clock_s=report.link_wall_clock_s,
+        dedup_hits=report.dedup_hits,
+        delta_memo_hits=report.delta_memo_hits,
+        delta_memo_misses=report.delta_memo_misses,
+        sibling_refs_used=report.sibling_refs_used,
+        bytes_saved_vs_self_ref=report.bytes_saved_vs_self_ref,
     )

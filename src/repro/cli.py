@@ -161,6 +161,9 @@ def _cmd_sync(args: argparse.Namespace) -> int:
         breaker_threshold=args.breaker_threshold,
         pipeline=args.pipeline,
         window=args.window,
+        delta_memo=args.delta_memo,
+        sibling_refs=args.sibling_refs,
+        resemblance_threshold=args.resemblance_threshold,
     )
     adaptive_active = (
         args.adaptive_retry
@@ -209,6 +212,11 @@ def _cmd_sync(args: argparse.Namespace) -> int:
                     "mux_overhead_bytes": run.mux_overhead_bytes,
                     "roundtrips_on_wire": run.roundtrips_on_wire,
                     "link_wall_clock_s": round(run.link_wall_clock_s, 4),
+                    "dedup_hits": run.dedup_hits,
+                    "delta_memo_hits": run.delta_memo_hits,
+                    "delta_memo_misses": run.delta_memo_misses,
+                    "sibling_refs_used": run.sibling_refs_used,
+                    "bytes_saved_vs_self_ref": run.bytes_saved_vs_self_ref,
                 },
                 indent=2,
             )
@@ -249,6 +257,18 @@ def _cmd_sync(args: argparse.Namespace) -> int:
         if run.pipelined:
             print(f"pipeline        : {run.waves} waves, "
                   f"{run.mux_overhead_bytes:,} B mux framing overhead")
+        if (
+            args.delta_memo
+            or args.sibling_refs
+            or run.dedup_hits
+            or run.delta_memo_hits
+            or run.sibling_refs_used
+        ):
+            print(f"reuse           : {run.dedup_hits} dedup hits, "
+                  f"{run.delta_memo_hits}/"
+                  f"{run.delta_memo_hits + run.delta_memo_misses} memo hits, "
+                  f"{run.sibling_refs_used} sibling refs "
+                  f"({run.bytes_saved_vs_self_ref:,} B saved)")
         if args.checkpoint_dir is not None:
             print(f"checkpoints     : {run.rounds_salvaged} rounds salvaged, "
                   f"{run.resume_handshake_bits} handshake bits, "
@@ -540,13 +560,14 @@ def _cmd_manifest(args: argparse.Namespace) -> int:
 def _cmd_bench_perf(args: argparse.Namespace) -> int:
     """Measure the substrate perf baselines; record or compare them.
 
-    Four baselines make up the perf gate: the parallel-substrate record
+    Five baselines make up the perf gate: the parallel-substrate record
     (``BENCH_parallel.json``), the delta-encode throughput record
     (``BENCH_delta.json``), the whole-round protocol-engine record
-    (``BENCH_protocol.json``), and the pipelined-scheduler latency
-    record (``BENCH_pipeline.json``).  All are measured, printed, and
-    compared (or rewritten with ``--update``) in one invocation so CI
-    stays a single command.
+    (``BENCH_protocol.json``), the pipelined-scheduler latency record
+    (``BENCH_pipeline.json``), and the cross-file reuse record
+    (``BENCH_reuse.json``).  All are measured, printed, and compared
+    (or rewritten with ``--update``) in one invocation so CI stays a
+    single command.
     """
     from repro.bench.perfbaseline import (
         compare_baselines,
@@ -555,6 +576,7 @@ def _cmd_bench_perf(args: argparse.Namespace) -> int:
         measure_delta,
         measure_pipeline,
         measure_protocol,
+        measure_reuse,
         render_baseline,
         save_baseline,
     )
@@ -572,6 +594,10 @@ def _cmd_bench_perf(args: argparse.Namespace) -> int:
     if not args.no_pipeline:
         measurements.append(
             (Path(args.pipeline_baseline), measure_pipeline())
+        )
+    if not args.no_reuse:
+        measurements.append(
+            (Path(args.reuse_baseline), measure_reuse())
         )
 
     for _path, measurement in measurements:
@@ -699,6 +725,18 @@ def build_parser() -> argparse.ArgumentParser:
     sync.add_argument("--window", type=int, default=8,
                       help="max files in flight under --pipeline "
                            "(default 8)")
+    sync.add_argument("--delta-memo", action=argparse.BooleanOptionalAction,
+                      default=None,
+                      help="memoize delta instruction lists and payloads "
+                           "by content fingerprint pair (default: off, or "
+                           "the REPRO_DELTA_MEMO env setting)")
+    sync.add_argument("--sibling-refs", action="store_true",
+                      help="delta-encode added files against similar "
+                           "sibling files already on the client "
+                           "(min-hash resemblance lookup)")
+    sync.add_argument("--resemblance-threshold", type=float, default=0.5,
+                      help="minimum estimated resemblance before a "
+                           "sibling reference is attempted (default 0.5)")
     sync.add_argument("--fault-rate", type=float, default=0.0,
                       help="inject channel faults (corruption/truncation/"
                            "drops) at this per-message rate")
@@ -808,6 +846,12 @@ def build_parser() -> argparse.ArgumentParser:
                                  "to compare against or update")
     bench_perf.add_argument("--no-pipeline", action="store_true",
                             help="skip the pipeline-latency measurement")
+    bench_perf.add_argument("--reuse-baseline",
+                            default="BENCH_reuse.json",
+                            help="cross-file reuse baseline JSON to "
+                                 "compare against or rewrite")
+    bench_perf.add_argument("--no-reuse", action="store_true",
+                            help="skip the cross-file reuse measurement")
     bench_perf.add_argument("--update", action="store_true",
                             help="record the current measurement as the "
                                  "new baseline instead of comparing")

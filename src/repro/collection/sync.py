@@ -55,6 +55,18 @@ class CollectionReport:
     mux_overhead_bytes: int = 0
     roundtrips_on_wire: int = 0
     link_wall_clock_s: float = 0.0
+    #: Reuse-layer counters (DESIGN §17), all zero on a clean default
+    #: run: ``dedup_hits`` counts added files served by content identity
+    #: from blobs the client already holds (renames), the memo pair the
+    #: delta-memo cache's hit/miss deltas, ``sibling_refs_used`` added
+    #: files delta-coded against a similar sibling instead of sent in
+    #: full, and ``bytes_saved_vs_self_ref`` the wire bytes those reuse
+    #: decisions saved versus self-reference-only transfer.
+    dedup_hits: int = 0
+    delta_memo_hits: int = 0
+    delta_memo_misses: int = 0
+    sibling_refs_used: int = 0
+    bytes_saved_vs_self_ref: int = 0
 
     @property
     def changed_transfer_bytes(self) -> int:
@@ -232,6 +244,71 @@ def sync_collection_batched(
     return report
 
 
+def _transfer_added(
+    report: CollectionReport,
+    client_files: dict[str, bytes],
+    server_files: dict[str, bytes],
+    added,
+    client_manifest: Manifest,
+    sibling_refs: bool,
+    resemblance_threshold: float,
+) -> None:
+    """Transfer the files the client lacks entirely.
+
+    Default: compressed full transfer, exactly the pre-reuse behaviour.
+    With ``sibling_refs`` each added file is first matched by content
+    identity (the client already holds these bytes under another name —
+    a rename, zero wire bytes beyond the manifest) and then against the
+    most similar client file by min-hash resemblance (delta-coded when
+    that beats the full transfer).  Every decision takes the cheaper
+    payload, so the option never costs bytes.
+    """
+    index = None
+    by_fingerprint: dict[bytes, str] = {}
+    if sibling_refs and client_files:
+        from repro.reuse.similarity import SimilarityIndex
+
+        # Earliest name wins per content (sorted = deterministic).
+        for name in sorted(client_files, reverse=True):
+            by_fingerprint[client_manifest.entries[name]] = name
+        index = SimilarityIndex()
+        for name in sorted(client_files):
+            index.add(name, client_files[name])
+    for name in added:
+        new = server_files[name]
+        payload = zlib.compress(new, 9)
+        if by_fingerprint:
+            from repro.hashing.strong import file_fingerprint
+
+            twin = by_fingerprint.get(file_fingerprint(new))
+            if twin is not None:
+                # Rename: content-identical bytes already on the client.
+                report.dedup_hits += 1
+                report.bytes_saved_vs_self_ref += len(payload)
+                report.reconstructed[name] = client_files[twin]
+                continue
+        if index is not None:
+            candidate = index.best_reference(
+                new, threshold=resemblance_threshold
+            )
+            if candidate is not None:
+                from repro.delta.encoder import zdelta_decode, zdelta_encode
+
+                sibling_name, _resemblance = candidate
+                sibling = client_files[sibling_name]
+                delta = zdelta_encode(sibling, new)
+                if len(delta) < len(payload):
+                    report.added_bytes += len(delta)
+                    report.sibling_refs_used += 1
+                    report.bytes_saved_vs_self_ref += (
+                        len(payload) - len(delta)
+                    )
+                    report.reconstructed[name] = zdelta_decode(sibling, delta)
+                    continue
+        report.added_bytes += len(payload)
+        report.reconstructed[name] = zlib.decompress(payload)
+
+
 def sync_collection(
     client_files: dict[str, bytes],
     server_files: dict[str, bytes],
@@ -255,8 +332,84 @@ def sync_collection(
     breaker_threshold=None,
     pipeline: bool = False,
     window: int = 8,
+    delta_memo: bool | None = None,
+    sibling_refs: bool = False,
+    resemblance_threshold: float = 0.5,
 ) -> CollectionReport:
     """Update ``client_files`` to ``server_files`` using ``method``.
+
+    Cross-file reuse (DESIGN §17): ``delta_memo`` scopes the process-wide
+    delta-memo switch for this update — ``True`` memoizes instruction
+    lists and encoded payloads by content pair (byte-identical, wall-clock
+    only), ``False`` forces it off, ``None`` (default) defers to
+    ``REPRO_DELTA_MEMO``.  ``sibling_refs`` serves *added* files (no
+    previous version on the client) by content identity when the client
+    already holds the same bytes under another name (a rename — counted
+    in ``report.dedup_hits``) or as a delta against the most similar
+    client file clearing ``resemblance_threshold`` (min-hash estimate,
+    counted in ``report.sibling_refs_used``); the compressed full
+    transfer remains the fallback, and the cheaper of delta and full
+    always wins, so enabling it never costs wire bytes.  Both knobs
+    default to off, leaving reports byte-identical to a run without them.
+    """
+    from repro.reuse.memo import delta_memo_scope
+
+    with delta_memo_scope(None if delta_memo is None else bool(delta_memo)):
+        return _sync_collection_impl(
+            client_files,
+            server_files,
+            method,
+            verify=verify,
+            change_detection=change_detection,
+            workers=workers,
+            use_arena=use_arena,
+            executor=executor,
+            on_error=on_error,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
+            link=link,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            checkpoints=checkpoints,
+            store=store,
+            adaptive_retry=adaptive_retry,
+            deadline_s=deadline_s,
+            run_deadline_s=run_deadline_s,
+            breaker_threshold=breaker_threshold,
+            pipeline=pipeline,
+            window=window,
+            sibling_refs=sibling_refs,
+            resemblance_threshold=resemblance_threshold,
+        )
+
+
+def _sync_collection_impl(
+    client_files: dict[str, bytes],
+    server_files: dict[str, bytes],
+    method: SyncMethod,
+    verify: bool = True,
+    change_detection: str = "manifest",
+    workers: int | None = 1,
+    use_arena: bool | None = None,
+    executor: SyncExecutor | None = None,
+    on_error: str = "raise",
+    fault_plan=None,
+    retry_policy=None,
+    link=None,
+    checkpoint_dir=None,
+    resume: bool = False,
+    checkpoints=None,
+    store=None,
+    adaptive_retry=False,
+    deadline_s: float | None = None,
+    run_deadline_s: float | None = None,
+    breaker_threshold=None,
+    pipeline: bool = False,
+    window: int = 8,
+    sibling_refs: bool = False,
+    resemblance_threshold: float = 0.5,
+) -> CollectionReport:
+    """The update itself (the public wrapper holds the memo scope).
 
     Change detection is charged first — either the full fingerprint
     manifest (``"manifest"``, the paper's approach) or Merkle-trie
@@ -463,10 +616,16 @@ def sync_collection(
 
     for name in diff.unchanged:
         report.reconstructed[name] = client_files[name]
-    for name in diff.added:
-        payload = zlib.compress(server_files[name], 9)
-        report.added_bytes += len(payload)
-        report.reconstructed[name] = zlib.decompress(payload)
+    if diff.added:
+        _transfer_added(
+            report,
+            client_files,
+            server_files,
+            diff.added,
+            client_manifest,
+            sibling_refs,
+            resemblance_threshold,
+        )
 
     if pipeline:
         from repro.collection.pipeline import CollectionScheduler
@@ -527,6 +686,8 @@ def sync_collection(
     report.cache_misses = batch.cache_misses
     report.ref_cache_hits = batch.ref_cache_hits
     report.ref_cache_misses = batch.ref_cache_misses
+    report.delta_memo_hits = batch.delta_memo_hits
+    report.delta_memo_misses = batch.delta_memo_misses
     report.arena_used = batch.arena_used
     report.arena_bytes = batch.arena_bytes
     for result in batch.files:
@@ -601,6 +762,10 @@ def sync_collection(
     from repro.net.channel import LinkModel
 
     outcomes = list(report.per_file.values())
+    report.sibling_refs_used += sum(o.sibling_refs_used for o in outcomes)
+    report.bytes_saved_vs_self_ref += sum(
+        o.bytes_saved_vs_self_ref for o in outcomes
+    )
     report.roundtrips_on_wire = sum(o.roundtrips for o in outcomes)
     if outcomes:
         report.link_wall_clock_s = (link or LinkModel()).transfer_seconds(

@@ -69,22 +69,17 @@ def _decode_streams(ops: bytes, literals: bytes) -> list[Instruction]:
     return instructions
 
 
-def zdelta_encode(
+def _zdelta_encode_cold(
     reference: bytes,
     target: bytes,
-    seed_length: int = DEFAULT_SEED_LENGTH,
-    matcher: ReferenceMatcher | None = None,
-    engine: str | None = None,
+    seed_length: int,
+    matcher: ReferenceMatcher | None,
+    engine: str | None,
+    memo,
 ) -> bytes:
-    """Encode ``target`` relative to ``reference``.
-
-    ``engine`` passes through to
-    :func:`~repro.delta.matcher.compute_instructions`; both engines
-    produce byte-identical deltas.
-    """
     instructions = compute_instructions(
         reference, target, seed_length=seed_length, matcher=matcher,
-        engine=engine,
+        engine=engine, memo=memo,
     )
     ops, literals = _encode_streams(instructions)
     compressed_ops = zlib.compress(ops, 9)
@@ -95,6 +90,58 @@ def zdelta_encode(
     out += encode_uvarint(len(compressed_literals))
     out += compressed_literals
     return bytes(out)
+
+
+def _pair_fingerprints(
+    reference: bytes, target: bytes, matcher: ReferenceMatcher | None
+) -> tuple[bytes, bytes]:
+    """Content identities of a delta pair (matcher's, when prebuilt)."""
+    from repro.hashing.strong import file_fingerprint
+
+    old_fingerprint = (
+        matcher.fingerprint
+        if matcher is not None
+        else file_fingerprint(reference)
+    )
+    return old_fingerprint, file_fingerprint(target)
+
+
+def zdelta_encode(
+    reference: bytes,
+    target: bytes,
+    seed_length: int = DEFAULT_SEED_LENGTH,
+    matcher: ReferenceMatcher | None = None,
+    engine: str | None = None,
+    memo=None,
+) -> bytes:
+    """Encode ``target`` relative to ``reference``.
+
+    ``engine`` passes through to
+    :func:`~repro.delta.matcher.compute_instructions`; both engines
+    produce byte-identical deltas.  ``memo`` memoizes the encoded
+    payload by content pair (tri-state, see
+    :func:`~repro.delta.matcher.resolve_memo`): a hit returns the
+    byte-identical payload without matching or compressing anything.
+    """
+    from repro.delta.matcher import resolve_memo
+
+    resolved = resolve_memo(memo)
+    if resolved is None:
+        return _zdelta_encode_cold(
+            reference, target, seed_length, matcher, engine, memo=False
+        )
+    old_fingerprint, new_fingerprint = _pair_fingerprints(
+        reference, target, matcher
+    )
+    return resolved.payload(
+        "zdelta",
+        old_fingerprint,
+        new_fingerprint,
+        seed_length,
+        lambda: _zdelta_encode_cold(
+            reference, target, seed_length, matcher, engine, memo=resolved
+        ),
+    )
 
 
 def zdelta_decode(reference: bytes, delta: bytes) -> bytes:
@@ -126,11 +173,21 @@ def zdelta_size(
     seed_length: int = DEFAULT_SEED_LENGTH,
     matcher: ReferenceMatcher | None = None,
     engine: str | None = None,
+    memo=None,
 ) -> int:
-    """Size in bytes of the zdelta encoding (the paper's lower bound)."""
+    """Size in bytes of the zdelta encoding (the paper's lower bound).
+
+    Always memoized by content pair (unless ``memo=False``): a size
+    probe is a pure measurement, so the runner's method-comparison grid
+    never encodes the same ``(reference, target)`` pair twice.
+    """
+    if memo is None:
+        from repro.reuse.memo import default_delta_memo
+
+        memo = default_delta_memo()
     return len(
         zdelta_encode(
             reference, target, seed_length=seed_length, matcher=matcher,
-            engine=engine,
+            engine=engine, memo=memo,
         )
     )

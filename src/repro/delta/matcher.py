@@ -203,6 +203,23 @@ def _resolve_matcher(reference: bytes, seed_length: int, cache):
     return cache.matcher(reference, seed_length)
 
 
+def resolve_memo(memo):
+    """The :class:`~repro.reuse.memo.DeltaMemoCache` to consult, or ``None``.
+
+    Tri-state mirror of the ``cache`` parameter: ``False`` opts out
+    entirely, an instance is used as given, and ``None`` defers to the
+    process-wide switch (:func:`~repro.reuse.memo.delta_memo_enabled`) —
+    off by default, so cold-path benchmarks time real matcher work.
+    """
+    if memo is False:
+        return None
+    if memo is None:
+        from repro.reuse.memo import default_delta_memo, delta_memo_enabled
+
+        return default_delta_memo() if delta_memo_enabled() else None
+    return memo
+
+
 def compute_instructions(
     reference: bytes,
     target: bytes,
@@ -211,6 +228,7 @@ def compute_instructions(
     matcher: ReferenceMatcher | None = None,
     engine: str | None = None,
     cache=None,
+    memo=None,
 ) -> list[Instruction]:
     """Greedy COPY/ADD instruction list producing ``target`` from ``reference``.
 
@@ -223,6 +241,13 @@ def compute_instructions(
 
     ``engine`` selects the matching core (see module docstring); both
     engines emit byte-identical instruction lists.
+
+    ``memo`` memoizes the finished instruction list by *content pair*
+    (:class:`~repro.reuse.memo.DeltaMemoCache`): a hit skips hashing and
+    matching entirely and is byte-identical to a fresh run on either
+    engine.  ``None`` defers to the process-wide switch
+    (``REPRO_DELTA_MEMO`` / ``sync_collection(delta_memo=True)``),
+    ``False`` opts out, an instance is consulted unconditionally.
     """
     if min_match is None:
         min_match = seed_length
@@ -234,6 +259,42 @@ def compute_instructions(
         engine = default_engine()
     if engine not in ENGINES:
         raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+
+    memo = resolve_memo(memo)
+    if memo is not None:
+        # Keyed purely by content identity and matching parameters; the
+        # engine is deliberately absent (both emit identical streams),
+        # so a hit primed by one engine serves the other.
+        old_fingerprint = (
+            matcher.fingerprint
+            if matcher is not None
+            else file_fingerprint(reference)
+        )
+        return memo.instructions(
+            old_fingerprint,
+            file_fingerprint(target),
+            matcher.seed_length if matcher is not None else seed_length,
+            min_match,
+            lambda: _compute_cold(
+                reference, target, seed_length, min_match, matcher, engine,
+                cache,
+            ),
+        )
+    return _compute_cold(
+        reference, target, seed_length, min_match, matcher, engine, cache
+    )
+
+
+def _compute_cold(
+    reference: bytes,
+    target: bytes,
+    seed_length: int,
+    min_match: int,
+    matcher: ReferenceMatcher | None,
+    engine: str,
+    cache,
+) -> list[Instruction]:
+    """The actual matching work (everything a memo hit skips)."""
     if matcher is None:
         matcher = _resolve_matcher(reference, seed_length, cache)
     else:

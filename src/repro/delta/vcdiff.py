@@ -75,25 +75,58 @@ def _decode_body(body: bytes) -> list[Instruction]:
     return instructions
 
 
+def _vcdiff_encode_cold(
+    reference: bytes,
+    target: bytes,
+    seed_length: int,
+    matcher: ReferenceMatcher | None,
+    engine: str | None,
+    memo,
+) -> bytes:
+    instructions = compute_instructions(
+        reference, target, seed_length=seed_length, matcher=matcher,
+        engine=engine, memo=memo,
+    )
+    compressed = zlib.compress(_encode_body(instructions), 6)
+    return bytes([_MAGIC]) + encode_uvarint(len(compressed)) + compressed
+
+
 def vcdiff_encode(
     reference: bytes,
     target: bytes,
     seed_length: int = DEFAULT_SEED_LENGTH,
     matcher: ReferenceMatcher | None = None,
     engine: str | None = None,
+    memo=None,
 ) -> bytes:
     """Encode ``target`` relative to ``reference`` in the VCDIFF-ish format.
 
     ``engine`` passes through to
     :func:`~repro.delta.matcher.compute_instructions`; both engines
-    produce byte-identical deltas.
+    produce byte-identical deltas.  ``memo`` memoizes the encoded
+    payload by content pair (tri-state, see
+    :func:`~repro.delta.matcher.resolve_memo`).
     """
-    instructions = compute_instructions(
-        reference, target, seed_length=seed_length, matcher=matcher,
-        engine=engine,
+    from repro.delta.encoder import _pair_fingerprints
+    from repro.delta.matcher import resolve_memo
+
+    resolved = resolve_memo(memo)
+    if resolved is None:
+        return _vcdiff_encode_cold(
+            reference, target, seed_length, matcher, engine, memo=False
+        )
+    old_fingerprint, new_fingerprint = _pair_fingerprints(
+        reference, target, matcher
     )
-    compressed = zlib.compress(_encode_body(instructions), 6)
-    return bytes([_MAGIC]) + encode_uvarint(len(compressed)) + compressed
+    return resolved.payload(
+        "vcdiff",
+        old_fingerprint,
+        new_fingerprint,
+        seed_length,
+        lambda: _vcdiff_encode_cold(
+            reference, target, seed_length, matcher, engine, memo=resolved
+        ),
+    )
 
 
 def vcdiff_decode(reference: bytes, delta: bytes) -> bytes:
@@ -117,11 +150,21 @@ def vcdiff_size(
     seed_length: int = DEFAULT_SEED_LENGTH,
     matcher: ReferenceMatcher | None = None,
     engine: str | None = None,
+    memo=None,
 ) -> int:
-    """Size in bytes of the vcdiff-style encoding."""
+    """Size in bytes of the vcdiff-style encoding.
+
+    Always memoized by content pair (unless ``memo=False``), like
+    :func:`~repro.delta.encoder.zdelta_size` — a size probe is a pure
+    measurement, so the comparison grid never encodes a pair twice.
+    """
+    if memo is None:
+        from repro.reuse.memo import default_delta_memo
+
+        memo = default_delta_memo()
     return len(
         vcdiff_encode(
             reference, target, seed_length=seed_length, matcher=matcher,
-            engine=engine,
+            engine=engine, memo=memo,
         )
     )

@@ -59,6 +59,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    evicted_bytes: int = 0
 
     @property
     def lookups(self) -> int:
@@ -74,6 +75,7 @@ class CacheStats:
     def snapshot(self) -> dict[str, int]:
         """Counter view for reports, in stable key order."""
         return {
+            "evicted_bytes": self.evicted_bytes,
             "evictions": self.evictions,
             "hits": self.hits,
             "misses": self.misses,
@@ -87,13 +89,42 @@ class ContentKeyedCache:
     can be shared freely between sessions.
     """
 
-    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        max_bytes: int | None = None,
+    ) -> None:
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
         self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.current_bytes = 0
         self.stats = CacheStats()
         self._lock = threading.Lock()
         self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self._sizes: dict[tuple, int] = {}
+
+    # ------------------------------------------------------------------
+    # Entry sizing (for the optional byte budget)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _entry_bytes(entry: object) -> int:
+        """Best-effort resident size of one entry.
+
+        numpy-backed objects advertise ``nbytes``; raw payloads are
+        bytes-like; containers sum their parts.  Anything opaque counts
+        as zero — the entry-count limit still bounds those.
+        """
+        nbytes = getattr(entry, "nbytes", None)
+        if isinstance(nbytes, int):
+            return nbytes
+        if isinstance(entry, (bytes, bytearray, memoryview)):
+            return len(entry)
+        if isinstance(entry, (tuple, list)):
+            return sum(ContentKeyedCache._entry_bytes(item) for item in entry)
+        return 0
 
     # ------------------------------------------------------------------
     # Lookups
@@ -109,13 +140,34 @@ class ContentKeyedCache:
         # Build outside the lock: misses on distinct keys proceed in
         # parallel, and a racing duplicate build is merely redundant work.
         entry = build()
+        size = self._entry_bytes(entry)
         with self._lock:
+            if key not in self._entries:
+                self.current_bytes += size
+                self._sizes[key] = size
             self._entries[key] = entry
             self._entries.move_to_end(key)
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
+            self._evict_over_budget()
         return entry
+
+    def _evict_over_budget(self) -> None:
+        """Drop LRU entries past either budget (caller holds the lock).
+
+        The just-inserted (MRU) entry is never evicted: an oversized
+        single entry would otherwise thrash forever without a hit.
+        """
+        while len(self._entries) > 1 and (
+            len(self._entries) > self.max_entries
+            or (
+                self.max_bytes is not None
+                and self.current_bytes > self.max_bytes
+            )
+        ):
+            key, _entry = self._entries.popitem(last=False)
+            size = self._sizes.pop(key, 0)
+            self.current_bytes -= size
+            self.stats.evictions += 1
+            self.stats.evicted_bytes += size
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -135,6 +187,8 @@ class ContentKeyedCache:
         """Drop all entries (counters are kept; see :meth:`reset_stats`)."""
         with self._lock:
             self._entries.clear()
+            self._sizes.clear()
+            self.current_bytes = 0
 
     def reset_stats(self) -> None:
         with self._lock:

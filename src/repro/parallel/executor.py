@@ -97,6 +97,8 @@ class BatchResult:
     cache_misses: int = 0
     ref_cache_hits: int = 0
     ref_cache_misses: int = 0
+    delta_memo_hits: int = 0
+    delta_memo_misses: int = 0
     chunk_retries: int = 0
     arena_used: bool = False
     arena_bytes: int = 0
@@ -144,12 +146,18 @@ def _sync_one(
 _worker_arena = None
 
 
-def _worker_init(arena_name: str | None, cache_entries: int | None) -> None:
+def _worker_init(
+    arena_name: str | None,
+    cache_entries: int | None,
+    memo_enabled: bool | None = None,
+) -> None:
     """Pool initializer: attach the arena once, pre-size the caches.
 
     Runs once per worker process instead of once per chunk, so the warm
-    state (arena mapping, hash-index and reference-index cache capacity)
-    persists across every chunk the worker handles.
+    state (arena mapping, hash-index and reference-index cache capacity,
+    delta-memo switch) persists across every chunk the worker handles.
+    ``memo_enabled`` re-asserts the parent's resolved delta-memo switch
+    so spawn-based pools match fork-based ones.
     """
     global _worker_arena
     if arena_name is not None:
@@ -161,20 +169,30 @@ def _worker_init(arena_name: str | None, cache_entries: int | None) -> None:
 
         default_cache().ensure_capacity(cache_entries)
         default_reference_cache().ensure_capacity(cache_entries)
+        from repro.reuse.memo import default_delta_memo
+
+        default_delta_memo().ensure_capacity(cache_entries)
+    if memo_enabled is not None:
+        from repro.reuse.memo import set_delta_memo_enabled
+
+        set_delta_memo_enabled(memo_enabled)
 
 
 def _run_chunk(
     method: SyncMethod,
     chunk: list[tuple[int, FileTask]],
     capture_errors: bool = False,
-) -> tuple[list[tuple[int, FileResult]], int, int, int, int]:
+) -> tuple[list[tuple[int, FileResult]], int, int, int, int, int, int]:
     """Worker entry point: run one chunk, report cache counter deltas."""
     from repro.parallel.cache import default_cache, default_reference_cache
+    from repro.reuse.memo import default_delta_memo
 
     stats = default_cache().stats
     ref_stats = default_reference_cache().stats
+    memo_stats = default_delta_memo().stats
     hits_before, misses_before = stats.hits, stats.misses
     ref_hits_before, ref_misses_before = ref_stats.hits, ref_stats.misses
+    memo_hits_before, memo_misses_before = memo_stats.hits, memo_stats.misses
     rows: list[tuple[int, FileResult]] = []
     for index, task in chunk:
         rows.append((index, _sync_one(method, task, capture_errors)))
@@ -184,6 +202,8 @@ def _run_chunk(
         stats.misses - misses_before,
         ref_stats.hits - ref_hits_before,
         ref_stats.misses - ref_misses_before,
+        memo_stats.hits - memo_hits_before,
+        memo_stats.misses - memo_misses_before,
     )
 
 
@@ -191,7 +211,7 @@ def _run_chunk_spans(
     method: SyncMethod,
     chunk,
     capture_errors: bool = False,
-) -> tuple[list[tuple[int, FileResult]], int, int, int, int]:
+) -> tuple[list[tuple[int, FileResult]], int, int, int, int, int, int]:
     """Arena worker entry point: spans in, payloads read zero-copy.
 
     Each ``(index, SpanTask)`` is materialised as a :class:`FileTask`
@@ -320,11 +340,17 @@ class SyncExecutor:
         capture_errors: bool = False,
     ) -> BatchResult:
         from repro.parallel.cache import default_cache, default_reference_cache
+        from repro.reuse.memo import default_delta_memo
 
         stats = default_cache().stats
         ref_stats = default_reference_cache().stats
+        memo_stats = default_delta_memo().stats
         hits_before, misses_before = stats.hits, stats.misses
         ref_hits_before, ref_misses_before = ref_stats.hits, ref_stats.misses
+        memo_hits_before, memo_misses_before = (
+            memo_stats.hits,
+            memo_stats.misses,
+        )
         result = BatchResult(workers_used=1)
         for task in tasks:
             result.files.append(_sync_one(method, task, capture_errors))
@@ -332,6 +358,8 @@ class SyncExecutor:
         result.cache_misses = stats.misses - misses_before
         result.ref_cache_hits = ref_stats.hits - ref_hits_before
         result.ref_cache_misses = ref_stats.misses - ref_misses_before
+        result.delta_memo_hits = memo_stats.hits - memo_hits_before
+        result.delta_memo_misses = memo_stats.misses - memo_misses_before
         return result
 
     def _acquire_arena(self, tasks: list[FileTask]):
@@ -395,10 +423,12 @@ class SyncExecutor:
 
             gathered = []
             failed_chunks: list[list[tuple[int, FileTask]]] = []
+            from repro.reuse.memo import delta_memo_enabled
+
             with ProcessPoolExecutor(
                 max_workers=workers_used,
                 initializer=_worker_init,
-                initargs=(arena_name, cache_entries),
+                initargs=(arena_name, cache_entries, delta_memo_enabled()),
             ) as pool:
                 order = _lpt_order(chunks)
                 futures = {
@@ -428,12 +458,22 @@ class SyncExecutor:
             result.chunk_retries += 1
 
         rows: list[tuple[int, FileResult]] = []
-        for chunk_rows, hits, misses, ref_hits, ref_misses in gathered:
+        for (
+            chunk_rows,
+            hits,
+            misses,
+            ref_hits,
+            ref_misses,
+            memo_hits,
+            memo_misses,
+        ) in gathered:
             rows.extend(chunk_rows)
             result.cache_hits += hits
             result.cache_misses += misses
             result.ref_cache_hits += ref_hits
             result.ref_cache_misses += ref_misses
+            result.delta_memo_hits += memo_hits
+            result.delta_memo_misses += memo_misses
         rows.sort(key=lambda row: row[0])
         result.files = [file_result for _index, file_result in rows]
         return result

@@ -1,0 +1,108 @@
+"""Content-addressed dedup view over a collection (DESIGN §17).
+
+A server keeping many versions of many files stores plenty of identical
+bytes under different names — renamed files, rolled-back versions, the
+same asset shared by several pages.  :class:`DedupStore` maps
+``fingerprint -> canonical blob`` so every distinct content is stored
+and indexed exactly once; names are just labels onto the blob space.
+
+Backed by a :class:`~repro.collection.store.CollectionStore` the blobs
+live under ``objects/<hex fingerprint>`` with the store's crash-safe
+atomic writes; without one the store is an in-memory dict (the
+broadcast server's default).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.collection.store import CollectionStore, TMP_SUFFIX
+from repro.hashing.strong import file_fingerprint
+
+#: Subdirectory of the backing store that holds canonical blobs.
+OBJECTS_DIR = "objects"
+
+
+class DedupStore:
+    """Fingerprint-addressed blob store with dedup accounting.
+
+    ``dedup_hits`` counts ``put()`` calls whose content was already
+    canonical (the bytes that never needed storing again);
+    ``bytes_deduped`` the payload bytes those hits avoided.
+    """
+
+    def __init__(self, store: CollectionStore | str | Path | None = None) -> None:
+        if store is not None and not isinstance(store, CollectionStore):
+            store = CollectionStore(store)
+        self.store = store
+        self._blobs: dict[bytes, bytes] = {}
+        self.dedup_hits = 0
+        self.bytes_deduped = 0
+        if store is not None:
+            self._load_existing()
+
+    def _load_existing(self) -> None:
+        """Index blobs a previous run left on disk (lazy bytes)."""
+        objects = self.store.root / OBJECTS_DIR
+        if not objects.is_dir():
+            return
+        for path in objects.iterdir():
+            if path.name.endswith(TMP_SUFFIX):
+                continue  # orphaned atomic-write temporary
+            try:
+                fingerprint = bytes.fromhex(path.name)
+            except ValueError:
+                continue
+            if len(fingerprint) == 16:
+                # Present on disk; bytes are read on demand in get().
+                self._blobs.setdefault(fingerprint, None)
+
+    def _blob_path(self, fingerprint: bytes) -> Path:
+        return self.store.path_for(f"{OBJECTS_DIR}/{fingerprint.hex()}")
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def put(self, data: bytes) -> tuple[bytes, bool]:
+        """Store ``data``; return ``(fingerprint, was_new)``.
+
+        ``was_new=False`` is a dedup hit: the content was already
+        canonical and nothing was written.
+        """
+        fingerprint = file_fingerprint(data)
+        if fingerprint in self._blobs:
+            self.dedup_hits += 1
+            self.bytes_deduped += len(data)
+            return fingerprint, False
+        if self.store is not None:
+            from repro.collection.store import atomic_write_bytes
+
+            atomic_write_bytes(self._blob_path(fingerprint), data)
+        self._blobs[fingerprint] = data
+        return fingerprint, True
+
+    def ingest(self, files: dict[str, bytes]) -> dict[str, bytes]:
+        """Store every file; return the ``name -> fingerprint`` map."""
+        return {name: self.put(files[name])[0] for name in sorted(files)}
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def get(self, fingerprint: bytes) -> bytes:
+        """Canonical bytes for ``fingerprint`` (KeyError when absent)."""
+        try:
+            data = self._blobs[fingerprint]
+        except KeyError:
+            raise KeyError(
+                f"no canonical blob for fingerprint {fingerprint.hex()}"
+            ) from None
+        if data is None:  # indexed from disk, not yet materialised
+            data = self._blob_path(fingerprint).read_bytes()
+            self._blobs[fingerprint] = data
+        return data
+
+    def __contains__(self, fingerprint: bytes) -> bool:
+        return fingerprint in self._blobs
+
+    def __len__(self) -> int:
+        return len(self._blobs)

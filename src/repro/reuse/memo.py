@@ -1,0 +1,175 @@
+"""Memoized delta computation keyed by content fingerprints (DESIGN §17).
+
+One server pushing an update to many stale replicas computes the same
+``(old, new)`` delta over and over — once per client at the same
+staleness.  :class:`DeltaMemoCache` memoizes the finished artifacts
+(instruction lists and encoded payloads) keyed by the *content* of both
+sides plus the coder parameters, so the 2nd..Nth identical request is a
+dict hit instead of a matcher run.
+
+Byte-identity guarantee: keys are ``(old fingerprint, new fingerprint,
+method, params)``.  Both matching engines are guaranteed to emit
+identical instruction streams (the whole point of the scalar parity
+oracle), so the engine is deliberately *not* part of the key — a hit
+primed by one engine serves the other, and the cached-vs-cold parity
+tests pin that equivalence.  A memo hit therefore changes wall-clock
+only, never a single wire byte.
+
+The cache is consulted on two tiers:
+
+* ``zdelta_size`` / ``vcdiff_size`` always go through it — they are
+  pure measurements (the runner's method-comparison grid), so caching
+  is unconditionally safe and free of benchmark distortion.
+* ``compute_instructions`` / ``zdelta_encode`` / ``vcdiff_encode``
+  consult it only when memoization is switched on — via
+  :func:`set_delta_memo_enabled`, the ``REPRO_DELTA_MEMO`` environment
+  variable, or ``sync_collection(delta_memo=True)`` — so cold-path
+  timing benchmarks stay honest by default.
+
+Like the hash-index caches, the memo is process-local: pool workers
+inherit the parent's by fork and their hit/miss deltas are folded back
+by the executor.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.parallel.cache import ContentKeyedCache
+
+#: Default entry budget of the memo cache.
+DEFAULT_MEMO_ENTRIES = 512
+
+#: Default byte budget: memoized payloads and instruction lists are
+#: small next to the reference indexes, but a fleet of large files could
+#: still pile up — 64 MiB bounds the worst case.
+DEFAULT_MEMO_BYTES = 64 * 1024 * 1024
+
+#: Environment toggle for the gated tier (``1``/``true``/``on``/``yes``).
+MEMO_ENV = "REPRO_DELTA_MEMO"
+
+_TRUTHY = ("1", "true", "on", "yes")
+
+
+class DeltaMemoCache(ContentKeyedCache):
+    """LRU memo of finished delta artifacts, keyed by content identity.
+
+    Entries are frozen-instruction lists (:class:`~repro.delta.Copy` /
+    :class:`~repro.delta.Add` are frozen dataclasses) or immutable
+    ``bytes`` payloads, so sharing them between sessions is safe.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MEMO_ENTRIES,
+        max_bytes: int | None = DEFAULT_MEMO_BYTES,
+    ) -> None:
+        super().__init__(max_entries, max_bytes=max_bytes)
+
+    @staticmethod
+    def _entry_bytes(entry: object) -> int:
+        if isinstance(entry, bytes):
+            return len(entry)
+        if isinstance(entry, list):
+            # Instruction list: count the literal bytes plus a nominal
+            # per-instruction overhead for the dataclass objects.
+            total = 48 * len(entry)
+            for instruction in entry:
+                data = getattr(instruction, "data", b"")
+                total += len(data)
+            return total
+        return ContentKeyedCache._entry_bytes(entry)
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def instructions(
+        self,
+        old_fingerprint: bytes,
+        new_fingerprint: bytes,
+        seed_length: int,
+        min_match: int,
+        build,
+    ) -> list:
+        """Memoized COPY/ADD instruction list for one content pair."""
+        key = (
+            "instr",
+            old_fingerprint,
+            new_fingerprint,
+            seed_length,
+            min_match,
+        )
+        return self._get_or_build(key, build)
+
+    def payload(
+        self,
+        coder: str,
+        old_fingerprint: bytes,
+        new_fingerprint: bytes,
+        seed_length: int,
+        build,
+    ) -> bytes:
+        """Memoized encoded delta payload (``coder`` = zdelta/vcdiff)."""
+        key = (coder, old_fingerprint, new_fingerprint, seed_length)
+        return self._get_or_build(key, build)
+
+
+_default_memo = DeltaMemoCache()
+
+#: Tri-state switch for the gated tier: ``None`` defers to the
+#: environment, a bool is an explicit in-process override.
+_memo_enabled: bool | None = None
+
+
+def default_delta_memo() -> DeltaMemoCache:
+    """The process-wide memo shared by the delta coders."""
+    return _default_memo
+
+
+def reset_default_delta_memo(
+    max_entries: int | None = None,
+    max_bytes: int | None = DEFAULT_MEMO_BYTES,
+) -> DeltaMemoCache:
+    """Replace the process-wide memo (tests, budget tuning)."""
+    global _default_memo
+    _default_memo = DeltaMemoCache(
+        max_entries if max_entries is not None else DEFAULT_MEMO_ENTRIES,
+        max_bytes=max_bytes,
+    )
+    return _default_memo
+
+
+def delta_memo_enabled() -> bool:
+    """Whether the gated tier (encode/instructions memoization) is on."""
+    if _memo_enabled is not None:
+        return _memo_enabled
+    return os.environ.get(MEMO_ENV, "").lower() in _TRUTHY
+
+
+def set_delta_memo_enabled(enabled: bool | None) -> None:
+    """Switch the gated tier on/off (``None`` defers to ``REPRO_DELTA_MEMO``)."""
+    global _memo_enabled
+    _memo_enabled = enabled
+
+
+class delta_memo_scope:
+    """Context manager scoping the gated tier (used by ``sync_collection``).
+
+    Restores the previous switch state on exit, so a memoized collection
+    run never leaks the setting into subsequent cold benchmarks.
+    """
+
+    def __init__(self, enabled: bool | None) -> None:
+        self.enabled = enabled
+        self._previous: bool | None = None
+
+    def __enter__(self) -> "delta_memo_scope":
+        global _memo_enabled
+        self._previous = _memo_enabled
+        if self.enabled is not None:
+            _memo_enabled = self.enabled
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        global _memo_enabled
+        _memo_enabled = self._previous

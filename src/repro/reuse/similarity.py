@@ -1,0 +1,161 @@
+"""LSH-banded similarity index over min-hash sketches (DESIGN §17).
+
+Maps every registered name to its min-hash signature and buckets the
+signature's bands so candidate lookup is a handful of dict probes
+instead of a scan over the whole collection.  Two files landing in the
+same bucket for *any* band are candidates; exact signature agreement
+then ranks them, and :meth:`SimilarityIndex.best_reference` returns the
+best candidate clearing a resemblance threshold — the sibling-reference
+selector used when a client's file has no previous version to delta
+against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.reuse.sketch import (
+    DEFAULT_MASK_BITS,
+    DEFAULT_NUM_PERM,
+    DEFAULT_WINDOW,
+    estimate_resemblance,
+    sketch,
+)
+
+#: Default number of LSH bands (rows per band = num_perm // bands).
+DEFAULT_BANDS = 16
+
+#: Default resemblance a sibling must clear to serve as a reference.
+DEFAULT_RESEMBLANCE_THRESHOLD = 0.5
+
+
+class SimilarityIndex:
+    """Banded min-hash index: add named blobs, look up similar ones."""
+
+    def __init__(
+        self,
+        num_perm: int = DEFAULT_NUM_PERM,
+        bands: int = DEFAULT_BANDS,
+        window: int = DEFAULT_WINDOW,
+        mask_bits: int = DEFAULT_MASK_BITS,
+    ) -> None:
+        if bands < 1:
+            raise ValueError(f"bands must be >= 1, got {bands}")
+        if num_perm % bands != 0:
+            raise ValueError(
+                f"num_perm ({num_perm}) must be a multiple of bands ({bands})"
+            )
+        self.num_perm = num_perm
+        self.bands = bands
+        self.rows = num_perm // bands
+        self.window = window
+        self.mask_bits = mask_bits
+        self._signatures: dict[str, np.ndarray] = {}
+        self._buckets: dict[tuple[int, bytes], set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def signature_of(self, data: bytes) -> np.ndarray:
+        """Signature of raw bytes under this index's parameters."""
+        return sketch(
+            data,
+            window=self.window,
+            mask_bits=self.mask_bits,
+            num_perm=self.num_perm,
+        ).signature
+
+    def _band_keys(self, signature: np.ndarray):
+        for band in range(self.bands):
+            yield (
+                band,
+                signature[band * self.rows : (band + 1) * self.rows].tobytes(),
+            )
+
+    def add(
+        self,
+        name: str,
+        data: bytes | None = None,
+        signature: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Register ``name`` under its signature (computed unless given)."""
+        if signature is None:
+            if data is None:
+                raise ValueError("add() needs data or a precomputed signature")
+            signature = self.signature_of(data)
+        if signature.size != self.num_perm:
+            raise ValueError(
+                f"signature width {signature.size} != num_perm {self.num_perm}"
+            )
+        self.discard(name)
+        self._signatures[name] = signature
+        for key in self._band_keys(signature):
+            self._buckets.setdefault(key, set()).add(name)
+        return signature
+
+    def discard(self, name: str) -> None:
+        """Forget ``name`` (no-op when absent)."""
+        signature = self._signatures.pop(name, None)
+        if signature is None:
+            return
+        for key in self._band_keys(signature):
+            bucket = self._buckets.get(key)
+            if bucket is not None:
+                bucket.discard(name)
+                if not bucket:
+                    del self._buckets[key]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def candidates(self, signature: np.ndarray) -> set[str]:
+        """Names sharing at least one band bucket with ``signature``."""
+        found: set[str] = set()
+        for key in self._band_keys(signature):
+            bucket = self._buckets.get(key)
+            if bucket:
+                found |= bucket
+        return found
+
+    def best_reference(
+        self,
+        data: bytes | None = None,
+        signature: np.ndarray | None = None,
+        threshold: float = DEFAULT_RESEMBLANCE_THRESHOLD,
+        exclude: frozenset[str] | set[str] | tuple[str, ...] = (),
+    ) -> tuple[str, float] | None:
+        """Best registered sibling clearing ``threshold``, or ``None``.
+
+        Deterministic: ties on estimated resemblance break on the
+        lexicographically smallest name.
+        """
+        if signature is None:
+            if data is None:
+                raise ValueError(
+                    "best_reference() needs data or a precomputed signature"
+                )
+            signature = self.signature_of(data)
+        best: tuple[float, str] | None = None
+        for name in self.candidates(signature):
+            if name in exclude:
+                continue
+            resemblance = estimate_resemblance(
+                signature, self._signatures[name]
+            )
+            if resemblance < threshold:
+                continue
+            ranked = (-resemblance, name)
+            if best is None or ranked < best:
+                best = ranked
+        if best is None:
+            return None
+        return best[1], -best[0]
+
+    def signature_for(self, name: str) -> np.ndarray:
+        return self._signatures[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._signatures
+
+    def __len__(self) -> int:
+        return len(self._signatures)

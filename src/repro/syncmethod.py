@@ -65,6 +65,14 @@ class MethodOutcome:
     repair_rounds: int = 0
     repair_bytes: int = 0
     roundtrips: int = 0
+    #: Reuse-layer accounting (DESIGN §17), zero unless a sibling
+    #: reference served where only a literal transfer was possible:
+    #: ``sibling_refs_used`` counts files delta-coded against a similar
+    #: sibling instead of sent in full, ``bytes_saved_vs_self_ref`` the
+    #: wire bytes that choice saved versus the self-reference-only
+    #: baseline (a compressed full transfer).
+    sibling_refs_used: int = 0
+    bytes_saved_vs_self_ref: int = 0
 
     def __add__(self, other: "MethodOutcome") -> "MethodOutcome":
         merged = dict(self.breakdown)
@@ -101,6 +109,12 @@ class MethodOutcome:
             repair_rounds=self.repair_rounds + other.repair_rounds,
             repair_bytes=self.repair_bytes + other.repair_bytes,
             roundtrips=self.roundtrips + other.roundtrips,
+            sibling_refs_used=(
+                self.sibling_refs_used + other.sibling_refs_used
+            ),
+            bytes_saved_vs_self_ref=(
+                self.bytes_saved_vs_self_ref + other.bytes_saved_vs_self_ref
+            ),
         )
 
 

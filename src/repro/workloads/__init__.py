@@ -17,6 +17,12 @@ from repro.workloads.binary import (
     make_record_store_pair,
     robustness_suite,
 )
+from repro.workloads.fleet import (
+    DEFAULT_FLEET_PROFILE,
+    FleetClient,
+    FleetWorkload,
+    make_fleet,
+)
 from repro.workloads.mutate import EditProfile, mutate
 from repro.workloads.source_tree import (
     SourceTreeVersions,
@@ -28,8 +34,12 @@ from repro.workloads.text import HtmlGenerator, TextGenerator
 from repro.workloads.web import WebCollection, make_web_collection
 
 __all__ = [
+    "DEFAULT_FLEET_PROFILE",
     "EditProfile",
+    "FleetClient",
+    "FleetWorkload",
     "VersionedFile",
+    "make_fleet",
     "make_binary_pair",
     "make_log_pair",
     "make_record_store_pair",

@@ -1,0 +1,152 @@
+"""Fleet workload: many stale clients pulling one updated collection.
+
+The cross-file reuse layer (DESIGN.md §17) only pays off when the same
+server version is broadcast to *many* clients: the first client's deltas
+prime the memo cache, every later client replays them for free, and
+clients missing files entirely can bootstrap from similar siblings they
+already hold.  This generator produces that shape deterministically — a
+version chain of one collection plus a fleet of clients pinned at mixed
+staleness, some with files dropped so the sibling-reference path has
+work to do.
+
+Structural knobs mirror the paper's broadcast scenario (one server, a
+population of mirrors on slow links) rather than any specific data set.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.exceptions import WorkloadError
+from repro.workloads.mutate import EditProfile, mutate
+from repro.workloads.text import TextGenerator
+
+#: Version-step edit model: clustered, alignment-shifting edits as in
+#: the source-tree workloads, scaled for ~4 KB files.
+DEFAULT_FLEET_PROFILE = EditProfile(
+    edit_count=6,
+    cluster_count=2,
+    cluster_spread=120.0,
+    min_size=4,
+    max_size=96,
+)
+
+
+@dataclass(frozen=True)
+class FleetClient:
+    """One stale replica: its name, pinned version, and file state."""
+
+    name: str
+    version: int
+    files: dict[str, bytes] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class FleetWorkload:
+    """A version chain plus a fleet of clients at mixed staleness."""
+
+    versions: list[dict[str, bytes]]
+    clients: list[FleetClient]
+
+    @property
+    def server(self) -> dict[str, bytes]:
+        """The current collection every client is pulling."""
+        return self.versions[-1]
+
+    @property
+    def client_count(self) -> int:
+        return len(self.clients)
+
+
+def make_fleet(
+    clients: int = 8,
+    files: int = 12,
+    versions: int = 4,
+    seed: int = 0,
+    mean_size: int = 4096,
+    change_fraction: float = 0.6,
+    missing_fraction: float = 0.15,
+    profile: EditProfile | None = None,
+) -> FleetWorkload:
+    """Build a deterministic fleet workload.
+
+    Every third file is minted as a near-copy of the previous "template"
+    file, so the collection contains genuinely similar siblings — the
+    structure the min-hash index exploits when a client is missing a
+    file.  Each version step mutates roughly ``change_fraction`` of the
+    files and appends one new file, so even a client at version
+    ``versions - 2`` sees both changed and added files.  Clients are
+    pinned at uniformly-drawn stale versions and drop roughly
+    ``missing_fraction`` of their files.
+
+    The same arguments always produce byte-identical output.
+    """
+    if clients < 1:
+        raise WorkloadError("need at least one client")
+    if files < 2:
+        raise WorkloadError("need at least two files")
+    if versions < 2:
+        raise WorkloadError("need at least two versions")
+    if not 0.0 <= change_fraction <= 1.0:
+        raise WorkloadError("change_fraction must be in [0, 1]")
+    if not 0.0 <= missing_fraction < 1.0:
+        raise WorkloadError("missing_fraction must be in [0, 1)")
+    if profile is None:
+        profile = DEFAULT_FLEET_PROFILE
+
+    rng = random.Random(seed)
+    generator = TextGenerator(seed=seed * 7919 + 11)
+    sibling_profile = EditProfile(
+        edit_count=4,
+        cluster_count=2,
+        cluster_spread=150.0,
+        min_size=4,
+        max_size=64,
+    )
+
+    # Version 0: fresh files, every third one a near-copy of the last
+    # template so similar siblings exist from the start.
+    base: dict[str, bytes] = {}
+    template: bytes | None = None
+    for index in range(files):
+        name = f"src/file{index:03d}.c"
+        size = int(mean_size * (0.5 + 1.5 * rng.random()))
+        if index % 3 == 2 and template is not None:
+            base[name] = mutate(
+                template, rng, sibling_profile, content=generator.snippet
+            )
+        else:
+            base[name] = generator.generate(size, rng)
+            template = base[name]
+
+    chain = [base]
+    for step in range(1, versions):
+        previous = chain[-1]
+        current: dict[str, bytes] = {}
+        for name in sorted(previous):
+            data = previous[name]
+            if rng.random() < change_fraction:
+                data = mutate(data, rng, profile, content=generator.snippet)
+            current[name] = data
+        # One genuinely new file per step, cloned from a random existing
+        # file so sibling references have something to bite on.
+        donor = current[rng.choice(sorted(current))]
+        added_name = f"src/added{step:03d}.c"
+        current[added_name] = mutate(
+            donor, rng, sibling_profile, content=generator.snippet
+        )
+        chain.append(current)
+
+    fleet: list[FleetClient] = []
+    for index in range(clients):
+        version = rng.randrange(0, versions - 1)
+        state = dict(chain[version])
+        for name in sorted(state):
+            if len(state) > 1 and rng.random() < missing_fraction:
+                del state[name]
+        fleet.append(
+            FleetClient(name=f"client{index:03d}", version=version, files=state)
+        )
+
+    return FleetWorkload(versions=chain, clients=fleet)

@@ -80,6 +80,51 @@ class TestSyncCommand:
         assert main(["sync", str(missing), str(existing)]) == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_reuse_counters_in_json(self, dir_pair, capsys):
+        old_dir, new_dir = dir_pair
+        assert main(["sync", str(old_dir), str(new_dir), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        for key in ("dedup_hits", "delta_memo_hits", "delta_memo_misses",
+                    "sibling_refs_used", "bytes_saved_vs_self_ref"):
+            assert key in payload
+        # Clean default run: the reuse layer stays inert.
+        assert payload["dedup_hits"] == 0
+        assert payload["sibling_refs_used"] == 0
+
+    def test_sibling_refs_flag_detects_rename(self, tmp_path, capsys):
+        old_dir = tmp_path / "old"
+        new_dir = tmp_path / "new"
+        old_dir.mkdir()
+        new_dir.mkdir()
+        content = bytes(range(256)) * 40
+        (old_dir / "original.bin").write_bytes(content)
+        (new_dir / "original.bin").write_bytes(content)
+        (new_dir / "renamed.bin").write_bytes(content)
+        assert main([
+            "sync", str(old_dir), str(new_dir), "--json", "--sibling-refs",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["dedup_hits"] == 1
+        assert payload["added_bytes"] == 0
+
+    def test_delta_memo_flag_accepted(self, file_pair, capsys):
+        old_path, new_path = file_pair
+        assert main([
+            "sync", str(old_path), str(new_path), "--delta-memo",
+            "--resemblance-threshold", "0.7",
+        ]) == 0
+        assert "reuse" in capsys.readouterr().out
+
+    def test_no_delta_memo_flag(self, file_pair, capsys):
+        old_path, new_path = file_pair
+        assert main([
+            "sync", str(old_path), str(new_path), "--no-delta-memo",
+            "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["delta_memo_hits"] == 0
+        assert payload["delta_memo_misses"] == 0
+
 
 class TestBatchedSync:
     def test_batched_directory(self, dir_pair, capsys):
@@ -177,7 +222,8 @@ class TestAdaptiveFlags:
         # workers differ by design (a run budget forces serial); timing
         # and the process-global hash caches are volatile between runs.
         volatile = ("workers", "cpu_seconds", "cache_hits", "cache_misses",
-                    "ref_cache_hits", "ref_cache_misses")
+                    "ref_cache_hits", "ref_cache_misses",
+                    "delta_memo_hits", "delta_memo_misses")
         for key in volatile:
             plain.pop(key)
             adaptive.pop(key)

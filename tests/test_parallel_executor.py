@@ -168,7 +168,12 @@ class TestHashIndexCache:
 
     def test_snapshot_keys_stable(self):
         stats = HashIndexCache().stats
-        assert list(stats.snapshot()) == ["evictions", "hits", "misses"]
+        assert list(stats.snapshot()) == [
+            "evicted_bytes",
+            "evictions",
+            "hits",
+            "misses",
+        ]
 
     def test_default_cache_is_replaceable(self):
         original = default_cache()

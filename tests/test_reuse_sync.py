@@ -1,0 +1,120 @@
+"""Tests for sibling references and rename detection in sync_collection."""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+from repro.bench.methods import OursMethod
+from repro.collection.sync import sync_collection
+
+
+def _random_bytes(seed: int, nbytes: int = 8_192) -> bytes:
+    return random.Random(seed).randbytes(nbytes)
+
+
+def _edited(data: bytes, seed: int = 1, edits: int = 4) -> bytes:
+    rng = random.Random(seed)
+    out = bytearray(data)
+    for _ in range(edits):
+        at = rng.randrange(len(out) - 100)
+        out[at : at + 40] = rng.randbytes(60)
+    return bytes(out)
+
+
+class TestRenameDetection:
+    def test_renamed_file_costs_zero_added_bytes(self):
+        content = _random_bytes(2)
+        client = {"old-name.bin": content}
+        server = {"old-name.bin": content, "new-name.bin": content}
+        report = sync_collection(
+            client, server, OursMethod(), sibling_refs=True
+        )
+        assert report.dedup_hits == 1
+        assert report.added_bytes == 0
+        assert report.bytes_saved_vs_self_ref == len(
+            zlib.compress(content, 9)
+        )
+        assert report.reconstructed == server
+
+    def test_rename_detection_is_deterministic_on_twins(self):
+        content = _random_bytes(3)
+        client = {"b.bin": content, "a.bin": content}
+        server = dict(client, **{"c.bin": content})
+        report = sync_collection(
+            client, server, OursMethod(), sibling_refs=True
+        )
+        assert report.dedup_hits == 1
+        assert report.reconstructed == server
+
+
+class TestSiblingReferences:
+    def test_similar_sibling_beats_full_transfer(self):
+        base = _random_bytes(5)
+        client = {"base.bin": base}
+        server = {"base.bin": base, "similar.bin": _edited(base, seed=7)}
+        with_refs = sync_collection(
+            client, server, OursMethod(), sibling_refs=True
+        )
+        without = sync_collection(client, server, OursMethod())
+        assert with_refs.sibling_refs_used == 1
+        assert with_refs.added_bytes < without.added_bytes
+        assert with_refs.bytes_saved_vs_self_ref == (
+            without.added_bytes - with_refs.added_bytes
+        )
+        assert with_refs.reconstructed == server
+
+    def test_unrelated_added_file_falls_back_to_full(self):
+        client = {"base.bin": _random_bytes(8)}
+        server = dict(client, **{"new.bin": _random_bytes(9)})
+        with_refs = sync_collection(
+            client, server, OursMethod(), sibling_refs=True
+        )
+        without = sync_collection(client, server, OursMethod())
+        assert with_refs.sibling_refs_used == 0
+        assert with_refs.added_bytes == without.added_bytes
+        assert with_refs.reconstructed == server
+
+    def test_empty_client_falls_back_to_full(self):
+        server = {"a.bin": _random_bytes(10)}
+        report = sync_collection({}, server, OursMethod(),
+                                 sibling_refs=True)
+        assert report.sibling_refs_used == 0
+        assert report.added_bytes == len(
+            zlib.compress(server["a.bin"], 9)
+        )
+        assert report.reconstructed == server
+
+    def test_threshold_gates_the_sibling_path(self):
+        base = _random_bytes(12)
+        client = {"base.bin": base}
+        server = dict(client, **{"similar.bin": _edited(base, seed=13)})
+        gated = sync_collection(
+            client,
+            server,
+            OursMethod(),
+            sibling_refs=True,
+            resemblance_threshold=0.999,
+        )
+        assert gated.sibling_refs_used == 0
+        assert gated.reconstructed == server
+
+
+class TestDefaultOffParity:
+    def test_defaults_reproduce_pre_reuse_reports(self):
+        """sibling_refs/delta_memo off: byte-for-byte the old behaviour."""
+        base = _random_bytes(14)
+        client = {"base.bin": base}
+        server = {
+            "base.bin": _edited(base, seed=15),
+            "added.bin": _edited(base, seed=16),
+        }
+        report = sync_collection(client, server, OursMethod())
+        assert report.added_bytes == len(
+            zlib.compress(server["added.bin"], 9)
+        )
+        assert report.dedup_hits == 0
+        assert report.sibling_refs_used == 0
+        assert report.bytes_saved_vs_self_ref == 0
+        assert report.delta_memo_hits == 0
+        assert report.reconstructed == server

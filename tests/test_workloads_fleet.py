@@ -1,0 +1,117 @@
+"""Tests for the fleet workload generator (multi-client broadcast)."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workloads import FleetWorkload, make_fleet
+
+
+def _digest(workload: FleetWorkload) -> str:
+    hasher = hashlib.md5()
+    for version in workload.versions:
+        for name in sorted(version):
+            hasher.update(name.encode())
+            hasher.update(version[name])
+    for client in workload.clients:
+        hasher.update(client.name.encode())
+        hasher.update(str(client.version).encode())
+        for name in sorted(client.files):
+            hasher.update(name.encode())
+            hasher.update(client.files[name])
+    return hasher.hexdigest()
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical(self):
+        first = make_fleet(seed=3)
+        second = make_fleet(seed=3)
+        assert first.versions == second.versions
+        assert [c.files for c in first.clients] == [
+            c.files for c in second.clients
+        ]
+
+    def test_pinned_digests(self):
+        """Cross-process/version stability: the exact bytes are part of
+        the reuse benchmark's contract (BENCH_reuse.json wire counts)."""
+        assert _digest(make_fleet(seed=0)) == (
+            "51ae264e2a8b555c20d375148bdfcca7"
+        )
+        assert _digest(make_fleet(seed=1)) == (
+            "7e7498e5ad0a8ff83d73a3601b4569a2"
+        )
+
+    def test_distinct_seeds_differ(self):
+        assert _digest(make_fleet(seed=4)) != _digest(make_fleet(seed=5))
+
+
+class TestStructure:
+    def test_version_chain_shape(self):
+        workload = make_fleet(clients=5, files=8, versions=3, seed=2)
+        assert len(workload.versions) == 3
+        assert workload.server is workload.versions[-1]
+        # One added file per version step.
+        assert len(workload.versions[1]) == 9
+        assert len(workload.versions[2]) == 10
+        assert "src/added001.c" in workload.versions[1]
+        assert "src/added002.c" in workload.server
+
+    def test_version_steps_change_files(self):
+        workload = make_fleet(seed=6)
+        previous, current = workload.versions[0], workload.versions[1]
+        changed = [
+            name for name in previous if previous[name] != current[name]
+        ]
+        assert changed  # change_fraction > 0 must touch something
+
+    def test_clients_are_stale_with_missing_files(self):
+        workload = make_fleet(clients=12, seed=7)
+        assert workload.client_count == 12
+        assert all(
+            client.version < len(workload.versions) - 1
+            for client in workload.clients
+        )
+        assert any(
+            len(client.files) < len(workload.versions[client.version])
+            for client in workload.clients
+        )
+
+    def test_client_files_match_their_version(self):
+        workload = make_fleet(seed=8)
+        for client in workload.clients:
+            snapshot = workload.versions[client.version]
+            for name, data in client.files.items():
+                assert snapshot[name] == data
+
+    def test_similar_siblings_exist(self):
+        """Every third base file is a near-copy of the last template, so
+        the min-hash index has genuine siblings to find."""
+        from repro.reuse import estimate_resemblance, sketch
+
+        workload = make_fleet(seed=9)
+        base = workload.versions[0]
+        template = base["src/file001.c"]
+        near_copy = base["src/file002.c"]
+        resemblance = estimate_resemblance(
+            sketch(template).signature, sketch(near_copy).signature
+        )
+        assert resemblance > 0.5
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"clients": 0},
+            {"files": 1},
+            {"versions": 1},
+            {"change_fraction": 1.5},
+            {"missing_fraction": 1.0},
+        ],
+    )
+    def test_bad_arguments_rejected(self, kwargs):
+        with pytest.raises(WorkloadError):
+            make_fleet(**kwargs)
